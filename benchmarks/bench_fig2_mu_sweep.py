@@ -1,0 +1,44 @@
+"""Benchmark E2 -- Figure 2: influence of the mu parameter of WPS-work.
+
+Regenerates both panels of Figure 2 (unfairness and average makespan as
+functions of mu, one series per number of concurrent PTGs) for random
+PTGs, and reports the knee of the trade-off the paper uses to pick
+``mu = 0.7``.
+"""
+
+from benchmarks.conftest import campaign_scale, full_scale, write_result
+from repro.experiments.mu_sweep import PAPER_MU_VALUES, run_mu_sweep
+from repro.experiments.reporting import render_mu_sweep
+
+
+def run_sweep():
+    scale = campaign_scale()
+    return run_mu_sweep(
+        characteristic="work",
+        family="random",
+        mu_values=PAPER_MU_VALUES,
+        ptg_counts=scale["ptg_counts"],
+        workloads_per_point=scale["workloads_per_point"],
+        platforms=scale["platforms"] if full_scale() else scale["platforms"][:1],
+        base_seed=2009,
+        max_tasks=scale["max_tasks"],
+    )
+
+
+def bench_fig2_mu_sweep(benchmark):
+    """Regenerate Figure 2 (WPS-work mu sweep on random PTGs)."""
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = render_mu_sweep(result)
+    text += f"\n\nrecommended mu (knee of the trade-off): {result.recommended_mu():.2f}"
+    write_result("fig2_mu_sweep.txt", text)
+
+    # qualitative shape: for the largest PTG count, unfairness at mu = 1
+    # (equal share) is no worse than at mu = 0 (pure proportional share),
+    # and the average makespan at mu = 0 is no worse than at mu = 1.
+    largest = max(result.ptg_counts)
+    unfair = result.unfairness[largest]
+    makespan = result.average_makespan[largest]
+    assert unfair[-1] <= unfair[0] * 1.25 + 1e-9
+    assert makespan[0] <= makespan[-1] * 1.25 + 1e-9
+    # the recommended knee is an interior value of the sweep
+    assert 0.0 <= result.recommended_mu() <= 1.0

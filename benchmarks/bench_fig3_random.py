@@ -1,0 +1,60 @@
+"""Benchmark E3 -- Figure 3: the eight constraint strategies on random PTGs.
+
+Regenerates both panels (unfairness and average relative makespan versus
+the number of concurrent PTGs) and checks the qualitative conclusions the
+paper draws from this figure:
+
+* the selfish strategy's relative makespan degrades as the number of
+  concurrent PTGs grows, while the constrained strategies stay close to
+  the best schedule;
+* the purely proportional strategies (PS-cp / PS-work) produce short but
+  unfair schedules;
+* the weighted strategies (in particular WPS-width and WPS-work) are
+  fairer than the selfish baseline.
+"""
+
+from benchmarks.conftest import campaign_scale, write_result
+from repro.experiments.figures import run_figure
+from repro.experiments.reporting import render_campaign_summary, render_figure
+
+
+def run_fig3():
+    scale = campaign_scale()
+    return run_figure(
+        3,
+        ptg_counts=scale["ptg_counts"],
+        workloads_per_point=scale["workloads_per_point"],
+        platforms=scale["platforms"],
+        base_seed=2009,
+        max_tasks=scale["max_tasks"],
+    )
+
+
+def bench_fig3_random(benchmark):
+    """Regenerate Figure 3 (random PTGs)."""
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    text = render_figure(result) + "\n\n" + render_campaign_summary(result.campaign)
+    write_result("fig3_random.txt", text)
+
+    most = max(result.ptg_counts)
+    # selfish relative makespan grows with the competition and ends up the worst
+    s_series = result.relative_makespan["S"]
+    assert s_series[-1] >= s_series[0] - 1e-9
+    assert result.relative_makespan_at("S", most) >= max(
+        result.relative_makespan_at(name, most)
+        for name in ("ES", "WPS-work", "WPS-width")
+    ) - 1e-9
+    # the work-proportional strategy yields among the shortest schedules
+    assert result.relative_makespan_at("PS-work", most) <= (
+        result.relative_makespan_at("S", most)
+    )
+    # the weighted strategies improve fairness over the selfish baseline
+    assert min(
+        result.unfairness_at("WPS-width", most),
+        result.unfairness_at("WPS-work", most),
+        result.unfairness_at("ES", most),
+    ) <= result.unfairness_at("S", most) * 1.1
+    # sanity: every relative makespan is >= 1 and unfairness >= 0
+    for name in result.strategies():
+        assert all(v >= 1.0 - 1e-9 for v in result.relative_makespan[name])
+        assert all(v >= 0.0 for v in result.unfairness[name])

@@ -1,0 +1,48 @@
+"""Benchmark E4 -- Figure 4: the eight constraint strategies on FFT PTGs.
+
+FFT graphs are very regular (all tasks of a level share the same cost)
+and expose limited task parallelism, so "the S strategy is more
+competitive for this class of applications" while the ES strategy "achieves
+particularly poor performance in terms of makespans" at high concurrency.
+"""
+
+from benchmarks.conftest import campaign_scale, full_scale, write_result
+from repro.experiments.figures import run_figure
+from repro.experiments.reporting import render_campaign_summary, render_figure
+
+
+def run_fig4():
+    scale = campaign_scale()
+    # FFT graphs are larger (up to 95 tasks); the reduced campaign uses a
+    # single platform to keep the benchmark under a couple of minutes.
+    platforms = scale["platforms"] if full_scale() else scale["platforms"][:1]
+    counts = scale["ptg_counts"] if full_scale() else (2, 4, 6)
+    return run_figure(
+        4,
+        ptg_counts=counts,
+        workloads_per_point=scale["workloads_per_point"],
+        platforms=platforms,
+        base_seed=2009,
+    )
+
+
+def bench_fig4_fft(benchmark):
+    """Regenerate Figure 4 (FFT PTGs)."""
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    text = render_figure(result) + "\n\n" + render_campaign_summary(result.campaign)
+    write_result("fig4_fft.txt", text)
+
+    most = max(result.ptg_counts)
+    for name in result.strategies():
+        assert all(v >= 1.0 - 1e-9 for v in result.relative_makespan[name])
+        assert all(v >= 0.0 for v in result.unfairness[name])
+    # unfairness grows with the number of concurrent applications
+    for name in ("S", "ES"):
+        assert result.unfairness_at(name, most) >= result.unfairness_at(
+            name, min(result.ptg_counts)
+        ) - 1e-9
+    # the equal-share strategy pays a visible makespan penalty at high
+    # concurrency compared to the proportional strategies
+    assert result.relative_makespan_at("ES", most) >= (
+        result.relative_makespan_at("PS-work", most) - 0.05
+    )

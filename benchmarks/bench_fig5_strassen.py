@@ -1,0 +1,43 @@
+"""Benchmark E5 -- Figure 5: the constraint strategies on Strassen PTGs.
+
+All Strassen PTGs share the same shape (25 tasks, same maximal width), so
+the width-based strategies degenerate to ES and are excluded, exactly as
+in the paper.  The remaining comparison checks that WPS-work keeps a
+clear makespan advantage over ES while staying reasonably fair.
+"""
+
+from benchmarks.conftest import campaign_scale, write_result
+from repro.experiments.figures import run_figure
+from repro.experiments.reporting import render_campaign_summary, render_figure
+
+
+def run_fig5():
+    scale = campaign_scale()
+    return run_figure(
+        5,
+        ptg_counts=scale["ptg_counts"],
+        workloads_per_point=scale["workloads_per_point"],
+        platforms=scale["platforms"],
+        base_seed=2009,
+    )
+
+
+def bench_fig5_strassen(benchmark):
+    """Regenerate Figure 5 (Strassen PTGs)."""
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    text = render_figure(result) + "\n\n" + render_campaign_summary(result.campaign)
+    write_result("fig5_strassen.txt", text)
+
+    # width-based strategies are excluded for Strassen
+    assert "PS-width" not in result.strategies()
+    assert "WPS-width" not in result.strategies()
+    assert set(result.strategies()) == {"S", "ES", "PS-cp", "PS-work", "WPS-cp", "WPS-work"}
+
+    most = max(result.ptg_counts)
+    for name in result.strategies():
+        assert all(v >= 1.0 - 1e-9 for v in result.relative_makespan[name])
+        assert all(v >= 0.0 for v in result.unfairness[name])
+    # WPS-work keeps a makespan advantage (or at least parity) over ES
+    assert result.relative_makespan_at("WPS-work", most) <= (
+        result.relative_makespan_at("ES", most) + 0.05
+    )

@@ -1,0 +1,37 @@
+"""Benchmark E1 -- Table 1: the Grid'5000 multi-cluster subsets.
+
+Regenerates the platform table (cluster names, processor counts, speeds)
+and the per-site totals quoted in Section 2 of the paper, and times the
+platform-construction path.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments.tables import site_summary_rows, table1_text
+from repro.platform import grid5000
+
+
+def build_all_platforms():
+    """Construct the four platforms and their aggregate quantities."""
+    sites = grid5000.all_sites()
+    return [
+        (p.name, p.total_processors, p.total_power_gflops, p.heterogeneity_percent)
+        for p in sites
+    ]
+
+
+def bench_table1(benchmark):
+    """Rebuild Table 1 and check the paper's totals."""
+    summary = benchmark.pedantic(build_all_platforms, rounds=5, iterations=1)
+    text = table1_text()
+    write_result("table1_platforms.txt", text)
+
+    totals = {name: procs for name, procs, _, _ in summary}
+    assert totals == {"lille": 99, "nancy": 167, "rennes": 229, "sophia": 180}
+    heterogeneity = {name: round(h, 1) for name, _, _, h in summary}
+    assert heterogeneity == {
+        "lille": 20.2,
+        "nancy": 6.1,
+        "rennes": 36.8,
+        "sophia": 34.7,
+    }
+    assert len(site_summary_rows()) == 4

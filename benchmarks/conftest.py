@@ -1,0 +1,61 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+default scale is laptop-sized (a few workloads, a subset of the
+platforms); set ``REPRO_BENCH_FULL=1`` to run the paper-sized campaign
+(25 workloads per point, the five PTG counts, all four Grid'5000
+subsets -- expect it to run for a long time).
+
+Each benchmark writes its rendered result to ``benchmarks/results/`` and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` shows the
+regenerated rows next to pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.platform import grid5000
+
+#: Directory where the rendered tables / figure series are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when the paper-sized campaign is requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+def campaign_scale() -> dict:
+    """Scale parameters shared by the figure benchmarks."""
+    if full_scale():
+        return {
+            "ptg_counts": (2, 4, 6, 8, 10),
+            "workloads_per_point": 25,
+            "platforms": grid5000.all_sites(),
+            "max_tasks": None,
+        }
+    return {
+        "ptg_counts": (2, 4, 8),
+        "workloads_per_point": int(os.environ.get("REPRO_BENCH_SEEDS", "2")),
+        "platforms": [grid5000.lille(), grid5000.sophia()],
+        "max_tasks": 20,
+    }
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist the rendered output of one benchmark and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture
+def scale():
+    """The benchmark scale parameters (reduced or paper-sized)."""
+    return campaign_scale()

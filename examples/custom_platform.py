@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Build custom multi-cluster platforms and study contention effects.
+
+The paper's four platforms differ in heterogeneity and in whether their
+clusters share a switch (Rennes, Lille) or each have their own (Nancy,
+Sophia), "which leads to different contention conditions".  This example
+builds two synthetic platforms with the same compute power but opposite
+switch topologies and measures how the sharing affects a
+communication-heavy workload -- something the library makes easy to
+explore beyond the paper's own scenarios.
+
+Run with::
+
+    python examples/custom_platform.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ConcurrentScheduler, ScheduleExecutor, strategy
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.platform.cluster import Cluster
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.platform.network import NetworkTopology, Switch
+from repro.utils.tables import format_table
+
+
+def build_platforms():
+    """Two platforms with identical clusters but different topologies.
+
+    The switch backplanes are deliberately modest (5 Gb/s) so that the
+    contention difference between the two topologies is visible on a
+    communication-heavy workload.
+    """
+    sizes = (32, 48, 40)
+    speeds = (3.2, 3.6, 4.4)
+    clusters = [
+        Cluster(f"c{i}", size, speed, site="demo")
+        for i, (size, speed) in enumerate(zip(sizes, speeds))
+    ]
+    names = [c.name for c in clusters]
+    modest_backplane = 6.25e8  # 5 Gb/s
+    shared = MultiClusterPlatform(
+        "shared-switch",
+        clusters,
+        NetworkTopology.shared_switch(
+            names, switch_name="site-switch", switch_bandwidth=modest_backplane
+        ),
+    )
+    split = MultiClusterPlatform(
+        "private-switches",
+        clusters,
+        NetworkTopology.per_cluster_switch(names, switch_bandwidth=modest_backplane),
+    )
+
+    # a fully hand-built variant: custom switch bandwidths and latencies
+    clusters = [
+        Cluster("cpu-old", 64, 2.8, site="custom"),
+        Cluster("cpu-new", 32, 5.2, site="custom"),
+    ]
+    topology = NetworkTopology(
+        switches=[Switch("backbone", bandwidth=1.25e9, latency=2e-4)],
+        attachment={"cpu-old": "backbone", "cpu-new": "backbone"},
+        link_bandwidth=125e6,
+        link_latency=2e-4,
+    )
+    custom = MultiClusterPlatform("hand-built", clusters, topology)
+    return [shared, split, custom]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # a wide, communication-heavy workload (dense fork-join like graphs)
+    workload = [
+        generate_random_ptg(
+            rng,
+            RandomPTGConfig(n_tasks=20, width=0.8, density=0.8),
+            name=f"dense-{i}",
+        )
+        for i in range(5)
+    ]
+
+    rows = []
+    for platform in build_platforms():
+        planned = ConcurrentScheduler(strategy("WPS-work")).schedule(workload, platform)
+        report = ScheduleExecutor(platform).execute(workload, planned.schedule)
+        rows.append(
+            [
+                platform.name,
+                platform.total_processors,
+                f"{platform.heterogeneity_percent:.1f}%",
+                len(platform.topology.switches),
+                report.global_makespan(),
+                report.network_bytes / 1e9,
+                report.utilisation(platform.total_processors),
+            ]
+        )
+
+    print(
+        format_table(
+            ["platform", "procs", "heterogeneity", "switches",
+             "batch makespan (s)", "inter-cluster data (GB)", "utilisation"],
+            rows,
+            title="Same workload, WPS-work constraints, different platforms",
+        )
+    )
+    print()
+    print("Clusters sharing one switch contend for its backplane, so the same")
+    print("workload finishes later than with private switches whenever the")
+    print("schedule moves a lot of data between clusters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Regular applications: FFT and Strassen workloads (Figures 4 and 5).
+
+The paper contrasts irregular workflow-like PTGs with two very regular
+applications: the Fast Fourier Transform (whose task parallelism is
+limited and tied to its depth) and the Strassen matrix multiplication
+(whose 25-task shape is identical for every instance, which makes the
+width-based strategies pointless).  This example schedules a mixed batch
+of FFT and Strassen applications and shows:
+
+* how the structural characteristics (critical path, width, work) differ
+  between the two application families,
+* which resource constraints each strategy derives from them,
+* the resulting fairness / makespan trade-off.
+
+Run with::
+
+    python examples/fft_strassen_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.characteristics import (
+    critical_path_characteristic,
+    width_characteristic,
+    work_characteristic,
+)
+from repro.constraints.registry import strategy
+from repro.dag.fft import generate_fft_ptg
+from repro.dag.strassen import generate_strassen_ptg
+from repro.experiments.runner import run_experiment
+from repro.platform import grid5000
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(2009)
+    platform = grid5000.nancy()
+    print(platform)
+
+    workload = [
+        generate_fft_ptg(16, rng=rng, name="fft-16"),
+        generate_fft_ptg(8, rng=rng, name="fft-8"),
+        generate_strassen_ptg(rng=rng, name="strassen-a"),
+        generate_strassen_ptg(rng=rng, name="strassen-b"),
+    ]
+
+    # structural characteristics driving the PS / WPS strategies
+    rows = [
+        [
+            ptg.name,
+            ptg.n_tasks,
+            ptg.depth,
+            width_characteristic(ptg, platform),
+            critical_path_characteristic(ptg, platform),
+            work_characteristic(ptg, platform) / 1e12,
+        ]
+        for ptg in workload
+    ]
+    print()
+    print(
+        format_table(
+            ["application", "tasks", "levels", "max width", "critical path (s)", "work (Tflop)"],
+            rows,
+            title="Structural characteristics",
+        )
+    )
+
+    strategies = [strategy(name, family="fft") for name in ("S", "ES", "PS-work", "WPS-cp", "WPS-work")]
+    experiment = run_experiment(workload, platform, strategies, workload_label="fft-strassen")
+
+    print()
+    beta_rows = []
+    for ptg in workload:
+        beta_rows.append(
+            [ptg.name]
+            + [experiment.outcomes[s.name].betas[ptg.name] for s in strategies]
+        )
+    print(
+        format_table(
+            ["application"] + [s.name for s in strategies],
+            beta_rows,
+            title="Resource constraint beta assigned to each application",
+        )
+    )
+
+    print()
+    outcome_rows = [
+        [
+            s.name,
+            experiment.outcomes[s.name].unfairness,
+            experiment.outcomes[s.name].batch_makespan,
+            experiment.outcomes[s.name].mean_application_makespan,
+        ]
+        for s in strategies
+    ]
+    print(
+        format_table(
+            ["strategy", "unfairness", "batch makespan (s)", "mean app makespan (s)"],
+            outcome_rows,
+            title="Fairness / makespan trade-off on the mixed FFT + Strassen batch",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Staggered submissions: the paper's future-work scenario.
+
+Instead of submitting every application at the same instant, applications
+arrive over time, and the resource constraint of each newcomer is computed
+against the applications still present in the system at its arrival (the
+extension implemented in :mod:`repro.scheduler.online`).
+
+The script submits a stream of applications to the Lille subset and shows,
+for each one, how many competitors were present at its admission, the
+resource constraint it received, and its makespan measured from its own
+submission time.
+
+Run with::
+
+    python examples/online_arrivals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.registry import strategy
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.platform import grid5000
+from repro.scheduler.online import Arrival, OnlineConcurrentScheduler
+from repro.simulate import ScheduleExecutor, application_gantt
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    platform = grid5000.lille()
+    print(platform)
+
+    # a stream of six applications arriving every ~40 seconds
+    arrivals = []
+    for i in range(6):
+        ptg = generate_random_ptg(
+            rng, RandomPTGConfig(n_tasks=int(rng.choice([10, 20]))), name=f"job-{i}"
+        )
+        arrivals.append(Arrival(ptg, time=40.0 * i))
+
+    scheduler = OnlineConcurrentScheduler(strategy("WPS-work"))
+    result = scheduler.schedule(arrivals, platform)
+
+    # replay the resulting schedule on the simulator for measured times
+    report = ScheduleExecutor(platform).execute(
+        [a.ptg for a in arrivals], result.schedule
+    )
+
+    rows = []
+    for arrival in result.arrivals:
+        name = arrival.ptg.name
+        rows.append(
+            [
+                name,
+                arrival.time,
+                len(result.active_at_admission[name]),
+                result.betas[name],
+                result.completion_time(name),
+                result.makespan(name),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["application", "submitted (s)", "competitors at admission",
+             "beta", "completed (s)", "makespan (s)"],
+            rows,
+            title="Online admission with WPS-work constraints",
+        )
+    )
+    print()
+    print(application_gantt(report))
+
+
+if __name__ == "__main__":
+    main()

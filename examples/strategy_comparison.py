@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare the eight resource-constraint strategies on one shared platform.
+
+This is the scenario the paper's introduction motivates: several users
+submit workflow-like applications (random PTGs) to the resource manager
+of a shared multi-cluster, and the manager must decide how much of the
+platform each application may use.  The script schedules the same
+workload under every strategy and reports, for each one, the unfairness
+and batch makespan -- a one-workload slice of Figure 3.
+
+Run with::
+
+    python examples/strategy_comparison.py [--n-ptgs 6] [--site sophia]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.constraints.registry import STRATEGY_NAMES, strategy
+from repro.experiments.runner import run_experiment
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform import grid5000
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-ptgs", type=int, default=6, help="number of concurrent applications")
+    parser.add_argument("--site", default="sophia", choices=grid5000.site_names())
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-tasks", type=int, default=20,
+                        help="cap on the random PTG sizes (None = paper sizes)")
+    args = parser.parse_args()
+
+    platform = grid5000.site(args.site)
+    workload = make_workload(
+        WorkloadSpec("random", n_ptgs=args.n_ptgs, seed=args.seed, max_tasks=args.max_tasks)
+    )
+    print(platform)
+    for ptg in workload:
+        print(f"  submitted {ptg}")
+
+    strategies = [strategy(name, family="random") for name in STRATEGY_NAMES]
+    experiment = run_experiment(workload, platform, strategies, workload_label="example")
+
+    rows = []
+    for name in STRATEGY_NAMES:
+        outcome = experiment.outcomes[name]
+        rows.append(
+            [
+                name,
+                outcome.unfairness,
+                outcome.batch_makespan,
+                outcome.mean_application_makespan,
+                min(outcome.betas.values()),
+                max(outcome.betas.values()),
+            ]
+        )
+    rows.sort(key=lambda row: row[1])
+    print()
+    print(
+        format_table(
+            ["strategy", "unfairness", "batch makespan (s)",
+             "mean app makespan (s)", "min beta", "max beta"],
+            rows,
+            title=f"{args.n_ptgs} concurrent random PTGs on {platform.name}",
+        )
+    )
+    print()
+    print("Lower unfairness = the applications experience similar slowdowns.")
+    print("The paper's recommendation (WPS-width / WPS-work) should sit near the")
+    print("top of this table while keeping the batch makespan close to the best.")
+
+
+if __name__ == "__main__":
+    main()

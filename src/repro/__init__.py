@@ -1,0 +1,161 @@
+"""repro -- Concurrent scheduling of parallel task graphs on multi-clusters.
+
+This package is a from-scratch reproduction of
+
+    N'Takpe, T. and Suter, F.  "Concurrent Scheduling of Parallel Task
+    Graphs on Multi-Clusters Using Constrained Resource Allocations",
+    INRIA Research Report RR-6774, December 2008 (HCW/IPDPS 2009).
+
+It provides:
+
+* a heterogeneous multi-cluster platform model with the Grid'5000 subsets
+  used in the paper (:mod:`repro.platform`),
+* a parallel task graph (PTG) model with moldable data-parallel tasks and
+  the paper's generators: random layered DAGs, FFT and Strassen
+  (:mod:`repro.dag`),
+* the two-step scheduling machinery: constrained allocation procedures
+  (CPA, HCPA, SCRAP, SCRAP-MAX, :mod:`repro.allocation`), resource
+  constraint strategies (S, ES, PS-*, WPS-*, :mod:`repro.constraints`)
+  and concurrent mapping procedures (:mod:`repro.mapping`),
+* single-PTG and concurrent multi-PTG schedulers (:mod:`repro.scheduler`),
+* baseline comparators (HEFT, MHEFT, DAG aggregation,
+  :mod:`repro.baselines`),
+* a discrete-event simulation substrate replacing SimGrid
+  (:mod:`repro.simulate`),
+* the paper's evaluation metrics (:mod:`repro.metrics`) and the full
+  experiment harness reproducing every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import grid5000, generate_random_ptg, RandomPTGConfig
+>>> from repro import ConcurrentScheduler, strategy
+>>> import numpy as np
+>>> rng = np.random.default_rng(42)
+>>> platform = grid5000.rennes()
+>>> ptgs = [generate_random_ptg(rng, RandomPTGConfig(n_tasks=20)) for _ in range(4)]
+>>> scheduler = ConcurrentScheduler(strategy("WPS-width"))
+>>> result = scheduler.schedule(ptgs, platform)
+>>> sorted(result.makespans) == sorted(result.makespans)
+True
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.exceptions import (
+    ReproError,
+    InvalidGraphError,
+    InvalidPlatformError,
+    AllocationError,
+    MappingError,
+    SimulationError,
+    ConfigurationError,
+)
+from repro.platform import (
+    Cluster,
+    MultiClusterPlatform,
+    NetworkTopology,
+    Switch,
+    grid5000,
+)
+from repro.dag import (
+    Task,
+    PTG,
+    ComplexityClass,
+    AmdahlTaskModel,
+    RandomPTGConfig,
+    generate_random_ptg,
+    generate_fft_ptg,
+    generate_strassen_ptg,
+)
+from repro.allocation import (
+    Allocation,
+    ReferenceCluster,
+    CPAAllocator,
+    HCPAAllocator,
+    ScrapAllocator,
+    ScrapMaxAllocator,
+)
+from repro.constraints import (
+    ConstraintStrategy,
+    SelfishStrategy,
+    EqualShareStrategy,
+    ProportionalShareStrategy,
+    WeightedProportionalShareStrategy,
+    strategy,
+    STRATEGY_NAMES,
+)
+from repro.mapping import (
+    Schedule,
+    ScheduledTask,
+    ReadyListMapper,
+    GlobalOrderMapper,
+)
+from repro.scheduler import (
+    SinglePTGScheduler,
+    ConcurrentScheduler,
+    ConcurrentScheduleResult,
+)
+from repro.simulate import ScheduleExecutor, SimulationReport
+from repro.metrics import slowdown, average_slowdown, unfairness, relative_makespans
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "InvalidGraphError",
+    "InvalidPlatformError",
+    "AllocationError",
+    "MappingError",
+    "SimulationError",
+    "ConfigurationError",
+    # platform
+    "Cluster",
+    "MultiClusterPlatform",
+    "NetworkTopology",
+    "Switch",
+    "grid5000",
+    # dag
+    "Task",
+    "PTG",
+    "ComplexityClass",
+    "AmdahlTaskModel",
+    "RandomPTGConfig",
+    "generate_random_ptg",
+    "generate_fft_ptg",
+    "generate_strassen_ptg",
+    # allocation
+    "Allocation",
+    "ReferenceCluster",
+    "CPAAllocator",
+    "HCPAAllocator",
+    "ScrapAllocator",
+    "ScrapMaxAllocator",
+    # constraints
+    "ConstraintStrategy",
+    "SelfishStrategy",
+    "EqualShareStrategy",
+    "ProportionalShareStrategy",
+    "WeightedProportionalShareStrategy",
+    "strategy",
+    "STRATEGY_NAMES",
+    # mapping
+    "Schedule",
+    "ScheduledTask",
+    "ReadyListMapper",
+    "GlobalOrderMapper",
+    # scheduler
+    "SinglePTGScheduler",
+    "ConcurrentScheduler",
+    "ConcurrentScheduleResult",
+    # simulation
+    "ScheduleExecutor",
+    "SimulationReport",
+    # metrics
+    "slowdown",
+    "average_slowdown",
+    "unfairness",
+    "relative_makespans",
+]

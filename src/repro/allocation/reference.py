@@ -1,0 +1,125 @@
+"""Homogeneous reference cluster abstraction (HCPA).
+
+HCPA "extends the CPA algorithm to heterogeneous platforms by using the
+concept of a homogeneous reference cluster and by translating allocations
+on that reference cluster into allocations on actual clusters containing
+compute nodes of various speeds" (paper, Section 3).
+
+The reference cluster aggregates the whole platform into ``N_ref``
+processors of speed ``s_ref``:
+
+* ``s_ref`` is the speed of the slowest processors of the platform (so a
+  reference allocation never over-estimates what a real cluster can
+  deliver per processor),
+* ``N_ref = floor(total_power / s_ref)``, i.e. the reference cluster has
+  the same aggregate processing power as the real platform.
+
+Translating a reference allocation of ``a`` processors to cluster ``k``
+uses the equivalent-power rule ``p_k = ceil(a * s_ref / s_k)`` (capped to
+the cluster size): the task receives at least as much processing power on
+the target cluster as it had on the reference cluster whenever possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dag.task import Task
+from repro.exceptions import AllocationError
+from repro.platform.cluster import Cluster, GFLOP
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+@dataclass(frozen=True)
+class ReferenceCluster:
+    """The homogeneous reference view of a heterogeneous platform.
+
+    Examples
+    --------
+    >>> from repro.platform import heterogeneous_platform
+    >>> p = heterogeneous_platform((10, 10), (2.0, 4.0))
+    >>> ref = ReferenceCluster.of(p)
+    >>> ref.speed_gflops
+    2.0
+    >>> ref.size
+    30
+    """
+
+    speed_gflops: float
+    size: int
+    platform_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.speed_gflops > 0:
+            raise AllocationError(
+                f"reference speed must be positive, got {self.speed_gflops}"
+            )
+        if self.size < 1:
+            raise AllocationError(f"reference size must be >= 1, got {self.size}")
+
+    @classmethod
+    def of(cls, platform: MultiClusterPlatform) -> "ReferenceCluster":
+        """Build the reference cluster of *platform*."""
+        speed = platform.min_speed_gflops
+        size = int(math.floor(platform.total_power_gflops / speed))
+        return cls(speed_gflops=speed, size=size, platform_name=platform.name)
+
+    # ------------------------------------------------------------------ #
+    # basic quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def speed_flops(self) -> float:
+        """Reference processor speed in flop/s."""
+        return self.speed_gflops * GFLOP
+
+    @property
+    def total_power_gflops(self) -> float:
+        """Aggregate power of the reference cluster (GFlop/s)."""
+        return self.size * self.speed_gflops
+
+    # ------------------------------------------------------------------ #
+    # task timing on the reference cluster
+    # ------------------------------------------------------------------ #
+    def execution_time(self, task: Task, processors: int) -> float:
+        """Execution time of *task* on *processors* reference processors."""
+        return task.execution_time(processors, self.speed_flops)
+
+    def area(self, task: Task, processors: int) -> float:
+        """Work area ``p * T(p)`` of *task* (reference processor-seconds)."""
+        return task.area(processors, self.speed_flops)
+
+    def power_used(self, processors: int) -> float:
+        """Processing power of *processors* reference processors (GFlop/s)."""
+        return processors * self.speed_gflops
+
+    def marginal_gain(self, task: Task, processors: int) -> float:
+        """CPA benefit of giving *task* one more reference processor."""
+        return task.marginal_gain(processors, self.speed_flops)
+
+    # ------------------------------------------------------------------ #
+    # translation to real clusters
+    # ------------------------------------------------------------------ #
+    def translate(self, processors: int, cluster: Cluster) -> int:
+        """Translate a reference allocation to a processor count on *cluster*.
+
+        Uses the equivalent-power rule ``ceil(p_ref * s_ref / s_k)`` and
+        clips the result to ``[1, cluster.num_processors]``.
+        """
+        if processors < 1:
+            raise AllocationError(f"reference allocation must be >= 1, got {processors}")
+        equivalent = math.ceil(processors * self.speed_gflops / cluster.speed_gflops)
+        return max(1, min(cluster.num_processors, equivalent))
+
+    def max_allocation(self, platform: MultiClusterPlatform) -> int:
+        """Largest useful reference allocation for a single task.
+
+        A task must fit inside a single cluster, so its reference
+        allocation never needs to exceed the power of the most powerful
+        cluster expressed in reference processors.
+        """
+        best = max(
+            int(math.floor(c.power_gflops / self.speed_gflops)) for c in platform
+        )
+        return max(1, min(best, self.size))

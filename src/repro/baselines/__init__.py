@@ -1,0 +1,31 @@
+"""Baseline schedulers from the related work (Section 3 of the paper).
+
+These comparators are not part of the paper's proposed heuristic but are
+the algorithms the paper positions itself against, and they are exercised
+by the ablation benchmarks:
+
+* :class:`~repro.baselines.heft.HEFTScheduler` -- the classical HEFT list
+  scheduler for DAGs of *sequential* tasks (every task runs on a single
+  processor); it ignores data parallelism entirely.
+* :class:`~repro.baselines.mheft.MHEFTScheduler` -- M-HEFT extends HEFT to
+  data-parallel tasks by evaluating, for every task, several candidate
+  processor counts on every cluster and keeping the earliest finish time.
+  Like HCPA it was designed for a *dedicated* platform.
+* :mod:`~repro.baselines.aggregation` -- scheduling multiple DAGs by
+  aggregating them into a single composite DAG (Zhao & Sakellariou), the
+  approach whose fairness issues motivate the paper's ready-list mapping.
+"""
+
+from repro.baselines.heft import HEFTScheduler
+from repro.baselines.mheft import MHEFTScheduler
+from repro.baselines.aggregation import (
+    aggregate_ptgs,
+    AggregationScheduler,
+)
+
+__all__ = [
+    "HEFTScheduler",
+    "MHEFTScheduler",
+    "aggregate_ptgs",
+    "AggregationScheduler",
+]

@@ -1,0 +1,115 @@
+"""HEFT: Heterogeneous Earliest Finish Time (Topcuoglu et al.).
+
+HEFT schedules DAGs of *sequential* tasks on heterogeneous processors:
+
+1. compute the upward rank of every task (its execution time averaged over
+   the platform's processors plus the maximum over successors of the edge
+   communication cost plus the successor's rank),
+2. consider tasks by decreasing upward rank,
+3. place each task on the processor that minimises its finish time.
+
+In this reproduction a "processor" is one processor of one cluster; a
+task placed by HEFT always uses exactly one processor, so HEFT serves as
+the pure task-parallel baseline that ignores the data parallelism the
+mixed-parallel heuristics exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dag.graph import PTG
+from repro.dag.task import Task
+from repro.exceptions import MappingError
+from repro.mapping.comm import CommunicationEstimator
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.mapping.timeline import PlatformTimeline
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+class HEFTScheduler:
+    """List scheduling of sequential-task DAGs by decreasing upward rank."""
+
+    name = "HEFT"
+
+    def upward_ranks(self, ptg: PTG, platform: MultiClusterPlatform) -> Dict[int, float]:
+        """Upward rank of every task (average one-processor execution times)."""
+        comm = CommunicationEstimator(platform)
+        speeds = [c.speed_flops for c in platform]
+        mean_speed = sum(speeds) / len(speeds)
+
+        def mean_exec(task: Task) -> float:
+            return task.execution_time(1, mean_speed)
+
+        def mean_comm(src: Task, dst: Task, data: float) -> float:
+            names = platform.cluster_names()
+            if len(names) == 1:
+                return 0.0
+            values = [
+                comm.transfer_time(data, a, b) for a in names for b in names if a != b
+            ]
+            return sum(values) / len(values)
+
+        return ptg.bottom_levels(mean_exec, mean_comm)
+
+    def schedule(
+        self, ptgs: Sequence[PTG] | PTG, platform: MultiClusterPlatform
+    ) -> Schedule:
+        """Schedule one or several DAGs with every task on a single processor."""
+        if isinstance(ptgs, PTG):
+            ptgs = [ptgs]
+        if not ptgs:
+            raise MappingError("at least one PTG is required")
+        for ptg in ptgs:
+            ptg.validate()
+
+        comm = CommunicationEstimator(platform)
+        timelines = PlatformTimeline(platform)
+        schedule = Schedule(platform.name)
+
+        ordered: List[Tuple[float, int, str, int]] = []
+        graphs: Dict[str, PTG] = {}
+        for ptg in ptgs:
+            graphs[ptg.name] = ptg
+            ranks = self.upward_ranks(ptg, platform)
+            topo = {tid: i for i, tid in enumerate(ptg.topological_order())}
+            for task in ptg.tasks():
+                ordered.append((-ranks[task.task_id], topo[task.task_id], ptg.name, task.task_id))
+        ordered.sort()
+
+        for _, _, name, task_id in ordered:
+            ptg = graphs[name]
+            task = ptg.task(task_id)
+            best = None
+            for cluster in platform:
+                ready = 0.0
+                for pred in ptg.predecessors(task_id):
+                    pred_entry = schedule.entry(name, pred)
+                    transfer = comm.transfer_time(
+                        ptg.edge_data(pred, task_id), pred_entry.cluster_name, cluster.name
+                    )
+                    ready = max(ready, pred_entry.finish + transfer)
+                timeline = timelines.timeline(cluster.name)
+                start = timeline.earliest_start(1, ready)
+                finish = start + task.execution_time(1, cluster.speed_flops)
+                if best is None or (finish, start) < (best[0], best[1]):
+                    best = (finish, start, cluster.name, ready)
+            assert best is not None
+            _, _, cluster_name, ready = best
+            timeline = timelines.timeline(cluster_name)
+            cluster = platform.cluster(cluster_name)
+            indices, start, finish = timeline.reserve(
+                1, ready, task.execution_time(1, cluster.speed_flops)
+            )
+            schedule.add(
+                ScheduledTask(
+                    ptg_name=name,
+                    task_id=task_id,
+                    cluster_name=cluster_name,
+                    processors=tuple(indices),
+                    start=start,
+                    finish=finish,
+                    reference_processors=1,
+                )
+            )
+        return schedule

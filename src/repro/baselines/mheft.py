@@ -1,0 +1,132 @@
+"""M-HEFT: HEFT extended to moldable data-parallel tasks (Casanova et al.).
+
+M-HEFT keeps HEFT's structure (rank tasks by upward rank, place them one
+by one at their earliest finish time) but, for each task, it evaluates
+several *processor counts* on every cluster instead of single processors.
+The candidate counts are powers of two up to the cluster size (plus the
+full cluster), which keeps the search cheap while covering the useful
+range of the Amdahl speed-up curve.
+
+M-HEFT was designed for a dedicated platform; applied naively to several
+concurrent applications it behaves like the paper's selfish ``S``
+strategy, which is why it appears in the ablation benchmarks as a
+comparator rather than in the main pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import PTG
+from repro.dag.task import Task
+from repro.exceptions import MappingError
+from repro.mapping.comm import CommunicationEstimator
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.mapping.timeline import PlatformTimeline
+from repro.platform.cluster import Cluster
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+def _candidate_processor_counts(cluster: Cluster, cap: Optional[int] = None) -> List[int]:
+    """Powers of two up to the cluster size (plus the size itself)."""
+    limit = cluster.num_processors if cap is None else min(cap, cluster.num_processors)
+    counts: List[int] = []
+    p = 1
+    while p <= limit:
+        counts.append(p)
+        p *= 2
+    if limit not in counts:
+        counts.append(limit)
+    return counts
+
+
+class MHEFTScheduler:
+    """Moldable HEFT with earliest-finish-time allocation selection."""
+
+    name = "MHEFT"
+
+    def __init__(self, max_task_processors: Optional[int] = None) -> None:
+        """*max_task_processors* optionally caps the per-task allocation.
+
+        Capping to a fraction of the largest cluster is the standard fix
+        (from the authors' ISPDC'07 comparison) for M-HEFT's tendency to
+        allocate whole clusters to single tasks.
+        """
+        if max_task_processors is not None and max_task_processors < 1:
+            raise MappingError("max_task_processors must be >= 1")
+        self.max_task_processors = max_task_processors
+
+    def upward_ranks(self, ptg: PTG, platform: MultiClusterPlatform) -> Dict[int, float]:
+        """Upward rank with single-processor average execution times."""
+        speeds = [c.speed_flops for c in platform]
+        mean_speed = sum(speeds) / len(speeds)
+        return ptg.bottom_levels(lambda task: task.execution_time(1, mean_speed))
+
+    def schedule(
+        self, ptgs: Sequence[PTG] | PTG, platform: MultiClusterPlatform
+    ) -> Schedule:
+        """Schedule one or several PTGs, choosing allocations greedily by EFT."""
+        if isinstance(ptgs, PTG):
+            ptgs = [ptgs]
+        if not ptgs:
+            raise MappingError("at least one PTG is required")
+        for ptg in ptgs:
+            ptg.validate()
+
+        comm = CommunicationEstimator(platform)
+        timelines = PlatformTimeline(platform)
+        schedule = Schedule(platform.name)
+
+        ordered: List[Tuple[float, int, str, int]] = []
+        graphs: Dict[str, PTG] = {}
+        for ptg in ptgs:
+            graphs[ptg.name] = ptg
+            ranks = self.upward_ranks(ptg, platform)
+            topo = {tid: i for i, tid in enumerate(ptg.topological_order())}
+            for task in ptg.tasks():
+                ordered.append((-ranks[task.task_id], topo[task.task_id], ptg.name, task.task_id))
+        ordered.sort()
+
+        for _, _, name, task_id in ordered:
+            ptg = graphs[name]
+            task = ptg.task(task_id)
+            best: Optional[Tuple[float, float, str, int, float]] = None
+            for cluster in platform:
+                ready = 0.0
+                for pred in ptg.predecessors(task_id):
+                    pred_entry = schedule.entry(name, pred)
+                    transfer = comm.transfer_time(
+                        ptg.edge_data(pred, task_id), pred_entry.cluster_name, cluster.name
+                    )
+                    ready = max(ready, pred_entry.finish + transfer)
+                timeline = timelines.timeline(cluster.name)
+                candidates = (
+                    [1]
+                    if task.is_synthetic
+                    else _candidate_processor_counts(cluster, self.max_task_processors)
+                )
+                for procs in candidates:
+                    start = timeline.earliest_start(procs, ready)
+                    finish = start + task.execution_time(procs, cluster.speed_flops)
+                    key = (finish, start, cluster.name, procs, ready)
+                    if best is None or (finish, start, procs) < (best[0], best[1], best[3]):
+                        best = key
+            assert best is not None
+            finish, start, cluster_name, procs, ready = best
+            cluster = platform.cluster(cluster_name)
+            timeline = timelines.timeline(cluster_name)
+            indices, start, finish = timeline.reserve(
+                procs, ready, task.execution_time(procs, cluster.speed_flops)
+            )
+            schedule.add(
+                ScheduledTask(
+                    ptg_name=name,
+                    task_id=task_id,
+                    cluster_name=cluster_name,
+                    processors=tuple(indices),
+                    start=start,
+                    finish=finish,
+                    reference_processors=procs,
+                )
+            )
+        return schedule

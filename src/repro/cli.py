@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
+``python -m repro``.  Sub-commands:
+
+* ``table1``   -- print the platform Table 1 and the per-site summary,
+* ``fig2``     -- run the mu sweep (Figure 2) at a configurable scale,
+* ``fig3`` / ``fig4`` / ``fig5`` -- run a comparison figure at a
+  configurable scale,
+* ``schedule`` -- schedule one generated workload with one strategy and
+  print the per-application makespans and fairness metrics,
+* ``generate`` -- generate a PTG and print it as JSON or DOT.
+
+All stochastic commands take ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.constraints.registry import STRATEGY_NAMES, strategy
+from repro.dag.fft import generate_fft_ptg
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.dag.io import ptg_to_dot, ptg_to_json
+from repro.dag.strassen import generate_strassen_ptg
+from repro.experiments.figures import run_figure
+from repro.experiments.mu_sweep import run_mu_sweep
+from repro.experiments.reporting import render_figure, render_mu_sweep
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import table1_text
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform import grid5000
+from repro.utils.tables import format_table
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads", type=int, default=3,
+        help="random workloads per PTG count (25 in the paper)",
+    )
+    parser.add_argument(
+        "--ptg-counts", type=int, nargs="+", default=[2, 4, 6, 8, 10],
+        help="numbers of concurrent PTGs",
+    )
+    parser.add_argument(
+        "--platforms", nargs="+", default=None,
+        choices=grid5000.site_names(),
+        help="Grid'5000 sites to use (default: all four)",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="cap random PTG sizes (smaller graphs run faster)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+
+
+def _resolve_platforms(names: Optional[Sequence[str]]):
+    if not names:
+        return None
+    return [grid5000.site(name) for name in names]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(table1_text())
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    result = run_mu_sweep(
+        characteristic=args.characteristic,
+        family=args.family,
+        ptg_counts=args.ptg_counts,
+        workloads_per_point=args.workloads,
+        platforms=_resolve_platforms(args.platforms),
+        base_seed=args.seed,
+        max_tasks=args.max_tasks,
+    )
+    print(render_mu_sweep(result))
+    print(f"\nrecommended mu (knee of the trade-off): {result.recommended_mu():.2f}")
+    return 0
+
+
+def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
+    result = run_figure(
+        figure,
+        ptg_counts=args.ptg_counts,
+        workloads_per_point=args.workloads,
+        platforms=_resolve_platforms(args.platforms),
+        base_seed=args.seed,
+        max_tasks=args.max_tasks,
+    )
+    print(render_figure(result))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        family=args.family, n_ptgs=args.n_ptgs, seed=args.seed, max_tasks=args.max_tasks
+    )
+    ptgs = make_workload(spec)
+    platform = grid5000.site(args.platform)
+    strategies = [strategy(args.strategy, family=args.family)]
+    experiment = run_experiment(ptgs, platform, strategies, workload_label=spec.label())
+    outcome = experiment.outcomes[strategies[0].name]
+    rows = []
+    for ptg in ptgs:
+        rows.append(
+            [
+                ptg.name,
+                ptg.n_tasks,
+                outcome.betas[ptg.name],
+                experiment.own_makespans[ptg.name],
+                outcome.makespans[ptg.name],
+                outcome.slowdowns[ptg.name],
+            ]
+        )
+    print(
+        format_table(
+            ["application", "tasks", "beta", "M_own", "M_multi", "slowdown"],
+            rows,
+            title=(
+                f"{spec.label()} on {platform.name} with {strategies[0].name} "
+                f"(unfairness {outcome.unfairness:.3f}, batch makespan "
+                f"{outcome.batch_makespan:.1f}s)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "random":
+        ptg = generate_random_ptg(args.seed, RandomPTGConfig(n_tasks=args.tasks))
+    elif args.family == "fft":
+        ptg = generate_fft_ptg(args.points, rng=args.seed)
+    else:
+        ptg = generate_strassen_ptg(rng=args.seed)
+    if args.format == "json":
+        print(ptg_to_json(ptg, indent=2))
+    else:
+        print(ptg_to_dot(ptg))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ptg",
+        description=(
+            "Concurrent scheduling of parallel task graphs on multi-clusters "
+            "(N'Takpe & Suter 2009) - reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the platform Table 1")
+
+    fig2 = sub.add_parser("fig2", help="run the mu sweep (Figure 2)")
+    fig2.add_argument("--characteristic", default="work", choices=["work", "cp", "width"])
+    fig2.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
+    _add_scale_arguments(fig2)
+
+    for number in (3, 4, 5):
+        fig = sub.add_parser(f"fig{number}", help=f"run Figure {number}")
+        _add_scale_arguments(fig)
+
+    sched = sub.add_parser("schedule", help="schedule one workload with one strategy")
+    sched.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
+    sched.add_argument("--n-ptgs", type=int, default=4)
+    sched.add_argument("--platform", default="rennes", choices=grid5000.site_names())
+    sched.add_argument("--strategy", default="WPS-width", choices=STRATEGY_NAMES)
+    sched.add_argument("--seed", type=int, default=0)
+    sched.add_argument("--max-tasks", type=int, default=None)
+
+    gen = sub.add_parser("generate", help="generate a PTG and print it")
+    gen.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
+    gen.add_argument("--tasks", type=int, default=20, help="task count (random family)")
+    gen.add_argument("--points", type=int, default=8, help="FFT size (fft family)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--format", default="json", choices=["json", "dot"])
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-ptg`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "fig2":
+        return _cmd_fig2(args)
+    if args.command in ("fig3", "fig4", "fig5"):
+        return _cmd_figure(int(args.command[-1]), args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Resource-constraint determination strategies (Section 6 of the paper).
+
+Given the set ``A`` of applications submitted concurrently, a strategy
+assigns each application a resource constraint ``beta_i`` in ``(0, 1]``:
+the fraction of the platform's aggregate processing power the allocation
+procedure may use when building that application's schedule.
+
+Eight strategies are compared in the paper:
+
+* ``S``      -- selfish: every application may use the whole platform
+  (``beta = 1``); this is the behaviour of heuristics designed for a
+  dedicated platform and serves as the baseline.
+* ``ES``     -- equal share: ``beta = 1 / |A|``.
+* ``PS-cp``, ``PS-width``, ``PS-work`` -- proportional share:
+  ``beta_i = gamma_i / sum_j gamma_j`` where ``gamma`` is the critical
+  path length, the maximal level width, or the total work.
+* ``WPS-cp``, ``WPS-width``, ``WPS-work`` -- weighted proportional share:
+  ``beta_i = mu/|A| + (1 - mu) * gamma_i / sum_j gamma_j``, a tunable
+  compromise between ES (``mu = 1``) and PS (``mu = 0``).
+"""
+
+from repro.constraints.base import ConstraintStrategy
+from repro.constraints.characteristics import (
+    Characteristic,
+    critical_path_characteristic,
+    width_characteristic,
+    work_characteristic,
+    CHARACTERISTICS,
+)
+from repro.constraints.strategies import (
+    SelfishStrategy,
+    EqualShareStrategy,
+    ProportionalShareStrategy,
+    WeightedProportionalShareStrategy,
+)
+from repro.constraints.registry import (
+    strategy,
+    STRATEGY_NAMES,
+    PAPER_MU,
+    paper_strategies,
+)
+
+__all__ = [
+    "ConstraintStrategy",
+    "Characteristic",
+    "critical_path_characteristic",
+    "width_characteristic",
+    "work_characteristic",
+    "CHARACTERISTICS",
+    "SelfishStrategy",
+    "EqualShareStrategy",
+    "ProportionalShareStrategy",
+    "WeightedProportionalShareStrategy",
+    "strategy",
+    "STRATEGY_NAMES",
+    "PAPER_MU",
+    "paper_strategies",
+]

@@ -1,0 +1,61 @@
+"""Interface of the resource-constraint determination strategies."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence
+
+from repro.dag.graph import PTG
+from repro.exceptions import ConfigurationError
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+class ConstraintStrategy(abc.ABC):
+    """Assigns a resource constraint ``beta_i`` to every submitted PTG.
+
+    Implementations must be stateless with respect to the applications:
+    calling :meth:`compute_betas` twice with the same inputs must return
+    the same result.
+    """
+
+    #: Strategy name as used in the paper's figures (e.g. ``"WPS-width"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute_betas(
+        self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
+    ) -> Dict[str, float]:
+        """Return ``{ptg.name: beta}`` for every PTG in *ptgs*.
+
+        Every returned ``beta`` lies in ``(0, 1]``.  Raises
+        :class:`~repro.exceptions.ConfigurationError` when *ptgs* is empty
+        or contains duplicate application names.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_inputs(ptgs: Sequence[PTG]) -> None:
+        if not ptgs:
+            raise ConfigurationError("at least one PTG must be submitted")
+        names = [p.name for p in ptgs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"concurrent PTGs must have unique names, got {names}"
+            )
+
+    @staticmethod
+    def _clamp(beta: float) -> float:
+        """Clamp a computed constraint into ``(0, 1]``.
+
+        Numerical noise can push a proportional share slightly above 1 or
+        to 0 for degenerate characteristics; the clamp keeps ``beta``
+        valid for the allocation procedures (which require a strictly
+        positive fraction).
+        """
+        minimum = 1e-6
+        return min(1.0, max(minimum, beta))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

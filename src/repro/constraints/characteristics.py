@@ -1,0 +1,66 @@
+"""Application characteristics driving the PS and WPS strategies.
+
+The proportional strategies share the platform according to the relative
+contribution ``gamma_i`` of each application for one of three structural
+characteristics (Section 6 of the paper):
+
+* **critical path length** -- an application with a long critical path may
+  benefit from more resources to shorten the tasks along that path;
+* **maximal width** -- an application with a large precedence level can
+  exploit more task parallelism and suffers most from a tight constraint
+  (SCRAP-MAX applies the constraint per level);
+* **work** -- the total number of floating point operations of the tasks.
+
+The critical path characteristic is evaluated with every task on a single
+processor of the platform's reference cluster: the characteristic must be
+computable *before* any allocation decision has been made.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.allocation.reference import ReferenceCluster
+from repro.dag.graph import PTG
+from repro.exceptions import ConfigurationError
+from repro.platform.multicluster import MultiClusterPlatform
+
+#: A characteristic maps (ptg, platform) to a non-negative scalar gamma.
+Characteristic = Callable[[PTG, MultiClusterPlatform], float]
+
+
+def critical_path_characteristic(ptg: PTG, platform: MultiClusterPlatform) -> float:
+    """Length of the critical path with sequential tasks on the reference cluster."""
+    reference = ReferenceCluster.of(platform)
+    return ptg.critical_path_length(lambda task: reference.execution_time(task, 1))
+
+
+def width_characteristic(ptg: PTG, platform: MultiClusterPlatform) -> float:
+    """Maximal number of tasks in a precedence level (task parallelism)."""
+    return float(ptg.max_width())
+
+
+def work_characteristic(ptg: PTG, platform: MultiClusterPlatform) -> float:
+    """Total sequential work of the application (flop)."""
+    return ptg.total_work()
+
+
+#: Registry keyed by the suffix used in the paper's strategy names.
+CHARACTERISTICS: Dict[str, Characteristic] = {
+    "cp": critical_path_characteristic,
+    "width": width_characteristic,
+    "work": work_characteristic,
+}
+
+
+def get_characteristic(key: str) -> Characteristic:
+    """Return the characteristic function registered under *key*.
+
+    *key* is one of ``"cp"``, ``"width"`` or ``"work"`` (case-insensitive).
+    """
+    try:
+        return CHARACTERISTICS[key.lower()]
+    except (KeyError, AttributeError):
+        raise ConfigurationError(
+            f"unknown characteristic {key!r}; available: {sorted(CHARACTERISTICS)}"
+        ) from None

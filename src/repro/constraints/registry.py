@@ -1,0 +1,114 @@
+"""Name-based registry of constraint strategies.
+
+The experiment harness and the command-line interface refer to strategies
+by the names used in the paper's figures (``S``, ``ES``, ``PS-cp``,
+``PS-width``, ``PS-work``, ``WPS-cp``, ``WPS-width``, ``WPS-work``).  The
+``mu`` parameter of the WPS variants defaults to the values selected in
+Section 7 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.constraints.base import ConstraintStrategy
+from repro.constraints.strategies import (
+    EqualShareStrategy,
+    ProportionalShareStrategy,
+    SelfishStrategy,
+    WeightedProportionalShareStrategy,
+)
+from repro.exceptions import ConfigurationError
+
+#: All strategy names, in the order of the paper's figure legends.
+STRATEGY_NAMES: List[str] = [
+    "S",
+    "ES",
+    "PS-cp",
+    "PS-width",
+    "PS-work",
+    "WPS-cp",
+    "WPS-width",
+    "WPS-work",
+]
+
+#: Paper-selected mu values per (characteristic, application family).
+#: "For the WPS-work variant, fixing mu to 0.7 is an appropriate value for
+#: all kinds of PTG.  Similarly, for the WPS-cp variant, we use the same
+#: value of mu for each category which is in this case set to 0.5.
+#: Finally for the WPS-width variant, the mu parameter takes different
+#: values, namely 0.3 for FFT applications and 0.5 for randomly generated
+#: PTGs."
+PAPER_MU: Dict[str, Dict[str, float]] = {
+    "work": {"random": 0.7, "fft": 0.7, "strassen": 0.7, "default": 0.7},
+    "cp": {"random": 0.5, "fft": 0.5, "strassen": 0.5, "default": 0.5},
+    "width": {"random": 0.5, "fft": 0.3, "strassen": 0.5, "default": 0.5},
+}
+
+
+def default_mu(characteristic: str, family: str = "default") -> float:
+    """The paper's ``mu`` for a WPS variant on a given application family."""
+    try:
+        per_family = PAPER_MU[characteristic.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown characteristic {characteristic!r}; available: {sorted(PAPER_MU)}"
+        ) from None
+    return per_family.get(family.lower(), per_family["default"])
+
+
+def strategy(
+    name: str, mu: Optional[float] = None, family: str = "default"
+) -> ConstraintStrategy:
+    """Instantiate the strategy called *name*.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`STRATEGY_NAMES` (case-insensitive).
+    mu:
+        Override of the WPS weighting parameter; ignored by non-WPS
+        strategies.  Defaults to the paper's value for the given
+        *family*.
+    family:
+        Application family (``"random"``, ``"fft"``, ``"strassen"``) used
+        to look up the paper's default ``mu``.
+
+    Examples
+    --------
+    >>> strategy("ES").name
+    'ES'
+    >>> strategy("wps-width", family="fft").mu
+    0.3
+    """
+    key = name.strip()
+    canonical = {n.lower(): n for n in STRATEGY_NAMES}.get(key.lower())
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: {STRATEGY_NAMES}"
+        )
+    if canonical == "S":
+        return SelfishStrategy()
+    if canonical == "ES":
+        return EqualShareStrategy()
+    kind, characteristic = canonical.split("-", 1)
+    if kind == "PS":
+        return ProportionalShareStrategy(characteristic)
+    chosen_mu = mu if mu is not None else default_mu(characteristic, family)
+    return WeightedProportionalShareStrategy(characteristic, mu=chosen_mu)
+
+
+def paper_strategies(
+    family: str = "random", include_width: bool = True
+) -> List[ConstraintStrategy]:
+    """The strategy set compared in the paper's figures.
+
+    For Strassen PTGs the width-based strategies are excluded ("the PS and
+    the WPS [width variants] have absolutely no interest" because all
+    Strassen graphs have the same width); pass ``include_width=False`` to
+    reproduce that figure's legend.
+    """
+    names: Sequence[str] = STRATEGY_NAMES
+    if not include_width:
+        names = [n for n in names if "width" not in n]
+    return [strategy(n, family=family) for n in names]

@@ -1,0 +1,100 @@
+"""The eight resource-constraint determination strategies of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.constraints.base import ConstraintStrategy
+from repro.constraints.characteristics import Characteristic, get_characteristic
+from repro.dag.graph import PTG
+from repro.exceptions import ConfigurationError
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.utils.validation import check_in_unit_interval
+
+
+class SelfishStrategy(ConstraintStrategy):
+    """``S``: every application may use the whole platform (``beta = 1``).
+
+    This reproduces the behaviour of two-step heuristics designed for a
+    dedicated platform (HCPA, MHEFT) when they are naively applied to
+    concurrent applications, and serves as the baseline of the
+    evaluation.
+    """
+
+    name = "S"
+
+    def compute_betas(
+        self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
+    ) -> Dict[str, float]:
+        self._check_inputs(ptgs)
+        return {ptg.name: 1.0 for ptg in ptgs}
+
+
+class EqualShareStrategy(ConstraintStrategy):
+    """``ES``: every application gets an equal share ``beta = 1 / |A|``."""
+
+    name = "ES"
+
+    def compute_betas(
+        self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
+    ) -> Dict[str, float]:
+        self._check_inputs(ptgs)
+        share = 1.0 / len(ptgs)
+        return {ptg.name: self._clamp(share) for ptg in ptgs}
+
+
+class ProportionalShareStrategy(ConstraintStrategy):
+    """``PS-<characteristic>``: share proportional to the application's contribution.
+
+    ``beta_i = gamma_i / sum_j gamma_j`` (Equation 1 of the paper), where
+    ``gamma`` is the critical path length, the maximal width, or the total
+    work depending on the chosen characteristic.
+    """
+
+    def __init__(self, characteristic: str = "work") -> None:
+        self.characteristic_key = characteristic.lower()
+        self.characteristic: Characteristic = get_characteristic(characteristic)
+        self.name = f"PS-{self.characteristic_key}"
+
+    def compute_betas(
+        self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
+    ) -> Dict[str, float]:
+        self._check_inputs(ptgs)
+        gammas = {ptg.name: self.characteristic(ptg, platform) for ptg in ptgs}
+        total = sum(gammas.values())
+        if total <= 0.0:
+            # degenerate workload (all characteristics are zero): fall back
+            # to an equal share, which is the natural limit of Eq. 1.
+            share = 1.0 / len(ptgs)
+            return {name: self._clamp(share) for name in gammas}
+        return {name: self._clamp(gamma / total) for name, gamma in gammas.items()}
+
+
+class WeightedProportionalShareStrategy(ConstraintStrategy):
+    """``WPS-<characteristic>``: compromise between equal and proportional share.
+
+    ``beta_i = mu / |A| + (1 - mu) * gamma_i / sum_j gamma_j``
+    (Equation 2 of the paper).  ``mu = 0`` reduces to the PS strategy and
+    ``mu = 1`` to ES.  The paper tunes ``mu`` per characteristic and per
+    application family (see :data:`repro.constraints.registry.PAPER_MU`).
+    """
+
+    def __init__(self, characteristic: str = "work", mu: float = 0.7) -> None:
+        check_in_unit_interval("mu", mu)
+        self.characteristic_key = characteristic.lower()
+        self.characteristic: Characteristic = get_characteristic(characteristic)
+        self.mu = float(mu)
+        self.name = f"WPS-{self.characteristic_key}"
+
+    def compute_betas(
+        self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
+    ) -> Dict[str, float]:
+        self._check_inputs(ptgs)
+        n = len(ptgs)
+        gammas = {ptg.name: self.characteristic(ptg, platform) for ptg in ptgs}
+        total = sum(gammas.values())
+        betas: Dict[str, float] = {}
+        for name, gamma in gammas.items():
+            proportional = (gamma / total) if total > 0.0 else (1.0 / n)
+            betas[name] = self._clamp(self.mu / n + (1.0 - self.mu) * proportional)
+        return betas

@@ -1,0 +1,59 @@
+"""Parallel task graph (PTG) model and application generators.
+
+A PTG is a Directed Acyclic Graph whose nodes are *moldable data-parallel
+tasks* and whose edges carry the amount of data exchanged (and possibly
+redistributed) between tasks.  This package provides:
+
+* :mod:`repro.dag.cost_models` -- the paper's task cost model: a task
+  operates on a dataset of ``d`` double-precision elements, its sequential
+  cost follows one of three complexity classes (``a*d``, ``a*d*log d``,
+  ``d^(3/2)``) and its parallel execution time follows Amdahl's law with a
+  non-parallelizable fraction ``alpha``,
+* :mod:`repro.dag.task` -- the :class:`Task` node type,
+* :mod:`repro.dag.graph` -- the :class:`PTG` container with the graph
+  algorithms used by the schedulers (topological order, precedence levels,
+  bottom levels, critical path, width, work),
+* :mod:`repro.dag.generator` -- the random layered DAG generator
+  (width / regularity / density / jump parameters, as in the authors' DAG
+  generation program),
+* :mod:`repro.dag.fft` and :mod:`repro.dag.strassen` -- the two regular
+  applications used in the evaluation,
+* :mod:`repro.dag.io` -- JSON and DOT serialisation.
+"""
+
+from repro.dag.cost_models import (
+    ComplexityClass,
+    AmdahlTaskModel,
+    sequential_flops,
+    BYTES_PER_ELEMENT,
+    MIN_DATA_ELEMENTS,
+    MAX_DATA_ELEMENTS,
+)
+from repro.dag.task import Task
+from repro.dag.graph import PTG
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.dag.fft import generate_fft_ptg, fft_task_count
+from repro.dag.strassen import generate_strassen_ptg, STRASSEN_TASK_COUNT
+from repro.dag.io import ptg_to_dict, ptg_from_dict, ptg_to_json, ptg_from_json, ptg_to_dot
+
+__all__ = [
+    "ComplexityClass",
+    "AmdahlTaskModel",
+    "sequential_flops",
+    "BYTES_PER_ELEMENT",
+    "MIN_DATA_ELEMENTS",
+    "MAX_DATA_ELEMENTS",
+    "Task",
+    "PTG",
+    "RandomPTGConfig",
+    "generate_random_ptg",
+    "generate_fft_ptg",
+    "fft_task_count",
+    "generate_strassen_ptg",
+    "STRASSEN_TASK_COUNT",
+    "ptg_to_dict",
+    "ptg_from_dict",
+    "ptg_to_json",
+    "ptg_from_json",
+    "ptg_to_dot",
+]

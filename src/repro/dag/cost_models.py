@@ -1,0 +1,227 @@
+"""Task cost models (Section 2 of the paper).
+
+Data-parallel tasks operate on a dataset of ``d`` double-precision
+elements (for instance a ``sqrt(d) x sqrt(d)`` matrix).  The paper bounds
+``d`` between 4M and 121M elements (processors have at most 1 GByte of
+memory).  The amount of data communicated between two dependent tasks is
+``8 * d`` bytes.
+
+The sequential computational cost (in flop) of a task follows one of three
+complexity classes that are representative of common applications:
+
+* ``a * d``          -- e.g. a stencil computation on a sqrt(d) x sqrt(d) domain,
+* ``a * d * log2(d)``-- e.g. sorting an array of d elements,
+* ``d ** 1.5``       -- e.g. a multiplication of sqrt(d) x sqrt(d) matrices.
+
+For the first two classes the factor ``a`` is picked randomly between
+``2**6`` and ``2**9`` to capture the fact that such tasks often perform
+several iterations.
+
+Parallel execution follows **Amdahl's law**: a fraction ``alpha`` of the
+sequential execution time is non-parallelizable, so the execution time of
+a task of ``w`` flop on ``p`` processors of speed ``s`` flop/s is::
+
+    T(p) = (alpha + (1 - alpha) / p) * w / s
+
+``alpha`` is drawn uniformly between 0% and 25% in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+#: Bytes per double-precision element.
+BYTES_PER_ELEMENT = 8
+#: Lower bound on the dataset size (elements).  Below this the task
+#: "should most likely be fused with its predecessor or successor".
+MIN_DATA_ELEMENTS = 4_000_000
+#: Upper bound on the dataset size (elements): 1 GByte of memory / 8 bytes,
+#: i.e. the paper's "d <= 121M".
+MAX_DATA_ELEMENTS = 121_000_000
+#: Range of the multiplicative factor ``a`` for the first two complexity classes.
+A_FACTOR_MIN = 2**6
+A_FACTOR_MAX = 2**9
+#: Range of the Amdahl non-parallelizable fraction.
+ALPHA_MIN = 0.0
+ALPHA_MAX = 0.25
+
+
+class ComplexityClass(enum.Enum):
+    """The three task computational complexity classes of the paper.
+
+    ``MIXED`` is the fourth experimental scenario in which each task's
+    class is itself drawn at random among the three concrete classes; it
+    is only meaningful as a *generator* option, a concrete task always has
+    one of the three concrete classes.
+    """
+
+    LINEAR = "a*d"
+    LOG_LINEAR = "a*d*log(d)"
+    MATMUL = "d^1.5"
+    MIXED = "mixed"
+
+    @classmethod
+    def concrete(cls) -> tuple:
+        """The three classes a task can actually have."""
+        return (cls.LINEAR, cls.LOG_LINEAR, cls.MATMUL)
+
+
+def sequential_flops(
+    complexity: ComplexityClass, data_elements: float, a_factor: float = 1.0
+) -> float:
+    """Sequential cost in flop of a task.
+
+    Parameters
+    ----------
+    complexity:
+        One of the three concrete complexity classes.
+    data_elements:
+        Dataset size ``d`` in double-precision elements.
+    a_factor:
+        Multiplicative factor ``a`` (ignored by the ``MATMUL`` class,
+        which the paper defines as exactly ``d**1.5``).
+    """
+    if data_elements <= 0:
+        raise ConfigurationError(f"data_elements must be positive, got {data_elements}")
+    if complexity is ComplexityClass.LINEAR:
+        return float(a_factor * data_elements)
+    if complexity is ComplexityClass.LOG_LINEAR:
+        return float(a_factor * data_elements * math.log2(data_elements))
+    if complexity is ComplexityClass.MATMUL:
+        return float(data_elements**1.5)
+    raise ConfigurationError(
+        f"complexity must be a concrete class, got {complexity!r}"
+    )
+
+
+def communication_bytes(data_elements: float) -> float:
+    """Volume of data communicated between two dependent tasks (bytes)."""
+    if data_elements < 0:
+        raise ConfigurationError(f"data_elements must be non-negative, got {data_elements}")
+    return float(BYTES_PER_ELEMENT * data_elements)
+
+
+@dataclass(frozen=True)
+class AmdahlTaskModel:
+    """Amdahl-law parallel execution time model.
+
+    Parameters
+    ----------
+    flops:
+        Sequential cost ``w`` of the task in flop.
+    alpha:
+        Non-parallelizable fraction in ``[0, 1]``.
+
+    Examples
+    --------
+    >>> m = AmdahlTaskModel(flops=1e9, alpha=0.0)
+    >>> m.time(4, 1e9)
+    0.25
+    >>> m2 = AmdahlTaskModel(flops=1e9, alpha=1.0)
+    >>> m2.time(1000, 1e9)
+    1.0
+    """
+
+    flops: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not self.flops > 0:
+            raise ConfigurationError(f"flops must be positive, got {self.flops!r}")
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha!r}")
+
+    def time(self, processors: int, speed_flops: float) -> float:
+        """Execution time on *processors* processors of speed *speed_flops*.
+
+        ``T(p) = (alpha + (1 - alpha)/p) * flops / speed``.
+        """
+        if processors < 1:
+            raise ConfigurationError(
+                f"processors must be at least 1, got {processors!r}"
+            )
+        if not speed_flops > 0:
+            raise ConfigurationError(
+                f"speed_flops must be positive, got {speed_flops!r}"
+            )
+        return (self.alpha + (1.0 - self.alpha) / processors) * self.flops / speed_flops
+
+    def speedup(self, processors: int) -> float:
+        """Speedup ``T(1) / T(p)`` (independent of processor speed)."""
+        return 1.0 / (self.alpha + (1.0 - self.alpha) / processors)
+
+    def efficiency(self, processors: int) -> float:
+        """Parallel efficiency ``speedup(p) / p`` in ``(0, 1]``."""
+        return self.speedup(processors) / processors
+
+    def area(self, processors: int, speed_flops: float) -> float:
+        """Work area ``p * T(p)`` in processor-seconds.
+
+        The SCRAP allocation procedure constrains the sum of task areas
+        (weighted by processor speed) relative to the critical path.
+        """
+        return processors * self.time(processors, speed_flops)
+
+    def marginal_gain(self, processors: int, speed_flops: float) -> float:
+        """Reduction of ``T/p`` obtained by adding one processor.
+
+        This is the benefit criterion used by CPA-family allocation
+        procedures to select which critical-path task should receive one
+        more processor: the task maximising
+        ``T(p)/p - T(p+1)/(p+1)`` benefits the most.
+        """
+        t_p = self.time(processors, speed_flops)
+        t_p1 = self.time(processors + 1, speed_flops)
+        return t_p / processors - t_p1 / (processors + 1)
+
+
+def sample_data_elements(
+    rng=None,
+    min_elements: float = MIN_DATA_ELEMENTS,
+    max_elements: float = MAX_DATA_ELEMENTS,
+) -> float:
+    """Draw a dataset size ``d`` uniformly in ``[min_elements, max_elements]``."""
+    generator = ensure_rng(rng)
+    if min_elements <= 0 or max_elements < min_elements:
+        raise ConfigurationError(
+            "data element bounds must satisfy 0 < min_elements <= max_elements"
+        )
+    return float(generator.uniform(min_elements, max_elements))
+
+
+def sample_a_factor(rng=None) -> float:
+    """Draw the multiplicative factor ``a`` uniformly in ``[2**6, 2**9]``."""
+    generator = ensure_rng(rng)
+    return float(generator.uniform(A_FACTOR_MIN, A_FACTOR_MAX))
+
+
+def sample_alpha(rng=None, low: float = ALPHA_MIN, high: float = ALPHA_MAX) -> float:
+    """Draw the Amdahl non-parallelizable fraction uniformly in ``[low, high]``."""
+    generator = ensure_rng(rng)
+    if not (0.0 <= low <= high <= 1.0):
+        raise ConfigurationError("alpha bounds must satisfy 0 <= low <= high <= 1")
+    return float(generator.uniform(low, high))
+
+
+def sample_complexity(rng=None, scenario: ComplexityClass = ComplexityClass.MIXED) -> ComplexityClass:
+    """Pick a concrete complexity class for one task.
+
+    When *scenario* is a concrete class, that class is returned; when it
+    is :attr:`ComplexityClass.MIXED`, one of the three concrete classes is
+    drawn uniformly at random (the fourth scenario of the paper).
+    """
+    if scenario is not ComplexityClass.MIXED:
+        if scenario not in ComplexityClass.concrete():
+            raise ConfigurationError(f"unknown complexity scenario {scenario!r}")
+        return scenario
+    generator = ensure_rng(rng)
+    options = ComplexityClass.concrete()
+    return options[int(generator.integers(0, len(options)))]

@@ -1,0 +1,306 @@
+"""Random layered PTG generator.
+
+Re-implementation of the DAG generation program referenced by the paper
+(Suter's *daggen*), driven by the four shape parameters described in
+Section 2:
+
+* **width** -- "the maximum parallelism in the PTG, that is the number of
+  tasks in the largest level.  A small value leads to chain graphs and a
+  large value leads to fork-join graphs."
+* **regularity** -- "the uniformity of the number of tasks in each level.
+  A low value means that levels contain very dissimilar numbers of tasks."
+* **density** -- "the number of edges between two levels of the PTG."
+* **jump** -- random "jump edges" from level ``l`` to level ``l + jump``;
+  ``jump = 1`` corresponds to no jumping over any level.
+
+The paper uses graphs of 10, 20 or 50 tasks, width in {0.2, 0.5, 0.8},
+regularity and density in {0.2, 0.8}, and jumps in {1, 2, 4}.
+
+Task costs follow the cost model of :mod:`repro.dag.cost_models`: dataset
+sizes uniform in [4M, 121M] elements, one of the three complexity classes
+(or a random mix), a-factor uniform in [2**6, 2**9], Amdahl alpha uniform
+in [0, 0.25].  Edge data volumes are ``8 * d`` bytes of the *source*
+task's dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dag.cost_models import (
+    ComplexityClass,
+    sample_a_factor,
+    sample_alpha,
+    sample_complexity,
+    sample_data_elements,
+    MIN_DATA_ELEMENTS,
+    MAX_DATA_ELEMENTS,
+)
+from repro.dag.graph import PTG
+from repro.dag.task import Task
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+#: Parameter values used by the paper's experimental campaign.
+PAPER_TASK_COUNTS = (10, 20, 50)
+PAPER_WIDTHS = (0.2, 0.5, 0.8)
+PAPER_REGULARITIES = (0.2, 0.8)
+PAPER_DENSITIES = (0.2, 0.8)
+PAPER_JUMPS = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class RandomPTGConfig:
+    """Configuration of the random PTG generator.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of computational tasks (synthetic entry/exit tasks added to
+        enforce a single source/sink are *not* counted).
+    width:
+        Shape parameter in ``(0, 1]`` controlling the maximum parallelism.
+    regularity:
+        Shape parameter in ``[0, 1]`` controlling level size uniformity.
+    density:
+        Shape parameter in ``[0, 1]`` controlling inter-level connectivity.
+    jump:
+        Maximum forward jump of the extra "jump edges" (1 = no jumps).
+    complexity:
+        Complexity scenario (one concrete class for all tasks, or
+        :attr:`ComplexityClass.MIXED` for per-task random classes).
+    min_data_elements, max_data_elements:
+        Range of the per-task dataset size.
+    alpha_max:
+        Upper bound of the Amdahl non-parallelizable fraction.
+    name:
+        Optional application name; a default is derived from the
+        parameters when omitted.
+    """
+
+    n_tasks: int = 20
+    width: float = 0.5
+    regularity: float = 0.5
+    density: float = 0.5
+    jump: int = 1
+    complexity: ComplexityClass = ComplexityClass.MIXED
+    min_data_elements: float = MIN_DATA_ELEMENTS
+    max_data_elements: float = MAX_DATA_ELEMENTS
+    alpha_max: float = 0.25
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_tasks, int) or self.n_tasks < 1:
+            raise ConfigurationError(f"n_tasks must be a positive integer, got {self.n_tasks!r}")
+        if not (0.0 < self.width <= 1.0):
+            raise ConfigurationError(f"width must be in (0, 1], got {self.width!r}")
+        if not (0.0 <= self.regularity <= 1.0):
+            raise ConfigurationError(f"regularity must be in [0, 1], got {self.regularity!r}")
+        if not (0.0 <= self.density <= 1.0):
+            raise ConfigurationError(f"density must be in [0, 1], got {self.density!r}")
+        if not isinstance(self.jump, int) or self.jump < 1:
+            raise ConfigurationError(f"jump must be a positive integer, got {self.jump!r}")
+        if not (0.0 <= self.alpha_max <= 1.0):
+            raise ConfigurationError(f"alpha_max must be in [0, 1], got {self.alpha_max!r}")
+        if self.min_data_elements <= 0 or self.max_data_elements < self.min_data_elements:
+            raise ConfigurationError(
+                "data element bounds must satisfy 0 < min <= max"
+            )
+
+    def label(self) -> str:
+        """A descriptive name derived from the parameters."""
+        if self.name:
+            return self.name
+        return (
+            f"random-n{self.n_tasks}-w{self.width}-r{self.regularity}"
+            f"-d{self.density}-j{self.jump}"
+        )
+
+    @classmethod
+    def paper_grid(cls, n_tasks: Optional[Sequence[int]] = None) -> List["RandomPTGConfig"]:
+        """The full parameter grid of the paper's experimental campaign."""
+        configs: List[RandomPTGConfig] = []
+        for n in n_tasks or PAPER_TASK_COUNTS:
+            for width in PAPER_WIDTHS:
+                for regularity in PAPER_REGULARITIES:
+                    for density in PAPER_DENSITIES:
+                        for jump in PAPER_JUMPS:
+                            configs.append(
+                                cls(
+                                    n_tasks=n,
+                                    width=width,
+                                    regularity=regularity,
+                                    density=density,
+                                    jump=jump,
+                                )
+                            )
+        return configs
+
+
+def _level_sizes(rng: np.random.Generator, config: RandomPTGConfig) -> List[int]:
+    """Draw the number of tasks of each precedence level.
+
+    The expected level width is ``width * n_tasks`` (so ``width`` close to
+    1 yields fork-join graphs and close to 0 yields chains).  Each level's
+    size is perturbed around that target; the ``regularity`` parameter
+    shrinks the perturbation.  Levels are emitted until all ``n_tasks``
+    tasks are placed.
+    """
+    n = config.n_tasks
+    target_width = max(1.0, config.width * n)
+    # Low regularity => up to +/-100% deviation; high regularity => +/-0%.
+    max_deviation = 1.0 - config.regularity
+    sizes: List[int] = []
+    remaining = n
+    while remaining > 0:
+        deviation = rng.uniform(-max_deviation, max_deviation)
+        size = int(round(target_width * (1.0 + deviation)))
+        size = max(1, min(size, remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _connect_levels(
+    rng: np.random.Generator,
+    graph: PTG,
+    levels: List[List[int]],
+    config: RandomPTGConfig,
+) -> None:
+    """Create forward edges between consecutive levels plus jump edges.
+
+    Every task of level ``l > 0`` receives at least one predecessor from
+    level ``l - 1`` (so precedence levels match the generation levels) and
+    additional predecessors are added with probability ``density``.  Jump
+    edges from level ``l`` to ``l + j`` (``2 <= j <= jump``) are then added
+    with probability ``density / jump`` per candidate pair.
+    """
+    density = config.density
+    for lvl in range(1, len(levels)):
+        below = levels[lvl - 1]
+        for dst in levels[lvl]:
+            dst_data = graph.task(dst)
+            # guaranteed parent keeps the level structure intact
+            parent = below[int(rng.integers(0, len(below)))]
+            graph.add_edge(parent, dst, graph.task(parent).output_bytes)
+            for src in below:
+                if src == parent:
+                    continue
+                if rng.random() < density:
+                    graph.add_edge(src, dst, graph.task(src).output_bytes)
+            del dst_data
+    if config.jump > 1:
+        for lvl in range(len(levels)):
+            for j in range(2, config.jump + 1):
+                target_lvl = lvl + j
+                if target_lvl >= len(levels):
+                    break
+                for src in levels[lvl]:
+                    for dst in levels[target_lvl]:
+                        if graph.has_edge(src, dst):
+                            continue
+                        if rng.random() < density / config.jump:
+                            graph.add_edge(src, dst, graph.task(src).output_bytes)
+
+
+def generate_random_ptg(
+    rng=None, config: Optional[RandomPTGConfig] = None, name: Optional[str] = None
+) -> PTG:
+    """Generate a random layered PTG.
+
+    Parameters
+    ----------
+    rng:
+        Seed, ``numpy`` generator or ``None``.
+    config:
+        Generator configuration; defaults to :class:`RandomPTGConfig()`.
+    name:
+        Override for the application name.
+
+    Returns
+    -------
+    PTG
+        A validated graph with a single entry and a single exit task.
+
+    Examples
+    --------
+    >>> g = generate_random_ptg(0, RandomPTGConfig(n_tasks=10))
+    >>> len(g.real_tasks())
+    10
+    >>> g.validate()
+    """
+    generator = ensure_rng(rng)
+    config = config or RandomPTGConfig()
+    graph = PTG(name or config.label())
+
+    # 1. create the tasks with their random costs
+    for task_id in range(config.n_tasks):
+        complexity = sample_complexity(generator, config.complexity)
+        data = sample_data_elements(
+            generator, config.min_data_elements, config.max_data_elements
+        )
+        a_factor = sample_a_factor(generator)
+        alpha = sample_alpha(generator, 0.0, config.alpha_max)
+        graph.add_task(
+            Task.from_cost_model(task_id, complexity, data, a_factor, alpha)
+        )
+
+    # 2. organise them into precedence levels
+    sizes = _level_sizes(generator, config)
+    levels: List[List[int]] = []
+    next_id = 0
+    for size in sizes:
+        levels.append(list(range(next_id, next_id + size)))
+        next_id += size
+
+    # 3. wire the levels together
+    _connect_levels(generator, graph, levels, config)
+
+    # 4. enforce the single entry / single exit convention
+    graph.ensure_single_entry_exit()
+    graph.validate()
+    return graph
+
+
+def generate_random_workload(
+    rng=None,
+    n_ptgs: int = 4,
+    configs: Optional[Sequence[RandomPTGConfig]] = None,
+    name_prefix: str = "app",
+) -> List[PTG]:
+    """Generate *n_ptgs* random PTGs with distinct names.
+
+    Each PTG's configuration is drawn uniformly from *configs* (default:
+    the paper's task counts with random shape parameters), matching the
+    paper's "25 random combinations for each number of concurrent PTGs".
+    """
+    generator = ensure_rng(rng)
+    if n_ptgs < 1:
+        raise ConfigurationError(f"n_ptgs must be positive, got {n_ptgs}")
+    if configs is None:
+        configs = []
+        for _ in range(n_ptgs):
+            configs.append(
+                RandomPTGConfig(
+                    n_tasks=int(generator.choice(list(PAPER_TASK_COUNTS))),
+                    width=float(generator.choice(list(PAPER_WIDTHS))),
+                    regularity=float(generator.choice(list(PAPER_REGULARITIES))),
+                    density=float(generator.choice(list(PAPER_DENSITIES))),
+                    jump=int(generator.choice(list(PAPER_JUMPS))),
+                )
+            )
+        chosen = configs
+    else:
+        if not configs:
+            raise ConfigurationError("configs must not be empty")
+        chosen = [configs[int(generator.integers(0, len(configs)))] for _ in range(n_ptgs)]
+    workload = []
+    for i, cfg in enumerate(chosen):
+        workload.append(
+            generate_random_ptg(generator, cfg, name=f"{name_prefix}-{i}-{cfg.label()}")
+        )
+    return workload

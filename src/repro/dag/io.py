@@ -1,0 +1,121 @@
+"""Serialisation of PTGs (JSON dictionaries and Graphviz DOT).
+
+JSON round-tripping is used to archive generated workloads next to
+experiment results so a campaign can be re-run on the exact same graphs;
+DOT export is a convenience for visual inspection of generated graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.dag.cost_models import ComplexityClass
+from repro.dag.graph import PTG
+from repro.dag.task import Task
+from repro.exceptions import InvalidGraphError
+
+#: Format version written into serialised graphs.
+FORMAT_VERSION = 1
+
+
+def ptg_to_dict(graph: PTG) -> Dict:
+    """Convert *graph* to a plain JSON-serialisable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "name": t.name,
+                "flops": t.flops,
+                "alpha": t.alpha,
+                "data_elements": t.data_elements,
+                "complexity": t.complexity.value if t.complexity else None,
+            }
+            for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "data_bytes": data}
+            for src, dst, data in graph.edges()
+        ],
+    }
+
+
+def ptg_from_dict(payload: Dict) -> PTG:
+    """Rebuild a :class:`PTG` from the dictionary produced by :func:`ptg_to_dict`."""
+    if not isinstance(payload, dict):
+        raise InvalidGraphError(f"expected a dict, got {type(payload).__name__}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidGraphError(
+            f"unsupported PTG format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        name = payload["name"]
+        task_payloads = payload["tasks"]
+        edge_payloads = payload["edges"]
+    except KeyError as exc:
+        raise InvalidGraphError(f"missing PTG field: {exc}") from None
+    graph = PTG(name)
+    for tp in task_payloads:
+        complexity = (
+            ComplexityClass(tp["complexity"]) if tp.get("complexity") else None
+        )
+        graph.add_task(
+            Task(
+                task_id=int(tp["task_id"]),
+                flops=float(tp["flops"]),
+                alpha=float(tp["alpha"]),
+                data_elements=float(tp.get("data_elements", 0.0)),
+                complexity=complexity,
+                name=tp.get("name", ""),
+            )
+        )
+    for ep in edge_payloads:
+        graph.add_edge(int(ep["src"]), int(ep["dst"]), float(ep.get("data_bytes", 0.0)))
+    return graph
+
+
+def ptg_to_json(graph: PTG, indent: Optional[int] = None) -> str:
+    """Serialise *graph* to a JSON string."""
+    return json.dumps(ptg_to_dict(graph), indent=indent)
+
+
+def ptg_from_json(text: str) -> PTG:
+    """Parse a JSON string produced by :func:`ptg_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidGraphError(f"invalid PTG JSON: {exc}") from None
+    return ptg_from_dict(payload)
+
+
+def ptg_to_dot(graph: PTG) -> str:
+    """Render *graph* as a Graphviz DOT digraph (labels show flop counts)."""
+    lines: List[str] = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for task in graph.tasks():
+        shape = "ellipse" if not task.is_synthetic else "point"
+        label = f"{task.name}\\n{task.flops:.2e} flop"
+        lines.append(
+            f'  t{task.task_id} [label="{label}", shape={shape}];'
+        )
+    for src, dst, data in graph.edges():
+        lines.append(f'  t{src} -> t{dst} [label="{data:.2e} B"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_workload(graphs: List[PTG], path: str) -> None:
+    """Write a list of PTGs to *path* as a JSON array."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([ptg_to_dict(g) for g in graphs], handle)
+
+
+def load_workload(path: str) -> List[PTG]:
+    """Read back a workload written by :func:`save_workload`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payloads = json.load(handle)
+    if not isinstance(payloads, list):
+        raise InvalidGraphError("workload file must contain a JSON array")
+    return [ptg_from_dict(p) for p in payloads]

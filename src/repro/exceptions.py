@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between the different sub-systems
+(platform construction, graph construction, allocation, mapping,
+simulation, experiment configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class InvalidPlatformError(ReproError):
+    """Raised when a platform description is inconsistent.
+
+    Examples: a cluster with zero processors, a negative processor speed,
+    a network topology referencing an unknown cluster, or duplicated
+    cluster names inside a single platform.
+    """
+
+
+class InvalidGraphError(ReproError):
+    """Raised when a parallel task graph violates a structural invariant.
+
+    The PTG model of the paper requires a directed *acyclic* graph with a
+    single entry task and a single exit task; edges must connect existing
+    tasks and carry a non-negative amount of data.
+    """
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation procedure cannot produce a valid allocation.
+
+    Examples: a resource constraint ``beta`` outside ``(0, 1]``, a task
+    whose allocation would exceed the reference cluster size, or an
+    allocation requested for a task that does not belong to the graph.
+    """
+
+
+class MappingError(ReproError):
+    """Raised when the mapping step cannot place a task on the platform.
+
+    Examples: an allocation requiring more processors than the largest
+    cluster provides even after packing, or a schedule queried for a task
+    that was never mapped.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state.
+
+    Examples: executing a schedule that references processors outside the
+    platform, detecting a deadlock (no runnable task while tasks remain),
+    or negative event timestamps.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or generator configuration is invalid.
+
+    Examples: a DAG generator width outside ``(0, 1]``, a ``mu`` parameter
+    outside ``[0, 1]``, an unknown constraint strategy name, or an
+    experiment requesting zero concurrent applications.
+    """

@@ -1,0 +1,61 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+The harness is organised as:
+
+* :mod:`repro.experiments.workload` -- generation of the three application
+  families (random layered DAGs, FFT, Strassen) with the paper's
+  parameters,
+* :mod:`repro.experiments.runner` -- execution of one experiment
+  (one platform + one workload + a set of constraint strategies) and of a
+  whole campaign (several workloads x several platforms x several numbers
+  of concurrent PTGs), producing unfairness and relative-makespan
+  aggregates,
+* :mod:`repro.experiments.mu_sweep` -- Figure 2: the effect of the ``mu``
+  parameter of the WPS strategies,
+* :mod:`repro.experiments.figures` -- Figures 3, 4 and 5: comparison of
+  the eight constraint strategies on the three application families,
+* :mod:`repro.experiments.tables` -- Table 1: the Grid'5000 platform
+  subsets,
+* :mod:`repro.experiments.reporting` -- ASCII rendering of every result.
+
+Every harness function accepts a ``scale`` argument so that the same code
+runs both the laptop-sized default campaign used by the benchmarks and
+the full paper-sized campaign (``scale="paper"``).
+"""
+
+from repro.experiments.workload import (
+    WorkloadSpec,
+    make_workload,
+    APPLICATION_FAMILIES,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    CampaignConfig,
+    CampaignResult,
+    run_experiment,
+    run_campaign,
+)
+from repro.experiments.mu_sweep import MuSweepResult, run_mu_sweep
+from repro.experiments.figures import FigureResult, run_figure, FIGURE_FAMILIES
+from repro.experiments.tables import table1_rows, table1_text
+from repro.experiments.reporting import render_figure, render_mu_sweep
+
+__all__ = [
+    "WorkloadSpec",
+    "make_workload",
+    "APPLICATION_FAMILIES",
+    "ExperimentResult",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_experiment",
+    "run_campaign",
+    "MuSweepResult",
+    "run_mu_sweep",
+    "FigureResult",
+    "run_figure",
+    "FIGURE_FAMILIES",
+    "table1_rows",
+    "table1_text",
+    "render_figure",
+    "render_mu_sweep",
+]

@@ -1,0 +1,92 @@
+"""Figures 3, 4 and 5: comparison of the eight constraint strategies.
+
+* Figure 3 -- randomly generated PTGs,
+* Figure 4 -- FFT PTGs,
+* Figure 5 -- Strassen PTGs (width-based strategies excluded because all
+  Strassen graphs share the same maximal width).
+
+Each figure has two panels: unfairness (left) and average relative
+makespan (right), both as functions of the number of concurrent PTGs
+(2, 4, 6, 8, 10), averaged over 25 workloads x 4 platforms per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import CampaignConfig, CampaignResult, run_campaign
+from repro.platform.multicluster import MultiClusterPlatform
+
+#: Mapping from the paper's figure number to the application family.
+FIGURE_FAMILIES: Dict[int, str] = {3: "random", 4: "fft", 5: "strassen"}
+
+
+@dataclass
+class FigureResult:
+    """Data of one figure: unfairness and relative makespan per strategy."""
+
+    figure: int
+    family: str
+    ptg_counts: List[int]
+    unfairness: Dict[str, List[float]]
+    relative_makespan: Dict[str, List[float]]
+    campaign: CampaignResult
+
+    def strategies(self) -> List[str]:
+        """Strategy names, in legend order."""
+        return list(self.unfairness)
+
+    def unfairness_at(self, strategy: str, n_ptgs: int) -> float:
+        """Unfairness of one strategy at one PTG count."""
+        return self.unfairness[strategy][self.ptg_counts.index(n_ptgs)]
+
+    def relative_makespan_at(self, strategy: str, n_ptgs: int) -> float:
+        """Average relative makespan of one strategy at one PTG count."""
+        return self.relative_makespan[strategy][self.ptg_counts.index(n_ptgs)]
+
+    def mean_unfairness(self, strategy: str) -> float:
+        """Unfairness averaged over all PTG counts (used for rankings)."""
+        series = self.unfairness[strategy]
+        return sum(series) / len(series)
+
+    def mean_relative_makespan(self, strategy: str) -> float:
+        """Relative makespan averaged over all PTG counts."""
+        series = self.relative_makespan[strategy]
+        return sum(series) / len(series)
+
+
+def run_figure(
+    figure: int,
+    ptg_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    workloads_per_point: int = 25,
+    platforms: Optional[Sequence[MultiClusterPlatform]] = None,
+    base_seed: int = 0,
+    max_tasks: Optional[int] = None,
+    strategy_names: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Reproduce one of the paper's comparison figures (3, 4 or 5)."""
+    if figure not in FIGURE_FAMILIES:
+        raise ConfigurationError(
+            f"unknown figure {figure}; reproducible figures: {sorted(FIGURE_FAMILIES)}"
+        )
+    family = FIGURE_FAMILIES[figure]
+    config = CampaignConfig(
+        family=family,
+        ptg_counts=tuple(ptg_counts),
+        workloads_per_point=workloads_per_point,
+        platforms=tuple(platforms) if platforms else None,
+        strategy_names=tuple(strategy_names) if strategy_names else None,
+        base_seed=base_seed,
+        max_tasks=max_tasks,
+    )
+    campaign = run_campaign(config)
+    return FigureResult(
+        figure=figure,
+        family=family,
+        ptg_counts=campaign.ptg_counts(),
+        unfairness=campaign.average_unfairness(),
+        relative_makespan=campaign.average_relative_makespan(),
+        campaign=campaign,
+    )

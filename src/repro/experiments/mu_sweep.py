@@ -1,0 +1,121 @@
+"""Figure 2: influence of the ``mu`` parameter of the WPS strategies.
+
+"Figure 2 shows the evolution of the unfairness (left) and the average
+makespan (right) when the mu parameter of the WPS-work strategy varies
+from 0 to 1 for random PTGs."  Unfairness decreases with ``mu`` (closer to
+an equal share) while the average makespan increases; the paper picks the
+knee at ``mu = 0.7`` for WPS-work.
+
+This module reproduces that sweep for any characteristic (work, cp,
+width) and any application family, which also regenerates the data the
+paper used to select ``mu = 0.5`` for WPS-cp and 0.3 / 0.5 for WPS-width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.strategies import WeightedProportionalShareStrategy
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform.grid5000 import all_sites
+from repro.platform.multicluster import MultiClusterPlatform
+
+#: The mu values shown on the x axis of Figure 2.
+PAPER_MU_VALUES = (0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass
+class MuSweepResult:
+    """Results of the mu sweep.
+
+    ``unfairness[n_ptgs]`` and ``average_makespan[n_ptgs]`` are lists
+    aligned with :attr:`mu_values` (one series per number of concurrent
+    PTGs, exactly like the curves of Figure 2).
+    """
+
+    characteristic: str
+    family: str
+    mu_values: List[float]
+    ptg_counts: List[int]
+    unfairness: Dict[int, List[float]] = field(default_factory=dict)
+    average_makespan: Dict[int, List[float]] = field(default_factory=dict)
+
+    def recommended_mu(self, n_ptgs: Optional[int] = None) -> float:
+        """The knee of the trade-off curve.
+
+        Returns the smallest ``mu`` whose unfairness is within 10% of the
+        best (largest-``mu``) unfairness -- i.e. "for mu >= knee there is
+        only a little gain in terms of unfairness reduction while the
+        average makespan increases more quickly".
+        """
+        counts = [n_ptgs] if n_ptgs is not None else self.ptg_counts
+        knees: List[float] = []
+        for count in counts:
+            series = self.unfairness[count]
+            best = min(series)
+            span = max(series) - best
+            threshold = best + 0.1 * span if span > 0 else best
+            for mu, value in zip(self.mu_values, series):
+                if value <= threshold:
+                    knees.append(mu)
+                    break
+        return sum(knees) / len(knees)
+
+
+def run_mu_sweep(
+    characteristic: str = "work",
+    family: str = "random",
+    mu_values: Sequence[float] = PAPER_MU_VALUES,
+    ptg_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    workloads_per_point: int = 25,
+    platforms: Optional[Sequence[MultiClusterPlatform]] = None,
+    base_seed: int = 0,
+    max_tasks: Optional[int] = None,
+) -> MuSweepResult:
+    """Reproduce Figure 2 for one characteristic and one application family."""
+    if not mu_values:
+        raise ConfigurationError("mu_values must not be empty")
+    if workloads_per_point < 1:
+        raise ConfigurationError("workloads_per_point must be positive")
+    platforms = list(platforms) if platforms else all_sites()
+    result = MuSweepResult(
+        characteristic=characteristic,
+        family=family,
+        mu_values=list(mu_values),
+        ptg_counts=list(ptg_counts),
+    )
+    for count in ptg_counts:
+        unfairness_series: List[float] = []
+        makespan_series: List[float] = []
+        # workloads and reference makespans are shared across mu values so
+        # the sweep isolates the effect of mu
+        scenario: List[Tuple] = []
+        for index in range(workloads_per_point):
+            spec = WorkloadSpec(
+                family=family,
+                n_ptgs=count,
+                seed=base_seed + 1000 * count + index,
+                max_tasks=max_tasks,
+            )
+            ptgs = make_workload(spec)
+            for platform in platforms:
+                scenario.append((spec, ptgs, platform))
+        for mu in mu_values:
+            strategy = WeightedProportionalShareStrategy(characteristic, mu=mu)
+            unfairness_values: List[float] = []
+            makespan_values: List[float] = []
+            for spec, ptgs, platform in scenario:
+                experiment = run_experiment(
+                    ptgs, platform, [strategy], workload_label=spec.label()
+                )
+                outcome = experiment.outcomes[strategy.name]
+                unfairness_values.append(outcome.unfairness)
+                makespan_values.append(outcome.mean_application_makespan)
+            unfairness_series.append(sum(unfairness_values) / len(unfairness_values))
+            makespan_series.append(sum(makespan_values) / len(makespan_values))
+        result.unfairness[count] = unfairness_series
+        result.average_makespan[count] = makespan_series
+    return result

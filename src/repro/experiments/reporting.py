@@ -1,0 +1,83 @@
+"""ASCII reporting of experiment results.
+
+The reproduced figures are reported as plain-text series tables (one row
+per x value, one column per strategy), which is the most faithful
+plotting-free rendering of the paper's line plots and what the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.mu_sweep import MuSweepResult
+from repro.experiments.runner import CampaignResult
+from repro.utils.tables import format_series, format_table
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render one comparison figure (both panels) as text."""
+    left = format_series(
+        "#PTGs",
+        result.ptg_counts,
+        result.unfairness,
+        title=f"Figure {result.figure} (left): unfairness, {result.family} PTGs",
+    )
+    right = format_series(
+        "#PTGs",
+        result.ptg_counts,
+        result.relative_makespan,
+        title=(
+            f"Figure {result.figure} (right): average relative makespan, "
+            f"{result.family} PTGs"
+        ),
+    )
+    return left + "\n\n" + right
+
+
+def render_mu_sweep(result: MuSweepResult) -> str:
+    """Render the mu sweep (Figure 2) as text."""
+    unfair = {
+        f"{count} PTGs": result.unfairness[count] for count in result.ptg_counts
+    }
+    makespan = {
+        f"{count} PTGs": result.average_makespan[count] for count in result.ptg_counts
+    }
+    left = format_series(
+        "mu",
+        result.mu_values,
+        unfair,
+        title=(
+            f"Figure 2 (left): unfairness vs mu, WPS-{result.characteristic}, "
+            f"{result.family} PTGs"
+        ),
+    )
+    right = format_series(
+        "mu",
+        result.mu_values,
+        makespan,
+        title=(
+            f"Figure 2 (right): average makespan vs mu, WPS-{result.characteristic}, "
+            f"{result.family} PTGs"
+        ),
+        float_fmt=".1f",
+    )
+    return left + "\n\n" + right
+
+
+def render_campaign_summary(result: CampaignResult) -> str:
+    """One-row-per-strategy summary of a campaign (means over all points)."""
+    unfairness = result.average_unfairness()
+    relative = result.average_relative_makespan()
+    rows: List[List] = []
+    for name in result.strategy_names():
+        mean_unfair = sum(unfairness[name]) / len(unfairness[name])
+        mean_rel = sum(relative[name]) / len(relative[name])
+        rows.append([name, mean_unfair, mean_rel])
+    rows.sort(key=lambda row: row[1])
+    return format_table(
+        ["strategy", "mean unfairness", "mean relative makespan"],
+        rows,
+        title=f"Campaign summary ({result.config.family} PTGs, {len(result.experiments)} experiments)",
+    )

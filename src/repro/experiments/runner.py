@@ -1,0 +1,263 @@
+"""Experiment and campaign runners.
+
+One *experiment* is: one platform, one workload (a set of concurrent
+PTGs), and a set of constraint strategies.  For each strategy the runner
+
+1. schedules the workload with the concurrent scheduler (SCRAP-MAX
+   allocation + ready-list mapping),
+2. executes the schedule on the discrete-event simulator,
+3. computes the per-application slowdowns against the single-application
+   reference makespans ``M_own`` (also simulated), the resulting
+   unfairness, and the batch makespan.
+
+A *campaign* runs many experiments (several workloads per PTG count,
+several platforms) and aggregates them the way the paper's figures do:
+average unfairness and average *relative* makespan per (strategy, number
+of concurrent PTGs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constraints.base import ConstraintStrategy
+from repro.constraints.registry import paper_strategies
+from repro.dag.graph import PTG
+from repro.exceptions import ConfigurationError
+from repro.experiments.workload import (
+    PAPER_PTG_COUNTS,
+    WorkloadSpec,
+    make_workload,
+    paper_workload_specs,
+)
+from repro.metrics.fairness import slowdowns, unfairness
+from repro.metrics.makespan import average_relative_makespan
+from repro.platform.grid5000 import all_sites
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.scheduler.single import SinglePTGScheduler
+from repro.simulate.executor import ScheduleExecutor
+
+
+@dataclass
+class StrategyOutcome:
+    """Measured outcome of one strategy on one experiment."""
+
+    strategy: str
+    betas: Dict[str, float]
+    makespans: Dict[str, float]
+    slowdowns: Dict[str, float]
+    unfairness: float
+    batch_makespan: float
+    mean_application_makespan: float
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of every strategy on one experiment."""
+
+    platform: str
+    workload: str
+    n_ptgs: int
+    own_makespans: Dict[str, float]
+    outcomes: Dict[str, StrategyOutcome] = field(default_factory=dict)
+
+    def unfairness_of(self, strategy_name: str) -> float:
+        """Unfairness achieved by one strategy."""
+        return self.outcomes[strategy_name].unfairness
+
+    def batch_makespans(self) -> Dict[str, float]:
+        """Batch (global) makespan of every strategy, for relative-makespan aggregation."""
+        return {name: out.batch_makespan for name, out in self.outcomes.items()}
+
+
+def compute_own_makespans(
+    ptgs: Sequence[PTG],
+    platform: MultiClusterPlatform,
+    single_scheduler: Optional[SinglePTGScheduler] = None,
+) -> Dict[str, float]:
+    """Simulated makespan of each application when it has the platform alone."""
+    scheduler = single_scheduler or SinglePTGScheduler()
+    executor = ScheduleExecutor(platform)
+    own: Dict[str, float] = {}
+    for ptg in ptgs:
+        result = scheduler.schedule(ptg, platform)
+        report = executor.execute([ptg], result.schedule)
+        own[ptg.name] = report.makespan(ptg.name)
+    return own
+
+
+def run_experiment(
+    ptgs: Sequence[PTG],
+    platform: MultiClusterPlatform,
+    strategies: Sequence[ConstraintStrategy],
+    workload_label: str = "",
+    own_makespans: Optional[Mapping[str, float]] = None,
+) -> ExperimentResult:
+    """Run one experiment: every strategy on one workload and one platform."""
+    if not ptgs:
+        raise ConfigurationError("at least one PTG is required")
+    if not strategies:
+        raise ConfigurationError("at least one strategy is required")
+    executor = ScheduleExecutor(platform)
+    own = dict(own_makespans) if own_makespans else compute_own_makespans(ptgs, platform)
+
+    result = ExperimentResult(
+        platform=platform.name,
+        workload=workload_label or f"workload-{len(ptgs)}",
+        n_ptgs=len(ptgs),
+        own_makespans=own,
+    )
+    for strat in strategies:
+        scheduler = ConcurrentScheduler(strategy=strat)
+        planned = scheduler.schedule(ptgs, platform)
+        report = executor.execute(ptgs, planned.schedule)
+        multi = report.makespans()
+        sd = slowdowns(own, multi)
+        result.outcomes[strat.name] = StrategyOutcome(
+            strategy=strat.name,
+            betas=dict(planned.betas),
+            makespans=multi,
+            slowdowns=sd,
+            unfairness=unfairness(sd),
+            batch_makespan=report.global_makespan(),
+            mean_application_makespan=sum(multi.values()) / len(multi),
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of a campaign (one figure of the paper).
+
+    Parameters
+    ----------
+    family:
+        Application family: ``"random"``, ``"fft"`` or ``"strassen"``.
+    ptg_counts:
+        Numbers of concurrent PTGs (x axis of the figures).
+    workloads_per_point:
+        Number of random workloads per PTG count (25 in the paper).
+    platforms:
+        Target platforms (the four Grid'5000 subsets in the paper).
+    strategy_names:
+        Names of the strategies to compare; defaults to the paper's set
+        for the family (width-based strategies are dropped for Strassen).
+    base_seed:
+        Seed of the workload generation.
+    max_tasks:
+        Optional cap on random-PTG sizes (laptop-scale runs).
+    """
+
+    family: str = "random"
+    ptg_counts: Tuple[int, ...] = PAPER_PTG_COUNTS
+    workloads_per_point: int = 25
+    platforms: Optional[Tuple[MultiClusterPlatform, ...]] = None
+    strategy_names: Optional[Tuple[str, ...]] = None
+    base_seed: int = 0
+    max_tasks: Optional[int] = None
+
+    def resolved_platforms(self) -> List[MultiClusterPlatform]:
+        """The platforms of the campaign (default: the four Grid'5000 subsets)."""
+        return list(self.platforms) if self.platforms else all_sites()
+
+    def resolved_strategies(self) -> List[ConstraintStrategy]:
+        """The strategy instances of the campaign."""
+        include_width = self.family != "strassen"
+        if self.strategy_names is None:
+            return paper_strategies(self.family, include_width=include_width)
+        from repro.constraints.registry import strategy as make_strategy
+
+        return [make_strategy(name, family=self.family) for name in self.strategy_names]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign results (one figure of the paper)."""
+
+    config: CampaignConfig
+    experiments: List[ExperimentResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def strategy_names(self) -> List[str]:
+        """Strategies present in the results, in first-seen order."""
+        names: Dict[str, None] = {}
+        for exp in self.experiments:
+            for name in exp.outcomes:
+                names.setdefault(name, None)
+        return list(names)
+
+    def ptg_counts(self) -> List[int]:
+        """Numbers of concurrent PTGs present in the results, sorted."""
+        return sorted({exp.n_ptgs for exp in self.experiments})
+
+    def _experiments_at(self, n_ptgs: int) -> List[ExperimentResult]:
+        rows = [e for e in self.experiments if e.n_ptgs == n_ptgs]
+        if not rows:
+            raise ConfigurationError(f"no experiment with {n_ptgs} concurrent PTGs")
+        return rows
+
+    def average_unfairness(self) -> Dict[str, List[float]]:
+        """Strategy -> unfairness averaged over experiments, ordered by PTG count."""
+        counts = self.ptg_counts()
+        result: Dict[str, List[float]] = {name: [] for name in self.strategy_names()}
+        for count in counts:
+            rows = self._experiments_at(count)
+            for name in result:
+                values = [r.unfairness_of(name) for r in rows]
+                result[name].append(sum(values) / len(values))
+        return result
+
+    def average_relative_makespan(self) -> Dict[str, List[float]]:
+        """Strategy -> average relative batch makespan, ordered by PTG count."""
+        counts = self.ptg_counts()
+        result: Dict[str, List[float]] = {name: [] for name in self.strategy_names()}
+        for count in counts:
+            rows = self._experiments_at(count)
+            per_experiment = [r.batch_makespans() for r in rows]
+            averaged = average_relative_makespan(per_experiment)
+            for name in result:
+                result[name].append(averaged[name])
+        return result
+
+    def average_mean_application_makespan(self) -> Dict[str, List[float]]:
+        """Strategy -> plain average of the mean per-application makespan."""
+        counts = self.ptg_counts()
+        result: Dict[str, List[float]] = {name: [] for name in self.strategy_names()}
+        for count in counts:
+            rows = self._experiments_at(count)
+            for name in result:
+                values = [r.outcomes[name].mean_application_makespan for r in rows]
+                result[name].append(sum(values) / len(values))
+        return result
+
+
+def run_campaign(config: CampaignConfig, progress: Optional[callable] = None) -> CampaignResult:
+    """Run a full campaign: every workload on every platform.
+
+    *progress*, when given, is called with a short string after each
+    experiment (used by the CLI to show advancement).
+    """
+    platforms = config.resolved_platforms()
+    strategies = config.resolved_strategies()
+    specs = paper_workload_specs(
+        config.family,
+        ptg_counts=config.ptg_counts,
+        workloads_per_point=config.workloads_per_point,
+        base_seed=config.base_seed,
+        max_tasks=config.max_tasks,
+    )
+    result = CampaignResult(config=config)
+    for spec in specs:
+        ptgs = make_workload(spec)
+        for platform in platforms:
+            experiment = run_experiment(
+                ptgs, platform, strategies, workload_label=spec.label()
+            )
+            result.experiments.append(experiment)
+            if progress is not None:
+                progress(f"{spec.label()} on {platform.name}")
+    return result

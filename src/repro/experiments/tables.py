@@ -1,0 +1,56 @@
+"""Table 1: the Grid'5000 multi-cluster subsets used in the evaluation."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.platform.grid5000 import all_sites
+from repro.utils.tables import format_table
+
+
+def table1_rows() -> List[Tuple[str, str, int, float]]:
+    """Rows ``(site, cluster, #proc, GFlop/s)`` of the paper's Table 1."""
+    rows: List[Tuple[str, str, int, float]] = []
+    for platform in all_sites():
+        for cluster in platform:
+            rows.append(
+                (platform.name, cluster.name, cluster.num_processors, cluster.speed_gflops)
+            )
+    return rows
+
+
+def site_summary_rows() -> List[Tuple[str, int, float, float]]:
+    """Per-site totals quoted in the text of Section 2.
+
+    Rows ``(site, total processors, total power GFlop/s, heterogeneity %)``;
+    the paper quotes 99 / 167 / 229 / 180 processors and 20.2% / 6.1% /
+    36.8% / 34.7% heterogeneity.
+    """
+    rows: List[Tuple[str, int, float, float]] = []
+    for platform in all_sites():
+        rows.append(
+            (
+                platform.name,
+                platform.total_processors,
+                platform.total_power_gflops,
+                platform.heterogeneity_percent,
+            )
+        )
+    return rows
+
+
+def table1_text() -> str:
+    """ASCII rendering of Table 1 plus the per-site summary."""
+    detail = format_table(
+        ["site", "cluster", "#proc", "GFlop/s"],
+        table1_rows(),
+        float_fmt=".3f",
+        title="Table 1: multi-cluster subsets of the Grid'5000 platform",
+    )
+    summary = format_table(
+        ["site", "total procs", "total GFlop/s", "heterogeneity %"],
+        site_summary_rows(),
+        float_fmt=".1f",
+        title="Per-site totals (Section 2)",
+    )
+    return detail + "\n\n" + summary

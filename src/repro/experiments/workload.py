@@ -1,0 +1,108 @@
+"""Workload generation for the experimental campaign.
+
+The paper evaluates three application families:
+
+* **random** -- layered DAGs of 10, 20 or 50 tasks with the width /
+  regularity / density / jump parameters of Section 2,
+* **fft** -- FFT PTGs of 4, 8 or 16 points (15 / 39 / 95 tasks),
+* **strassen** -- Strassen PTGs (25 tasks, identical shape).
+
+"We generate 25 random combinations for each number of concurrent PTGs
+(2, 4, 6, 8 and 10).  As we target four different platforms, we thus have
+100 different runs for each scenario."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dag.fft import paper_fft_workload
+from repro.dag.generator import generate_random_workload, RandomPTGConfig
+from repro.dag.graph import PTG
+from repro.dag.strassen import paper_strassen_workload
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+#: Families recognised by :func:`make_workload`.
+APPLICATION_FAMILIES = ("random", "fft", "strassen")
+
+#: Numbers of concurrent PTGs used in the paper's figures.
+PAPER_PTG_COUNTS = (2, 4, 6, 8, 10)
+
+#: Number of random workload combinations per PTG count in the paper.
+PAPER_WORKLOADS_PER_POINT = 25
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one workload: a family, a size and a seed."""
+
+    family: str = "random"
+    n_ptgs: int = 4
+    seed: int = 0
+    #: Optional cap on the task count of random PTGs (smaller graphs make
+    #: the laptop-scale benchmark campaign faster without changing the
+    #: qualitative comparisons).
+    max_tasks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.family not in APPLICATION_FAMILIES:
+            raise ConfigurationError(
+                f"unknown application family {self.family!r}; "
+                f"available: {APPLICATION_FAMILIES}"
+            )
+        if self.n_ptgs < 1:
+            raise ConfigurationError(f"n_ptgs must be positive, got {self.n_ptgs}")
+
+    def label(self) -> str:
+        """Readable identifier used in logs and result records."""
+        return f"{self.family}-x{self.n_ptgs}-seed{self.seed}"
+
+
+def make_workload(spec: WorkloadSpec) -> List[PTG]:
+    """Generate the PTGs described by *spec* (deterministic in the seed)."""
+    rng = ensure_rng(spec.seed)
+    prefix = f"{spec.family}{spec.seed}"
+    if spec.family == "random":
+        configs = None
+        if spec.max_tasks is not None:
+            counts = [n for n in (10, 20, 50) if n <= spec.max_tasks] or [spec.max_tasks]
+            configs = [RandomPTGConfig(n_tasks=n) for n in counts]
+        return generate_random_workload(
+            rng, n_ptgs=spec.n_ptgs, configs=configs, name_prefix=prefix
+        )
+    if spec.family == "fft":
+        return paper_fft_workload(rng, n_ptgs=spec.n_ptgs, name_prefix=prefix)
+    if spec.family == "strassen":
+        return paper_strassen_workload(rng, n_ptgs=spec.n_ptgs, name_prefix=prefix)
+    raise ConfigurationError(f"unknown application family {spec.family!r}")
+
+
+def paper_workload_specs(
+    family: str,
+    ptg_counts: Sequence[int] = PAPER_PTG_COUNTS,
+    workloads_per_point: int = PAPER_WORKLOADS_PER_POINT,
+    base_seed: int = 0,
+    max_tasks: Optional[int] = None,
+) -> List[WorkloadSpec]:
+    """The workload grid of one figure of the paper.
+
+    One :class:`WorkloadSpec` per (PTG count, workload index); seeds are
+    derived deterministically from *base_seed* so campaigns are
+    reproducible.
+    """
+    if workloads_per_point < 1:
+        raise ConfigurationError("workloads_per_point must be positive")
+    specs: List[WorkloadSpec] = []
+    for count in ptg_counts:
+        for index in range(workloads_per_point):
+            specs.append(
+                WorkloadSpec(
+                    family=family,
+                    n_ptgs=count,
+                    seed=base_seed + 1000 * count + index,
+                    max_tasks=max_tasks,
+                )
+            )
+    return specs

@@ -1,0 +1,64 @@
+"""Communication / data-redistribution time estimation used by the mappers.
+
+The mapping step needs an estimate of the time required to move the data
+of an edge ``v_i -> v_j`` from the processors of ``v_i`` to those of
+``v_j`` in order to compute data-ready times and earliest finish times.
+The estimate follows the platform topology:
+
+* when both tasks run on the **same cluster**, the redistribution happens
+  inside the cluster (memory / local interconnect); its cost is assumed
+  negligible with respect to inter-cluster transfers and is modelled as
+  zero,
+* when the tasks run on **different clusters**, the data crosses the
+  cluster switches: the estimated time is the path latency plus the data
+  volume divided by the bottleneck bandwidth of the path.  The bottleneck
+  accounts for the aggregate NIC pools of the two clusters (every node
+  has its own link to the switch, so a redistribution between two
+  processor sets uses many NICs in parallel) and for the switch
+  backplanes on the route.  Contention with other transfers is only
+  modelled by the discrete-event simulator, not by this estimator --
+  exactly like a static scheduler that cannot know the future traffic.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MappingError
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+class CommunicationEstimator:
+    """Static estimate of inter-cluster data redistribution times."""
+
+    def __init__(self, platform: MultiClusterPlatform) -> None:
+        self.platform = platform
+        self.topology = platform.topology
+
+    def transfer_time(
+        self, data_bytes: float, src_cluster: str, dst_cluster: str
+    ) -> float:
+        """Estimated time to move *data_bytes* from *src_cluster* to *dst_cluster*."""
+        if data_bytes < 0:
+            raise MappingError(f"data_bytes must be non-negative, got {data_bytes}")
+        if src_cluster not in self.platform or dst_cluster not in self.platform:
+            raise MappingError(
+                f"unknown cluster in transfer {src_cluster!r} -> {dst_cluster!r}"
+            )
+        if data_bytes == 0:
+            return 0.0
+        if src_cluster == dst_cluster:
+            return 0.0
+        latency = self.topology.path_latency(src_cluster, dst_cluster)
+        bandwidth = self.topology.route_bandwidth(
+            src_cluster,
+            dst_cluster,
+            self.platform.cluster(src_cluster).num_processors,
+            self.platform.cluster(dst_cluster).num_processors,
+        )
+        return latency + data_bytes / bandwidth
+
+    def worst_case_transfer_time(self, data_bytes: float) -> float:
+        """Largest transfer estimate over all cluster pairs (used for bounds)."""
+        names = self.platform.cluster_names()
+        return max(
+            self.transfer_time(data_bytes, a, b) for a in names for b in names
+        )

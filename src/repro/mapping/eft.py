@@ -1,0 +1,209 @@
+"""Earliest-finish-time placement of one allocated task, with packing.
+
+For one ready task the placement engine evaluates every cluster of the
+platform:
+
+1. translate the reference allocation into an actual processor count on
+   that cluster,
+2. compute the data-ready time on that cluster (predecessor finish times
+   plus inter-cluster redistribution estimates),
+3. compute the earliest start given processor availability,
+4. apply the paper's **allocation packing** mechanism: "if a task has to
+   be delayed because all the processors it needs are not available, we
+   reduce its allocation if and only if the task can start earlier and
+   finish no later than on its original allocation",
+5. keep the cluster and processor count with the earliest finish time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.allocation.base import Allocation
+from repro.dag.task import Task
+from repro.exceptions import MappingError
+from repro.mapping.comm import CommunicationEstimator
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.mapping.timeline import PlatformTimeline
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of placing one task on the platform."""
+
+    cluster_name: str
+    processors: int
+    start: float
+    finish: float
+    packed: bool
+    original_processors: int
+
+    @property
+    def was_reduced(self) -> bool:
+        """True when the packing mechanism shrank the allocation."""
+        return self.processors < self.original_processors
+
+
+class PlacementEngine:
+    """Places allocated tasks one by one, maintaining processor timelines."""
+
+    def __init__(
+        self,
+        platform: MultiClusterPlatform,
+        enable_packing: bool = True,
+        comm: Optional[CommunicationEstimator] = None,
+    ) -> None:
+        self.platform = platform
+        self.enable_packing = enable_packing
+        self.comm = comm or CommunicationEstimator(platform)
+        self.timelines = PlatformTimeline(platform)
+        self.packed_tasks = 0
+
+    # ------------------------------------------------------------------ #
+    # ready-time computation
+    # ------------------------------------------------------------------ #
+    def data_ready_time(
+        self,
+        ptg_name: str,
+        task_id: int,
+        predecessors: List[Tuple[int, float]],
+        schedule: Schedule,
+        dst_cluster: str,
+        not_before: float = 0.0,
+    ) -> float:
+        """Earliest time the inputs of a task are available on *dst_cluster*.
+
+        *predecessors* is a list of ``(pred_task_id, edge_data_bytes)``.
+        Each predecessor must already be in *schedule*.
+        """
+        ready = not_before
+        for pred_id, data_bytes in predecessors:
+            pred_entry = schedule.entry(ptg_name, pred_id)
+            transfer = self.comm.transfer_time(
+                data_bytes, pred_entry.cluster_name, dst_cluster
+            )
+            ready = max(ready, pred_entry.finish + transfer)
+        return ready
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+    def _evaluate_cluster(
+        self,
+        task: Task,
+        allocation: Allocation,
+        cluster_name: str,
+        ready_time: float,
+    ) -> Tuple[int, float, float, bool, int]:
+        """Best ``(procs, start, finish, packed, original_procs)`` on one cluster."""
+        cluster = self.platform.cluster(cluster_name)
+        timeline = self.timelines.timeline(cluster_name)
+        requested = allocation.cluster_processors(task, cluster)
+        requested = min(requested, cluster.num_processors)
+
+        def start_finish(procs: int) -> Tuple[float, float]:
+            start = timeline.earliest_start(procs, ready_time)
+            duration = task.execution_time(procs, cluster.speed_flops)
+            return start, start + duration
+
+        start, finish = start_finish(requested)
+        best = (requested, start, finish, False, requested)
+        if not self.enable_packing or requested == 1:
+            return best
+        if start <= ready_time + 1e-12:
+            # the task is not delayed by processor availability: keep it.
+            return best
+        for procs in range(requested - 1, 0, -1):
+            alt_start, alt_finish = start_finish(procs)
+            if alt_start < start - 1e-12 and alt_finish <= finish + 1e-12:
+                # paper rule: accept a smaller allocation only if it starts
+                # earlier and finishes no later.
+                if alt_finish < best[2] - 1e-12 or (
+                    abs(alt_finish - best[2]) <= 1e-12 and alt_start < best[1]
+                ):
+                    best = (procs, alt_start, alt_finish, True, requested)
+        return best
+
+    def place(
+        self,
+        ptg_name: str,
+        task: Task,
+        allocation: Allocation,
+        predecessors: List[Tuple[int, float]],
+        schedule: Schedule,
+        not_before: float = 0.0,
+    ) -> ScheduledTask:
+        """Place *task* on the best cluster and commit the reservation.
+
+        Parameters
+        ----------
+        ptg_name:
+            Name of the application the task belongs to.
+        task:
+            The task to place.
+        allocation:
+            The application's allocation (reference processors per task).
+        predecessors:
+            ``(pred_task_id, edge_data_bytes)`` pairs; all predecessors
+            must already appear in *schedule*.
+        schedule:
+            The schedule under construction; the new entry is added to it.
+        not_before:
+            Lower bound on the start time (the instant the task became
+            ready in the event-driven mapper).
+        """
+        best_decision: Optional[PlacementDecision] = None
+        for cluster in self.platform:
+            ready = self.data_ready_time(
+                ptg_name, task.task_id, predecessors, schedule, cluster.name, not_before
+            )
+            procs, start, finish, packed, original = self._evaluate_cluster(
+                task, allocation, cluster.name, ready
+            )
+            decision = PlacementDecision(
+                cluster_name=cluster.name,
+                processors=procs,
+                start=start,
+                finish=finish,
+                packed=packed,
+                original_processors=original,
+            )
+            if best_decision is None or (decision.finish, decision.start) < (
+                best_decision.finish,
+                best_decision.start,
+            ):
+                best_decision = decision
+        if best_decision is None:  # pragma: no cover - platform is never empty
+            raise MappingError("platform has no cluster to place the task on")
+
+        timeline = self.timelines.timeline(best_decision.cluster_name)
+        cluster = self.platform.cluster(best_decision.cluster_name)
+        duration = task.execution_time(best_decision.processors, cluster.speed_flops)
+        indices, start, finish = timeline.reserve(
+            best_decision.processors,
+            ready_time=best_decision.start,
+            duration=duration,
+        )
+        if abs(start - best_decision.start) > 1e-6 or abs(finish - best_decision.finish) > 1e-6:
+            # The reservation must match the evaluation: both use the same
+            # timeline state, so a mismatch means an internal bug.
+            raise MappingError(
+                f"inconsistent reservation for task {task.task_id} of {ptg_name!r}: "
+                f"evaluated [{best_decision.start:.6f}, {best_decision.finish:.6f}] "
+                f"but reserved [{start:.6f}, {finish:.6f}]"
+            )
+        if best_decision.packed:
+            self.packed_tasks += 1
+        entry = ScheduledTask(
+            ptg_name=ptg_name,
+            task_id=task.task_id,
+            cluster_name=best_decision.cluster_name,
+            processors=tuple(indices),
+            start=start,
+            finish=finish,
+            reference_processors=allocation.processors(task.task_id),
+        )
+        schedule.add(entry)
+        return entry

@@ -1,0 +1,38 @@
+"""Evaluation metrics (Section 7 of the paper).
+
+* :func:`slowdown` -- per-application slowdown ``M_own / M_multi``
+  (Eq. 3): the ratio of the makespan the application achieves when it has
+  the platform on its own to the makespan it achieves in presence of
+  concurrency.  A value of 1 means the application is not affected by the
+  competition; smaller values mean it is slowed down.
+* :func:`average_slowdown` (Eq. 4) and :func:`unfairness` (Eq. 5) -- the
+  unfairness of a schedule is the summed absolute deviation of the
+  per-application slowdowns from their mean; a low value means every
+  application experiences a similar slowdown, i.e. the schedule is fair.
+* :func:`relative_makespans` / :func:`average_relative_makespan` -- for a
+  given experiment the makespan achieved by each strategy is divided by
+  the best makespan achieved by any strategy on that experiment, so
+  extreme values are not smoothed away by averaging across experiments.
+* :mod:`repro.metrics.utilisation` -- platform usage diagnostics
+  (parallel efficiency / resource waste) used by the ablation studies.
+"""
+
+from repro.metrics.fairness import slowdown, average_slowdown, unfairness, slowdowns
+from repro.metrics.makespan import (
+    relative_makespans,
+    average_relative_makespan,
+    best_makespan,
+)
+from repro.metrics.utilisation import schedule_utilisation, work_efficiency
+
+__all__ = [
+    "slowdown",
+    "slowdowns",
+    "average_slowdown",
+    "unfairness",
+    "relative_makespans",
+    "average_relative_makespan",
+    "best_makespan",
+    "schedule_utilisation",
+    "work_efficiency",
+]

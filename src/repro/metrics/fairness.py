@@ -1,0 +1,63 @@
+"""Slowdown and unfairness metrics (Equations 3-5 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def slowdown(makespan_own: float, makespan_multi: float) -> float:
+    """Slowdown of one application (Eq. 3): ``M_own / M_multi``.
+
+    ``M_own`` is the makespan achieved when the application has the
+    resources on its own, ``M_multi`` the makespan achieved in presence of
+    concurrency.  Since concurrency can only delay an application,
+    ``M_multi >= M_own`` and the slowdown lies in ``(0, 1]`` (up to noise
+    in the simulation: a marginally larger value can appear when the
+    concurrent mapping happens to find a slightly better placement).
+    """
+    if makespan_own <= 0:
+        raise ConfigurationError(f"makespan_own must be positive, got {makespan_own}")
+    if makespan_multi <= 0:
+        raise ConfigurationError(
+            f"makespan_multi must be positive, got {makespan_multi}"
+        )
+    return makespan_own / makespan_multi
+
+
+def slowdowns(
+    own: Mapping[str, float], multi: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-application slowdowns for two makespan dictionaries keyed by name."""
+    missing = set(own) ^ set(multi)
+    if missing:
+        raise ConfigurationError(
+            f"own and multi makespans must cover the same applications; differ on {sorted(missing)}"
+        )
+    if not own:
+        raise ConfigurationError("at least one application is required")
+    return {name: slowdown(own[name], multi[name]) for name in own}
+
+
+def average_slowdown(values: Mapping[str, float] | Sequence[float]) -> float:
+    """Average slowdown over the set of applications (Eq. 4)."""
+    seq = list(values.values()) if isinstance(values, Mapping) else list(values)
+    if not seq:
+        raise ConfigurationError("at least one slowdown value is required")
+    return sum(seq) / len(seq)
+
+
+def unfairness(values: Mapping[str, float] | Sequence[float]) -> float:
+    """Unfairness of a schedule (Eq. 5).
+
+    Sum of the absolute deviations of the per-application slowdowns from
+    the average slowdown.  Zero means perfectly fair (every application
+    experiences exactly the same slowdown); the value grows both with the
+    spread of the slowdowns and with the number of applications.
+    """
+    seq = list(values.values()) if isinstance(values, Mapping) else list(values)
+    if not seq:
+        raise ConfigurationError("at least one slowdown value is required")
+    avg = sum(seq) / len(seq)
+    return sum(abs(s - avg) for s in seq)

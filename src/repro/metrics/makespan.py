@@ -1,0 +1,79 @@
+"""Makespan-based metrics.
+
+"As a simple average over a large range of experiments can smooth results
+and thus hide some extreme values, we consider the average relative
+makespan instead.  For each experiment [...] the makespan achieved by each
+strategy [...] is divided by the best makespan achieved for this
+experiment."  (paper, Section 7)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def best_makespan(per_strategy: Mapping[str, float]) -> float:
+    """Smallest makespan achieved by any strategy on one experiment."""
+    if not per_strategy:
+        raise ConfigurationError("at least one strategy result is required")
+    best = min(per_strategy.values())
+    if best <= 0:
+        raise ConfigurationError(f"makespans must be positive, got {per_strategy}")
+    return best
+
+
+def relative_makespans(per_strategy: Mapping[str, float]) -> Dict[str, float]:
+    """Makespan of each strategy divided by the best makespan of the experiment.
+
+    The best strategy of the experiment gets exactly 1.0; every other
+    strategy gets a value >= 1.0.
+    """
+    best = best_makespan(per_strategy)
+    return {name: value / best for name, value in per_strategy.items()}
+
+
+def average_relative_makespan(
+    per_experiment: Sequence[Mapping[str, float]]
+) -> Dict[str, float]:
+    """Average the per-experiment relative makespans of each strategy.
+
+    Every experiment must report the same strategy set; this mirrors the
+    paper's aggregation over "100 runs" (25 workloads x 4 platforms).
+    """
+    experiments = list(per_experiment)
+    if not experiments:
+        raise ConfigurationError("at least one experiment is required")
+    names = set(experiments[0])
+    for exp in experiments:
+        if set(exp) != names:
+            raise ConfigurationError(
+                "every experiment must report the same strategies; "
+                f"expected {sorted(names)}, got {sorted(exp)}"
+            )
+    totals: Dict[str, float] = {name: 0.0 for name in names}
+    for exp in experiments:
+        rel = relative_makespans(exp)
+        for name, value in rel.items():
+            totals[name] += value
+    return {name: totals[name] / len(experiments) for name in names}
+
+
+def average_makespan(per_experiment: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Plain average of the absolute makespans of each strategy.
+
+    Used for the mu-sweep of Figure 2, where "we do not use the average
+    relative makespan [...] but a simple average over the 100 runs as only
+    one scheduling heuristic is studied."
+    """
+    experiments = list(per_experiment)
+    if not experiments:
+        raise ConfigurationError("at least one experiment is required")
+    names = set(experiments[0])
+    for exp in experiments:
+        if set(exp) != names:
+            raise ConfigurationError("every experiment must report the same strategies")
+    return {
+        name: sum(exp[name] for exp in experiments) / len(experiments) for name in names
+    }

@@ -1,0 +1,62 @@
+"""Resource usage diagnostics.
+
+These metrics are not plotted in the paper's figures but quantify the
+"wasting of resources" the ES strategy is criticised for and the
+"parallel efficiency" trade-off HCPA targets; the ablation benchmarks use
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import ConfigurationError
+from repro.mapping.schedule import Schedule
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+def schedule_utilisation(schedule: Schedule, platform: MultiClusterPlatform) -> float:
+    """Fraction of the platform's processor time kept busy by *schedule*.
+
+    Computed over the horizon ``[0, global makespan]``.
+    """
+    horizon = schedule.global_makespan()
+    if horizon <= 0:
+        return 0.0
+    busy = sum(schedule.work_on(cluster.name) for cluster in platform)
+    return busy / (horizon * platform.total_processors)
+
+
+def work_efficiency(
+    total_work_flops: float, schedule: Schedule, platform: MultiClusterPlatform
+) -> float:
+    """Useful flops divided by the flops the platform could deliver.
+
+    ``total_work_flops`` is the sequential work of the scheduled
+    applications; the denominator is the aggregate platform power times
+    the schedule's global makespan.  Low values indicate either idle
+    processors or inefficient (over-)parallelisation of tasks.
+    """
+    if total_work_flops < 0:
+        raise ConfigurationError("total_work_flops must be non-negative")
+    horizon = schedule.global_makespan()
+    if horizon <= 0:
+        return 0.0
+    capacity = platform.total_power_flops * horizon
+    return total_work_flops / capacity
+
+
+def per_cluster_utilisation(
+    schedule: Schedule, platform: MultiClusterPlatform
+) -> Dict[str, float]:
+    """Utilisation of each cluster over the schedule horizon."""
+    horizon = schedule.global_makespan()
+    result: Dict[str, float] = {}
+    for cluster in platform:
+        if horizon <= 0:
+            result[cluster.name] = 0.0
+        else:
+            result[cluster.name] = schedule.work_on(cluster.name) / (
+                horizon * cluster.num_processors
+            )
+    return result

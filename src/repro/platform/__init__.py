@@ -1,0 +1,45 @@
+"""Heterogeneous multi-cluster platform model.
+
+The paper evaluates its scheduling heuristics on four multi-cluster
+subsets of the Grid'5000 testbed (Table 1 of the paper).  This package
+models such platforms:
+
+* :class:`~repro.platform.cluster.Cluster` -- a homogeneous cluster of
+  ``p`` identical processors of speed ``s`` GFlop/s,
+* :class:`~repro.platform.network.Switch` and
+  :class:`~repro.platform.network.NetworkTopology` -- the interconnection
+  of clusters through one or several switches (clusters of the Rennes and
+  Lille sites share a single switch, those of Nancy and Sophia each have
+  their own, which leads to different contention conditions),
+* :class:`~repro.platform.multicluster.MultiClusterPlatform` -- the whole
+  platform with aggregate quantities (total processors, total processing
+  power, heterogeneity),
+* :mod:`~repro.platform.grid5000` -- the concrete Grid'5000 subsets of
+  Table 1,
+* :mod:`~repro.platform.builder` -- helpers to build synthetic platforms
+  for tests and ablation studies.
+"""
+
+from repro.platform.cluster import Cluster
+from repro.platform.network import Switch, NetworkLink, NetworkTopology
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.platform import grid5000
+from repro.platform.builder import (
+    homogeneous_platform,
+    heterogeneous_platform,
+    random_platform,
+    single_cluster_platform,
+)
+
+__all__ = [
+    "Cluster",
+    "Switch",
+    "NetworkLink",
+    "NetworkTopology",
+    "MultiClusterPlatform",
+    "grid5000",
+    "homogeneous_platform",
+    "heterogeneous_platform",
+    "random_platform",
+    "single_cluster_platform",
+]

@@ -1,0 +1,127 @@
+"""Synthetic platform builders.
+
+These helpers build platforms that are *not* in the paper's Table 1.  They
+are used by the unit tests (small controllable platforms), the examples
+(custom platform walk-through), and the ablation benchmarks (varying
+heterogeneity and switch sharing while keeping total power constant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.cluster import Cluster
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.platform.network import NetworkTopology
+from repro.utils.rng import ensure_rng
+
+
+def single_cluster_platform(
+    num_processors: int = 64,
+    speed_gflops: float = 4.0,
+    name: str = "single",
+) -> MultiClusterPlatform:
+    """A platform with exactly one homogeneous cluster.
+
+    Useful to test the degenerate case where the multi-cluster machinery
+    (reference cluster, per-cluster translation, inter-cluster
+    communication) must reduce to classical homogeneous scheduling.
+    """
+    cluster = Cluster(f"{name}-c0", num_processors, speed_gflops, site=name)
+    return MultiClusterPlatform(name, [cluster])
+
+
+def homogeneous_platform(
+    num_clusters: int = 3,
+    processors_per_cluster: int = 32,
+    speed_gflops: float = 4.0,
+    shared_switch: bool = True,
+    name: str = "homogeneous",
+) -> MultiClusterPlatform:
+    """A multi-cluster platform in which every cluster is identical."""
+    if num_clusters <= 0:
+        raise InvalidPlatformError("num_clusters must be positive")
+    clusters = [
+        Cluster(f"{name}-c{i}", processors_per_cluster, speed_gflops, site=name)
+        for i in range(num_clusters)
+    ]
+    names = [c.name for c in clusters]
+    topology = (
+        NetworkTopology.shared_switch(names, switch_name=f"{name}-switch")
+        if shared_switch
+        else NetworkTopology.per_cluster_switch(names)
+    )
+    return MultiClusterPlatform(name, clusters, topology)
+
+
+def heterogeneous_platform(
+    cluster_sizes: Sequence[int] = (32, 64, 16),
+    cluster_speeds: Sequence[float] = (3.0, 4.0, 5.0),
+    shared_switch: bool = True,
+    name: str = "heterogeneous",
+) -> MultiClusterPlatform:
+    """A multi-cluster platform with explicit per-cluster sizes and speeds."""
+    if len(cluster_sizes) != len(cluster_speeds):
+        raise InvalidPlatformError(
+            "cluster_sizes and cluster_speeds must have the same length"
+        )
+    clusters = [
+        Cluster(f"{name}-c{i}", int(size), float(speed), site=name)
+        for i, (size, speed) in enumerate(zip(cluster_sizes, cluster_speeds))
+    ]
+    names = [c.name for c in clusters]
+    topology = (
+        NetworkTopology.shared_switch(names, switch_name=f"{name}-switch")
+        if shared_switch
+        else NetworkTopology.per_cluster_switch(names)
+    )
+    return MultiClusterPlatform(name, clusters, topology)
+
+
+def random_platform(
+    rng=None,
+    num_clusters: int = 3,
+    min_processors: int = 20,
+    max_processors: int = 120,
+    min_speed_gflops: float = 3.0,
+    max_speed_gflops: float = 4.7,
+    shared_switch: Optional[bool] = None,
+    name: str = "random",
+) -> MultiClusterPlatform:
+    """Sample a random multi-cluster platform.
+
+    Cluster sizes are drawn uniformly in ``[min_processors,
+    max_processors]`` and speeds uniformly in ``[min_speed_gflops,
+    max_speed_gflops]``, which covers the range of the Grid'5000 subsets
+    of Table 1.  When *shared_switch* is ``None`` the switch-sharing mode
+    is itself drawn at random.
+    """
+    generator = ensure_rng(rng)
+    if num_clusters <= 0:
+        raise InvalidPlatformError("num_clusters must be positive")
+    if min_processors <= 0 or max_processors < min_processors:
+        raise InvalidPlatformError(
+            "processor bounds must satisfy 0 < min_processors <= max_processors"
+        )
+    if min_speed_gflops <= 0 or max_speed_gflops < min_speed_gflops:
+        raise InvalidPlatformError(
+            "speed bounds must satisfy 0 < min_speed <= max_speed"
+        )
+    sizes = generator.integers(min_processors, max_processors + 1, size=num_clusters)
+    speeds = generator.uniform(min_speed_gflops, max_speed_gflops, size=num_clusters)
+    if shared_switch is None:
+        shared_switch = bool(generator.integers(0, 2))
+    clusters = [
+        Cluster(f"{name}-c{i}", int(sizes[i]), float(round(speeds[i], 3)), site=name)
+        for i in range(num_clusters)
+    ]
+    names = [c.name for c in clusters]
+    topology = (
+        NetworkTopology.shared_switch(names, switch_name=f"{name}-switch")
+        if shared_switch
+        else NetworkTopology.per_cluster_switch(names)
+    )
+    return MultiClusterPlatform(name, clusters, topology)

@@ -1,0 +1,98 @@
+"""Cluster model.
+
+A cluster is a set of identical processors connected to a switch.  This
+matches the platform model of Section 2 of the paper: "each platform
+consists of c clusters, where cluster C_k contains p_k identical
+processors.  A processor in cluster C_k computes at a speed s_k expressed
+in flop/s."
+
+Speeds are stored in GFlop/s (as in Table 1 of the paper) and converted to
+flop/s on demand through :attr:`Cluster.speed_flops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import InvalidPlatformError
+
+#: Number of floating point operations per GFlop.
+GFLOP = 1e9
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster of identical processors.
+
+    Parameters
+    ----------
+    name:
+        Unique cluster name inside its platform (e.g. ``"grelon"``).
+    num_processors:
+        Number of identical processors ``p_k`` (strictly positive).
+    speed_gflops:
+        Per-processor speed ``s_k`` in GFlop/s (strictly positive).
+    site:
+        Optional name of the hosting site (e.g. ``"nancy"``); only used
+        for reporting.
+
+    Examples
+    --------
+    >>> c = Cluster("grelon", 120, 3.185, site="nancy")
+    >>> c.power_gflops
+    382.2
+    >>> c.speed_flops
+    3185000000.0
+    """
+
+    name: str
+    num_processors: int
+    speed_gflops: float
+    site: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidPlatformError("cluster name must be a non-empty string")
+        if not isinstance(self.num_processors, int) or self.num_processors <= 0:
+            raise InvalidPlatformError(
+                f"cluster {self.name!r}: num_processors must be a positive integer, "
+                f"got {self.num_processors!r}"
+            )
+        if not self.speed_gflops > 0:
+            raise InvalidPlatformError(
+                f"cluster {self.name!r}: speed_gflops must be positive, "
+                f"got {self.speed_gflops!r}"
+            )
+
+    @property
+    def speed_flops(self) -> float:
+        """Per-processor speed in flop/s."""
+        return self.speed_gflops * GFLOP
+
+    @property
+    def power_gflops(self) -> float:
+        """Aggregate processing power of the cluster in GFlop/s.
+
+        This is the quantity the resource constraint ``beta`` is expressed
+        against: the constraint bounds the *processing power* a schedule
+        may use, not a raw processor count, because 100 processors at
+        1 GFlop/s are not equivalent to 100 processors at 4 GFlop/s.
+        """
+        return self.num_processors * self.speed_gflops
+
+    @property
+    def power_flops(self) -> float:
+        """Aggregate processing power of the cluster in flop/s."""
+        return self.num_processors * self.speed_flops
+
+    def processors(self) -> range:
+        """Local processor indices ``0 .. num_processors - 1``."""
+        return range(self.num_processors)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        site = f" ({self.site})" if self.site else ""
+        return (
+            f"Cluster {self.name}{site}: {self.num_processors} procs "
+            f"@ {self.speed_gflops} GFlop/s"
+        )

@@ -1,0 +1,120 @@
+"""The four Grid'5000 multi-cluster subsets used in the paper (Table 1).
+
++---------+-----------+-------+----------+
+| Site    | Cluster   | #proc | GFlop/s  |
++=========+===========+=======+==========+
+| Lille   | Chuque    |  53   | 3.647    |
+|         | Chti      |  20   | 4.311    |
+|         | Chicon    |  26   | 4.384    |
++---------+-----------+-------+----------+
+| Nancy   | Grillon   |  47   | 3.379    |
+|         | Grelon    | 120   | 3.185    |
++---------+-----------+-------+----------+
+| Rennes  | Parasol   |  64   | 3.573    |
+|         | Paravent  |  99   | 3.364    |
+|         | Paraquad  |  66   | 4.603    |
++---------+-----------+-------+----------+
+| Sophia  | Azur      |  74   | 3.258    |
+|         | Helios    |  56   | 3.675    |
+|         | Sol       |  50   | 4.389    |
++---------+-----------+-------+----------+
+
+The sites differ in total number of processors (99, 167, 229 and 180) and
+heterogeneity (20.2%, 6.1%, 36.8% and 34.7%).  The clusters of Rennes and
+Lille are connected to the same switch while in Nancy and Sophia each
+cluster has its own switch, which leads to different contention
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.cluster import Cluster
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.platform.network import NetworkTopology
+
+#: Raw Table 1 data: site -> list of (cluster name, #processors, GFlop/s).
+TABLE_1: Dict[str, List[tuple]] = {
+    "lille": [
+        ("chuque", 53, 3.647),
+        ("chti", 20, 4.311),
+        ("chicon", 26, 4.384),
+    ],
+    "nancy": [
+        ("grillon", 47, 3.379),
+        ("grelon", 120, 3.185),
+    ],
+    "rennes": [
+        ("parasol", 64, 3.573),
+        ("paravent", 99, 3.364),
+        ("paraquad", 66, 4.603),
+    ],
+    "sophia": [
+        ("azur", 74, 3.258),
+        ("helios", 56, 3.675),
+        ("sol", 50, 4.389),
+    ],
+}
+
+#: Sites whose clusters share a single switch (paper Section 2).
+SHARED_SWITCH_SITES = ("lille", "rennes")
+#: Sites where each cluster has its own switch.
+PER_CLUSTER_SWITCH_SITES = ("nancy", "sophia")
+
+#: Order in which sites are reported in the paper (99, 167, 229, 180 procs).
+SITE_ORDER = ("lille", "nancy", "rennes", "sophia")
+
+
+def _build(site: str) -> MultiClusterPlatform:
+    rows = TABLE_1[site]
+    clusters = [
+        Cluster(name, procs, gflops, site=site) for (name, procs, gflops) in rows
+    ]
+    names = [c.name for c in clusters]
+    if site in SHARED_SWITCH_SITES:
+        topology = NetworkTopology.shared_switch(names, switch_name=f"{site}-switch")
+    else:
+        topology = NetworkTopology.per_cluster_switch(names)
+    return MultiClusterPlatform(site, clusters, topology)
+
+
+def lille() -> MultiClusterPlatform:
+    """Lille subset: 3 clusters, 99 processors, 20.2% heterogeneity."""
+    return _build("lille")
+
+
+def nancy() -> MultiClusterPlatform:
+    """Nancy subset: 2 clusters, 167 processors, 6.1% heterogeneity."""
+    return _build("nancy")
+
+
+def rennes() -> MultiClusterPlatform:
+    """Rennes subset: 3 clusters, 229 processors, 36.8% heterogeneity."""
+    return _build("rennes")
+
+
+def sophia() -> MultiClusterPlatform:
+    """Sophia subset: 3 clusters, 180 processors, 34.7% heterogeneity."""
+    return _build("sophia")
+
+
+def site(name: str) -> MultiClusterPlatform:
+    """Return the Grid'5000 subset called *name* (case-insensitive)."""
+    key = name.lower()
+    if key not in TABLE_1:
+        raise InvalidPlatformError(
+            f"unknown Grid'5000 site {name!r}; available: {sorted(TABLE_1)}"
+        )
+    return _build(key)
+
+
+def all_sites() -> List[MultiClusterPlatform]:
+    """The four platforms, in the paper's order (Lille, Nancy, Rennes, Sophia)."""
+    return [_build(s) for s in SITE_ORDER]
+
+
+def site_names() -> List[str]:
+    """Names of the four sites, in the paper's order."""
+    return list(SITE_ORDER)

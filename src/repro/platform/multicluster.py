@@ -1,0 +1,166 @@
+"""Multi-cluster platform: a named set of clusters plus their network.
+
+This is the top-level platform object consumed by the allocation
+procedures (through the reference-cluster abstraction), the mapping
+procedures (through per-cluster processor timelines) and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.cluster import Cluster
+from repro.platform.network import NetworkTopology
+
+
+@dataclass
+class MultiClusterPlatform:
+    """A heterogeneous multi-cluster platform.
+
+    Parameters
+    ----------
+    name:
+        Platform name (e.g. the Grid'5000 site name ``"rennes"``).
+    clusters:
+        The clusters composing the platform.  Cluster names must be unique.
+    topology:
+        The interconnection topology.  When omitted, all clusters are
+        attached to a single shared switch.
+
+    Examples
+    --------
+    >>> from repro.platform import Cluster, MultiClusterPlatform
+    >>> p = MultiClusterPlatform(
+    ...     "demo",
+    ...     [Cluster("a", 10, 2.0), Cluster("b", 20, 4.0)],
+    ... )
+    >>> p.total_processors
+    30
+    >>> p.total_power_gflops
+    100.0
+    >>> round(p.heterogeneity, 3)
+    1.0
+    """
+
+    name: str
+    clusters: Sequence[Cluster]
+    topology: Optional[NetworkTopology] = None
+    _index: Dict[str, Cluster] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidPlatformError("platform name must be a non-empty string")
+        self.clusters = tuple(self.clusters)
+        if not self.clusters:
+            raise InvalidPlatformError(
+                f"platform {self.name!r} must contain at least one cluster"
+            )
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise InvalidPlatformError(
+                f"platform {self.name!r} has duplicate cluster names: {names}"
+            )
+        self._index = {c.name: c for c in self.clusters}
+        if self.topology is None:
+            self.topology = NetworkTopology.shared_switch(
+                names, switch_name=f"{self.name}-switch"
+            )
+        for cluster_name in names:
+            # raises if a cluster is not attached
+            self.topology.switch_of(cluster_name)
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __contains__(self, cluster_name: str) -> bool:
+        return cluster_name in self._index
+
+    def cluster(self, name: str) -> Cluster:
+        """Return the cluster called *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise InvalidPlatformError(
+                f"platform {self.name!r} has no cluster named {name!r}"
+            ) from None
+
+    def cluster_names(self) -> List[str]:
+        """Names of the clusters, in declaration order."""
+        return [c.name for c in self.clusters]
+
+    # ------------------------------------------------------------------ #
+    # aggregate quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def total_processors(self) -> int:
+        """Total number of processors over all clusters."""
+        return sum(c.num_processors for c in self.clusters)
+
+    @property
+    def total_power_gflops(self) -> float:
+        """Total processing power in GFlop/s (the denominator of ``beta``)."""
+        return sum(c.power_gflops for c in self.clusters)
+
+    @property
+    def total_power_flops(self) -> float:
+        """Total processing power in flop/s."""
+        return sum(c.power_flops for c in self.clusters)
+
+    @property
+    def min_speed_gflops(self) -> float:
+        """Speed of the slowest processors (GFlop/s)."""
+        return min(c.speed_gflops for c in self.clusters)
+
+    @property
+    def max_speed_gflops(self) -> float:
+        """Speed of the fastest processors (GFlop/s)."""
+        return max(c.speed_gflops for c in self.clusters)
+
+    @property
+    def max_cluster_size(self) -> int:
+        """Largest number of processors available inside a single cluster.
+
+        A data-parallel task must execute within one cluster, so this
+        bounds the useful allocation of any single task.
+        """
+        return max(c.num_processors for c in self.clusters)
+
+    @property
+    def heterogeneity(self) -> float:
+        """Heterogeneity of the platform as defined in the paper.
+
+        "The heterogeneity of a platform is determined by the ratio
+        between the speeds of the fastest and slowest processors."  We
+        report it as ``max_speed / min_speed - 1`` which yields the
+        percentages quoted in the paper (e.g. 20.2% for Lille).
+        """
+        return self.max_speed_gflops / self.min_speed_gflops - 1.0
+
+    @property
+    def heterogeneity_percent(self) -> float:
+        """Heterogeneity expressed as a percentage (paper Table 1)."""
+        return 100.0 * self.heterogeneity
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> List[Tuple[str, int, float]]:
+        """Rows ``(cluster name, #processors, GFlop/s)`` as in Table 1."""
+        return [(c.name, c.num_processors, c.speed_gflops) for c in self.clusters]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(
+            f"{c.name}({c.num_processors}x{c.speed_gflops})" for c in self.clusters
+        )
+        return (
+            f"Platform {self.name}: {self.total_processors} procs, "
+            f"{self.total_power_gflops:.1f} GFlop/s [{rows}]"
+        )

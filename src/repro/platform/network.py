@@ -1,0 +1,280 @@
+"""Interconnection network model.
+
+The paper's platforms are single-site multi-clusters: "As the clusters are
+generally located in a single site, the network latency between the
+different nodes is that of a LAN."  What differs between sites is whether
+the clusters share a switch (Rennes, Lille) or each cluster has its own
+switch (Nancy, Sophia), "which leads to different contention conditions".
+
+We model this with:
+
+* :class:`Switch` -- a shared medium with a finite backplane bandwidth and
+  a latency; every transfer traversing the switch shares its bandwidth
+  (fair sharing, implemented by the simulation substrate),
+* :class:`NetworkLink` -- the link between a cluster and its switch, and
+  between two switches,
+* :class:`NetworkTopology` -- maps clusters to switches and answers the
+  question "which switches does a transfer between cluster A and cluster
+  B traverse?".
+
+The default numeric values (1 GbE links, 10 Gb/s switch backplanes,
+100 microseconds of latency per hop) are typical of the Grid'5000 LANs of
+the period; they are configurable so sensitivity studies are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidPlatformError
+
+#: Default bandwidth of the link between ONE compute node and its switch
+#: (bytes/s).  Grid'5000 nodes of the period had gigabit NICs; a cluster's
+#: aggregate access bandwidth is ``num_processors x DEFAULT_LINK_BANDWIDTH``
+#: because every node has its own NIC (data redistribution between two
+#: processor sets uses many NICs in parallel).
+DEFAULT_LINK_BANDWIDTH = 125e6  # 1 Gb/s per node
+#: Default switch backplane bandwidth shared by the inter-cluster flows
+#: traversing the switch (bytes/s).  This is the resource whose sharing
+#: differentiates the shared-switch sites (Rennes, Lille) from the
+#: per-cluster-switch sites (Nancy, Sophia).
+DEFAULT_SWITCH_BANDWIDTH = 2.5e9  # 20 Gb/s aggregation capacity
+#: Default one-hop latency in seconds (LAN).
+DEFAULT_LATENCY = 1e-4
+
+
+@dataclass(frozen=True)
+class Switch:
+    """A network switch with a finite, fair-shared backplane bandwidth."""
+
+    name: str
+    bandwidth: float = DEFAULT_SWITCH_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidPlatformError("switch name must be a non-empty string")
+        if not self.bandwidth > 0:
+            raise InvalidPlatformError(
+                f"switch {self.name!r}: bandwidth must be positive, got {self.bandwidth!r}"
+            )
+        if self.latency < 0:
+            raise InvalidPlatformError(
+                f"switch {self.name!r}: latency must be non-negative, got {self.latency!r}"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link (cluster <-> switch or switch <-> switch)."""
+
+    name: str
+    bandwidth: float = DEFAULT_LINK_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+
+    def __post_init__(self) -> None:
+        if not self.bandwidth > 0:
+            raise InvalidPlatformError(
+                f"link {self.name!r}: bandwidth must be positive, got {self.bandwidth!r}"
+            )
+        if self.latency < 0:
+            raise InvalidPlatformError(
+                f"link {self.name!r}: latency must be non-negative, got {self.latency!r}"
+            )
+
+
+@dataclass
+class NetworkTopology:
+    """Cluster-to-switch assignment plus inter-switch connectivity.
+
+    Parameters
+    ----------
+    switches:
+        The switches of the site.
+    attachment:
+        Mapping from cluster name to the name of the switch it is attached
+        to.  Several clusters may share a switch (Rennes, Lille) or each
+        may have its own (Nancy, Sophia).
+    link_bandwidth, link_latency:
+        Characteristics of the cluster <-> switch links (and of the
+        inter-switch links when there are several switches).
+
+    Notes
+    -----
+    When the topology contains more than one switch, the switches are
+    assumed to be connected to each other through a single site backbone
+    (a full mesh of switch-to-switch links with the same characteristics
+    as the access links).  This matches the flat LAN structure of the
+    Grid'5000 sites of the paper.
+    """
+
+    switches: Sequence[Switch]
+    attachment: Mapping[str, str]
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH
+    link_latency: float = DEFAULT_LATENCY
+    _switch_index: Dict[str, Switch] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.switches = tuple(self.switches)
+        if not self.switches:
+            raise InvalidPlatformError("a network topology needs at least one switch")
+        names = [s.name for s in self.switches]
+        if len(set(names)) != len(names):
+            raise InvalidPlatformError(f"duplicate switch names in topology: {names}")
+        self._switch_index = {s.name: s for s in self.switches}
+        self.attachment = dict(self.attachment)
+        for cluster_name, switch_name in self.attachment.items():
+            if switch_name not in self._switch_index:
+                raise InvalidPlatformError(
+                    f"cluster {cluster_name!r} attached to unknown switch {switch_name!r}"
+                )
+        if not self.link_bandwidth > 0:
+            raise InvalidPlatformError("link_bandwidth must be positive")
+        if self.link_latency < 0:
+            raise InvalidPlatformError("link_latency must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def switch_names(self) -> List[str]:
+        """Names of the switches, in declaration order."""
+        return [s.name for s in self.switches]
+
+    def switch(self, name: str) -> Switch:
+        """Return the switch called *name*."""
+        try:
+            return self._switch_index[name]
+        except KeyError:
+            raise InvalidPlatformError(f"unknown switch {name!r}") from None
+
+    def switch_of(self, cluster_name: str) -> Switch:
+        """Return the switch the cluster called *cluster_name* is attached to."""
+        try:
+            return self._switch_index[self.attachment[cluster_name]]
+        except KeyError:
+            raise InvalidPlatformError(
+                f"cluster {cluster_name!r} is not attached to this topology"
+            ) from None
+
+    def clusters_on(self, switch_name: str) -> List[str]:
+        """Names of clusters attached to *switch_name*."""
+        self.switch(switch_name)
+        return [c for c, s in self.attachment.items() if s == switch_name]
+
+    def shares_switch(self, cluster_a: str, cluster_b: str) -> bool:
+        """True when both clusters are attached to the same switch."""
+        return self.switch_of(cluster_a).name == self.switch_of(cluster_b).name
+
+    def route(self, src_cluster: str, dst_cluster: str) -> List[Switch]:
+        """Switches traversed by a transfer from *src_cluster* to *dst_cluster*.
+
+        Intra-cluster transfers still traverse the cluster's switch once
+        (data redistribution between two different processor sets of the
+        same cluster goes through the switch).  Inter-cluster transfers on
+        the same switch traverse it once; transfers between clusters on
+        different switches traverse both switches.
+        """
+        src_switch = self.switch_of(src_cluster)
+        dst_switch = self.switch_of(dst_cluster)
+        if src_switch.name == dst_switch.name:
+            return [src_switch]
+        return [src_switch, dst_switch]
+
+    def hop_count(self, src_cluster: str, dst_cluster: str) -> int:
+        """Number of links traversed (used for latency accounting)."""
+        if src_cluster == dst_cluster:
+            return 2  # out to the switch and back
+        if self.shares_switch(src_cluster, dst_cluster):
+            return 2  # cluster -> switch -> cluster
+        return 3  # cluster -> switch -> switch -> cluster
+
+    def path_latency(self, src_cluster: str, dst_cluster: str) -> float:
+        """Total latency of the path between two clusters (seconds)."""
+        hops = self.hop_count(src_cluster, dst_cluster)
+        switch_lat = sum(s.latency for s in self.route(src_cluster, dst_cluster))
+        return hops * self.link_latency + switch_lat
+
+    def path_bandwidth(self, src_cluster: str, dst_cluster: str) -> float:
+        """Bottleneck bandwidth of the path for a single-node pair (bytes/s).
+
+        This is the rate one node of the source cluster can sustain towards
+        one node of the destination cluster: the minimum of the per-node
+        link bandwidth and the switch backplanes on the route.  Redis-
+        tributions between *sets* of processors aggregate many node pairs;
+        use :class:`repro.mapping.comm.CommunicationEstimator` (which knows
+        the cluster sizes) for those.
+        """
+        switch_bw = min(s.bandwidth for s in self.route(src_cluster, dst_cluster))
+        return min(self.link_bandwidth, switch_bw)
+
+    def cluster_access_bandwidth(self, num_processors: int) -> float:
+        """Aggregate access bandwidth of a cluster of *num_processors* nodes."""
+        if num_processors < 1:
+            raise InvalidPlatformError(
+                f"num_processors must be >= 1, got {num_processors}"
+            )
+        return num_processors * self.link_bandwidth
+
+    def route_bandwidth(
+        self, src_cluster: str, dst_cluster: str, src_nodes: int, dst_nodes: int
+    ) -> float:
+        """Bottleneck bandwidth of a redistribution between two node sets.
+
+        The transfer is limited by the aggregate NIC pools of the two node
+        sets and by the backplane of every switch on the route.
+        """
+        switch_bw = min(s.bandwidth for s in self.route(src_cluster, dst_cluster))
+        return min(
+            self.cluster_access_bandwidth(src_nodes),
+            self.cluster_access_bandwidth(dst_nodes),
+            switch_bw,
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def shared_switch(
+        cls,
+        cluster_names: Iterable[str],
+        switch_name: str = "site-switch",
+        switch_bandwidth: float = DEFAULT_SWITCH_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    ) -> "NetworkTopology":
+        """All clusters attached to one shared switch (Rennes / Lille style)."""
+        switch = Switch(switch_name, bandwidth=switch_bandwidth, latency=latency)
+        attachment = {name: switch_name for name in cluster_names}
+        if not attachment:
+            raise InvalidPlatformError("shared_switch needs at least one cluster")
+        return cls(
+            switches=[switch],
+            attachment=attachment,
+            link_bandwidth=link_bandwidth,
+            link_latency=latency,
+        )
+
+    @classmethod
+    def per_cluster_switch(
+        cls,
+        cluster_names: Iterable[str],
+        switch_bandwidth: float = DEFAULT_SWITCH_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    ) -> "NetworkTopology":
+        """One private switch per cluster (Nancy / Sophia style)."""
+        cluster_names = list(cluster_names)
+        if not cluster_names:
+            raise InvalidPlatformError("per_cluster_switch needs at least one cluster")
+        switches = [
+            Switch(f"switch-{name}", bandwidth=switch_bandwidth, latency=latency)
+            for name in cluster_names
+        ]
+        attachment = {name: f"switch-{name}" for name in cluster_names}
+        return cls(
+            switches=switches,
+            attachment=attachment,
+            link_bandwidth=link_bandwidth,
+            link_latency=latency,
+        )

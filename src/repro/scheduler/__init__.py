@@ -1,0 +1,34 @@
+"""Two-step schedulers assembling allocation, constraint and mapping.
+
+* :class:`~repro.scheduler.single.SinglePTGScheduler` schedules one
+  application on a dedicated platform.  It is used to compute the
+  reference makespan ``M_own`` entering the slowdown / unfairness metrics.
+* :class:`~repro.scheduler.concurrent.ConcurrentScheduler` schedules a set
+  of applications submitted together: a constraint strategy assigns each
+  application its resource constraint ``beta``, the SCRAP-MAX procedure
+  computes constrained allocations, and the ready-list mapper places all
+  applications concurrently.
+* :class:`~repro.scheduler.online.OnlineConcurrentScheduler` extends the
+  system to staggered submission times (the paper's future-work scenario):
+  constraints are recomputed at each arrival over the applications still
+  present in the system.
+"""
+
+from repro.scheduler.single import SinglePTGScheduler
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.scheduler.result import ConcurrentScheduleResult, SingleScheduleResult
+from repro.scheduler.online import (
+    Arrival,
+    OnlineConcurrentScheduler,
+    OnlineScheduleResult,
+)
+
+__all__ = [
+    "SinglePTGScheduler",
+    "ConcurrentScheduler",
+    "ConcurrentScheduleResult",
+    "SingleScheduleResult",
+    "Arrival",
+    "OnlineConcurrentScheduler",
+    "OnlineScheduleResult",
+]

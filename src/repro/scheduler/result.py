@@ -1,0 +1,96 @@
+"""Result objects returned by the schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.allocation.base import Allocation
+from repro.dag.graph import PTG
+from repro.exceptions import MappingError
+from repro.mapping.schedule import Schedule
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+@dataclass
+class SingleScheduleResult:
+    """Schedule of one application on a dedicated platform."""
+
+    ptg: PTG
+    platform: MultiClusterPlatform
+    allocation: Allocation
+    schedule: Schedule
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the application."""
+        return self.schedule.makespan(self.ptg.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SingleScheduleResult({self.ptg.name} on {self.platform.name}: "
+            f"{self.makespan:.1f}s)"
+        )
+
+
+@dataclass
+class ConcurrentScheduleResult:
+    """Schedule of a set of concurrently submitted applications.
+
+    Attributes
+    ----------
+    ptgs:
+        The applications, in submission order.
+    platform:
+        The target platform.
+    betas:
+        Resource constraint assigned to each application by the strategy.
+    allocations:
+        Constrained allocation computed for each application.
+    schedule:
+        The concurrent schedule produced by the mapper.
+    strategy_name:
+        Name of the constraint strategy that produced ``betas``.
+    """
+
+    ptgs: Sequence[PTG]
+    platform: MultiClusterPlatform
+    betas: Dict[str, float]
+    allocations: Dict[str, Allocation]
+    schedule: Schedule
+    strategy_name: str = ""
+
+    @property
+    def application_names(self) -> List[str]:
+        """Names of the applications, in submission order."""
+        return [p.name for p in self.ptgs]
+
+    @property
+    def makespans(self) -> Dict[str, float]:
+        """Per-application completion times (planned by the mapper)."""
+        return {name: self.schedule.makespan(name) for name in self.application_names}
+
+    @property
+    def global_makespan(self) -> float:
+        """Completion time of the whole batch."""
+        return self.schedule.global_makespan()
+
+    def makespan(self, ptg_name: str) -> float:
+        """Completion time of one application."""
+        if ptg_name not in self.betas:
+            raise MappingError(f"no application named {ptg_name!r} in this result")
+        return self.schedule.makespan(ptg_name)
+
+    def beta(self, ptg_name: str) -> float:
+        """Resource constraint assigned to one application."""
+        try:
+            return self.betas[ptg_name]
+        except KeyError:
+            raise MappingError(f"no application named {ptg_name!r} in this result") from None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        spans = ", ".join(f"{n}={m:.1f}s" for n, m in self.makespans.items())
+        return (
+            f"ConcurrentScheduleResult[{self.strategy_name}] on {self.platform.name}: "
+            f"{spans}"
+        )

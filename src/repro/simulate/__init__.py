@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate (the SimGrid substitute).
+
+The paper evaluates its heuristics with the SimGrid toolkit.  This package
+provides the equivalent substrate for the reproduction:
+
+* :class:`~repro.simulate.engine.SimulationEngine` -- a minimal
+  discrete-event engine (time-ordered event heap with cancellable events),
+* :class:`~repro.simulate.network.FairShareNetwork` -- a fluid network
+  model in which concurrent transfers crossing the same switch or cluster
+  uplink share its bandwidth; this reproduces the different contention
+  conditions of the shared-switch sites (Rennes, Lille) versus the
+  per-cluster-switch sites (Nancy, Sophia),
+* :class:`~repro.simulate.executor.ScheduleExecutor` -- replays a
+  :class:`~repro.mapping.schedule.Schedule` on the platform model,
+  respecting task precedences, data redistribution and processor
+  reservations, and measures the resulting per-application makespans,
+* :class:`~repro.simulate.report.SimulationReport` -- the measured
+  outcome (per-task records, per-application makespans, utilisation).
+
+The executor is what turns a *planned* schedule into *measured*
+makespans; all the metrics of the evaluation are computed on measured
+values.
+"""
+
+from repro.simulate.engine import SimulationEngine, EventHandle
+from repro.simulate.network import FairShareNetwork, Flow
+from repro.simulate.report import SimulationReport, TaskRecord
+from repro.simulate.executor import ScheduleExecutor
+from repro.simulate.trace import (
+    application_gantt,
+    cluster_load_profile,
+    report_to_csv,
+    report_to_rows,
+    schedule_to_rows,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "EventHandle",
+    "FairShareNetwork",
+    "Flow",
+    "SimulationReport",
+    "TaskRecord",
+    "ScheduleExecutor",
+    "application_gantt",
+    "cluster_load_profile",
+    "report_to_csv",
+    "report_to_rows",
+    "schedule_to_rows",
+]

@@ -1,0 +1,111 @@
+"""Minimal discrete-event simulation engine.
+
+A heap of ``(time, sequence, handle)`` entries drives the simulation.
+Events can be cancelled (needed by the fluid network model, which
+reschedules transfer completions whenever the set of concurrent flows
+changes); cancellation is implemented by invalidating the handle, so stale
+heap entries are skipped lazily when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(eq=False)
+class EventHandle:
+    """Handle of a scheduled event; keeps enough state to cancel it."""
+
+    time: float
+    callback: Callable[..., None]
+    args: Tuple[Any, ...]
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Cancel the event (a no-op if it already fired)."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Time-ordered execution of callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._processed
+
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(*args)* at simulated *time*.
+
+        *time* must not be in the past.  Returns a cancellable handle.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time=max(time, self._now), callback=callback, args=args)
+        heapq.heappush(self._heap, (handle.time, next(self._sequence), handle))
+        return handle
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback* after *delay* seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when none is left."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains (or *until* / *max_events* is hit)."""
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "this usually indicates a livelock in the model"
+                )

@@ -1,0 +1,197 @@
+"""Fluid fair-sharing network model.
+
+Inter-cluster data redistributions are simulated as *flows*.  A flow
+traverses a set of network resources:
+
+* the uplink of the source cluster,
+* the switch(es) on the route between the two clusters,
+* the uplink of the destination cluster.
+
+Each resource has a capacity (bytes/s).  At any instant the rate of a flow
+is the minimum, over the resources it traverses, of the resource capacity
+divided by the number of flows currently using that resource (equal
+sharing per resource -- a standard fluid approximation of TCP fair
+sharing, and the reason why clusters that share a switch, as in the
+Rennes and Lille sites, experience more contention than clusters with
+private switches).
+
+Rates are recomputed whenever a flow starts or completes; pending
+completion events are rescheduled accordingly.  Each flow additionally
+pays the path latency once, before data starts flowing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.simulate.engine import EventHandle, SimulationEngine
+
+
+@dataclass
+class Flow:
+    """One data transfer in progress."""
+
+    flow_id: int
+    src_cluster: str
+    dst_cluster: str
+    total_bytes: float
+    remaining_bytes: float
+    resources: Tuple[str, ...]
+    on_complete: Callable[[], None]
+    started_at: float = 0.0
+    rate: float = 0.0
+    completion_event: Optional[EventHandle] = None
+
+
+class FairShareNetwork:
+    """Fluid network with per-resource equal bandwidth sharing."""
+
+    def __init__(self, platform: MultiClusterPlatform, engine: SimulationEngine) -> None:
+        self.platform = platform
+        self.engine = engine
+        self.topology = platform.topology
+        self._flows: Dict[int, Flow] = {}
+        self._ids = itertools.count()
+        self._last_update = 0.0
+        self.completed_flows = 0
+        self.total_bytes_transferred = 0.0
+        # resource capacities: the aggregate NIC pool of every cluster
+        # (each node has its own link to the switch) + every switch
+        # backplane
+        self._capacity: Dict[str, float] = {}
+        for cluster in platform:
+            self._capacity[f"uplink:{cluster.name}"] = (
+                self.topology.cluster_access_bandwidth(cluster.num_processors)
+            )
+        for switch in self.topology.switches:
+            self._capacity[f"switch:{switch.name}"] = switch.bandwidth
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def start_transfer(
+        self,
+        data_bytes: float,
+        src_cluster: str,
+        dst_cluster: str,
+        on_complete: Callable[[], None],
+    ) -> int:
+        """Start a transfer; *on_complete* fires when the last byte arrives.
+
+        Transfers inside a single cluster and empty transfers complete
+        after the path latency only (the data does not cross the switches).
+        """
+        if data_bytes < 0:
+            raise SimulationError(f"data_bytes must be non-negative, got {data_bytes}")
+        if src_cluster not in self.platform or dst_cluster not in self.platform:
+            raise SimulationError(
+                f"unknown cluster in transfer {src_cluster!r} -> {dst_cluster!r}"
+            )
+        latency = self.topology.path_latency(src_cluster, dst_cluster)
+        if data_bytes == 0 or src_cluster == dst_cluster:
+            self.engine.schedule_after(latency if src_cluster != dst_cluster else 0.0, on_complete)
+            return -1
+
+        flow_id = next(self._ids)
+
+        def _begin() -> None:
+            self._advance_progress()
+            resources = [f"uplink:{src_cluster}", f"uplink:{dst_cluster}"]
+            resources += [
+                f"switch:{s.name}" for s in self.topology.route(src_cluster, dst_cluster)
+            ]
+            flow = Flow(
+                flow_id=flow_id,
+                src_cluster=src_cluster,
+                dst_cluster=dst_cluster,
+                total_bytes=data_bytes,
+                remaining_bytes=data_bytes,
+                resources=tuple(dict.fromkeys(resources)),
+                on_complete=on_complete,
+                started_at=self.engine.now,
+            )
+            self._flows[flow_id] = flow
+            self._recompute_rates()
+
+        # latency is paid before the fluid part of the transfer starts
+        self.engine.schedule_after(latency, _begin)
+        return flow_id
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently transferring data."""
+        return len(self._flows)
+
+    def flow_rate(self, flow_id: int) -> float:
+        """Current rate of a flow (bytes/s); raises if it is not active."""
+        try:
+            return self._flows[flow_id].rate
+        except KeyError:
+            raise SimulationError(f"flow {flow_id} is not active") from None
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _advance_progress(self) -> None:
+        """Account for the bytes transferred since the last rate change."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining_bytes = max(
+                    0.0, flow.remaining_bytes - flow.rate * elapsed
+                )
+        self._last_update = now
+
+    def _recompute_rates(self) -> None:
+        """Recompute flow rates and reschedule completion events.
+
+        Completion events are only rescheduled for flows whose rate
+        actually changed (flows that do not share any resource with the
+        arriving/leaving flow keep their event), which keeps the event
+        count linear in practice.
+        """
+        usage: Dict[str, int] = {}
+        for flow in self._flows.values():
+            for resource in flow.resources:
+                usage[resource] = usage.get(resource, 0) + 1
+        for flow in self._flows.values():
+            new_rate = min(
+                self._capacity[resource] / usage[resource] for resource in flow.resources
+            )
+            if new_rate <= 0:
+                raise SimulationError("flow rate dropped to zero")
+            unchanged = (
+                flow.completion_event is not None
+                and not flow.completion_event.cancelled
+                and abs(new_rate - flow.rate) <= 1e-9 * new_rate
+            )
+            if unchanged:
+                continue
+            flow.rate = new_rate
+            if flow.completion_event is not None:
+                flow.completion_event.cancel()
+            eta = flow.remaining_bytes / flow.rate
+            flow.completion_event = self.engine.schedule_after(
+                eta, self._complete_flow, flow.flow_id
+            )
+
+    def _complete_flow(self, flow_id: int) -> None:
+        self._advance_progress()
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            return
+        # numerical safety: the flow may have a few bytes left due to
+        # floating point accumulation; treat anything below one byte as done.
+        if flow.remaining_bytes > 1.0:
+            self._recompute_rates()
+            return
+        del self._flows[flow_id]
+        self.completed_flows += 1
+        self.total_bytes_transferred += flow.total_bytes
+        self._recompute_rates()
+        flow.on_complete()

@@ -1,0 +1,115 @@
+"""Measured outcome of a simulated schedule execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Measured execution of one task."""
+
+    ptg_name: str
+    task_id: int
+    cluster_name: str
+    num_processors: int
+    start: float
+    finish: float
+    planned_start: float
+    planned_finish: float
+
+    @property
+    def duration(self) -> float:
+        """Measured execution duration."""
+        return self.finish - self.start
+
+    @property
+    def start_delay(self) -> float:
+        """How much later than planned the task actually started."""
+        return self.start - self.planned_start
+
+
+@dataclass
+class SimulationReport:
+    """Per-task and per-application measurements of one simulated execution."""
+
+    platform_name: str
+    records: List[TaskRecord] = field(default_factory=list)
+    network_bytes: float = 0.0
+    network_flows: int = 0
+
+    def add(self, record: TaskRecord) -> None:
+        """Append one task record."""
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def application_names(self) -> List[str]:
+        """Applications present in the report."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.ptg_name, None)
+        return list(seen)
+
+    def records_of(self, ptg_name: str) -> List[TaskRecord]:
+        """Records of one application, ordered by start time."""
+        rows = [r for r in self.records if r.ptg_name == ptg_name]
+        if not rows:
+            raise SimulationError(f"no application named {ptg_name!r} in the report")
+        return sorted(rows, key=lambda r: (r.start, r.finish, r.task_id))
+
+    def makespan(self, ptg_name: str) -> float:
+        """Measured completion time of one application (from submission)."""
+        return max(r.finish for r in self.records_of(ptg_name))
+
+    def makespans(self) -> Dict[str, float]:
+        """Measured completion time of every application."""
+        return {name: self.makespan(name) for name in self.application_names()}
+
+    def global_makespan(self) -> float:
+        """Measured completion time of the whole batch."""
+        if not self.records:
+            return 0.0
+        return max(r.finish for r in self.records)
+
+    def total_delay(self) -> float:
+        """Sum over tasks of (measured start - planned start)."""
+        return sum(max(0.0, r.start_delay) for r in self.records)
+
+    def busy_processor_seconds(self) -> float:
+        """Total processor-seconds actually consumed."""
+        return sum(r.duration * r.num_processors for r in self.records)
+
+    def utilisation(self, total_power_processors: int) -> float:
+        """Average fraction of the platform's processors kept busy."""
+        horizon = self.global_makespan()
+        if horizon <= 0 or total_power_processors <= 0:
+            return 0.0
+        return self.busy_processor_seconds() / (horizon * total_power_processors)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def to_table(self) -> str:
+        """Human-readable summary (one row per application)."""
+        rows = []
+        for name in self.application_names():
+            records = self.records_of(name)
+            rows.append(
+                [
+                    name,
+                    len(records),
+                    min(r.start for r in records),
+                    self.makespan(name),
+                ]
+            )
+        return format_table(
+            ["application", "tasks", "first start", "makespan"],
+            rows,
+            title=f"Simulated execution on {self.platform_name}",
+        )

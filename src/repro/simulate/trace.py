@@ -1,0 +1,135 @@
+"""Execution traces: tabular dumps and ASCII Gantt rendering.
+
+The paper's figures only report aggregate metrics, but inspecting *why* a
+strategy is unfair usually means looking at when each application's tasks
+actually ran.  This module renders a simulated execution (or a planned
+schedule) as:
+
+* a flat list of records (exportable to CSV),
+* a per-application ASCII Gantt chart (one bar per application showing
+  when its tasks occupied processors),
+* a per-cluster load profile (how many processors are busy over time).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.mapping.schedule import Schedule
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.simulate.report import SimulationReport, TaskRecord
+
+
+def report_to_rows(report: SimulationReport) -> List[Dict[str, object]]:
+    """Flatten a simulation report into plain dictionaries (CSV-friendly)."""
+    rows: List[Dict[str, object]] = []
+    for record in sorted(report.records, key=lambda r: (r.start, r.ptg_name, r.task_id)):
+        rows.append(
+            {
+                "application": record.ptg_name,
+                "task": record.task_id,
+                "cluster": record.cluster_name,
+                "processors": record.num_processors,
+                "start": record.start,
+                "finish": record.finish,
+                "planned_start": record.planned_start,
+                "planned_finish": record.planned_finish,
+            }
+        )
+    return rows
+
+
+def report_to_csv(report: SimulationReport) -> str:
+    """Render a simulation report as CSV text."""
+    rows = report_to_rows(report)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def _bar(start: float, finish: float, horizon: float, width: int) -> str:
+    """A fixed-width text bar marking the [start, finish] interval."""
+    if horizon <= 0:
+        return " " * width
+    begin = int(round(width * start / horizon))
+    end = max(begin + 1, int(round(width * finish / horizon)))
+    begin = min(begin, width - 1)
+    end = min(end, width)
+    return " " * begin + "#" * (end - begin) + " " * (width - end)
+
+
+def application_gantt(
+    report: SimulationReport, width: int = 72
+) -> str:
+    """One bar per application: from its first task start to its completion.
+
+    The ``.`` segment marks the span during which the application had at
+    least one task running or waiting (submission happens at t = 0, so a
+    leading gap is waiting time imposed by the competitors).
+    """
+    if width < 10:
+        raise SimulationError("gantt width must be at least 10 characters")
+    horizon = report.global_makespan()
+    lines = [f"t = 0 {'-' * (width - 12)} t = {horizon:.1f}s"]
+    for name in report.application_names():
+        records = report.records_of(name)
+        start = min(r.start for r in records)
+        finish = max(r.finish for r in records)
+        bar = _bar(start, finish, horizon, width)
+        lines.append(f"{name[:24]:<24} |{bar}| {finish:8.1f}s")
+    return "\n".join(lines)
+
+
+def cluster_load_profile(
+    report: SimulationReport,
+    platform: MultiClusterPlatform,
+    samples: int = 12,
+) -> str:
+    """Busy-processor counts per cluster at evenly spaced sample times."""
+    if samples < 1:
+        raise SimulationError("samples must be >= 1")
+    horizon = report.global_makespan()
+    times = [horizon * (i + 0.5) / samples for i in range(samples)]
+    lines = ["cluster load (busy processors at sample times)"]
+    header = "cluster".ljust(14) + "".join(f"{t:8.0f}" for t in times)
+    lines.append(header)
+    for cluster in platform:
+        counts = []
+        for t in times:
+            busy = sum(
+                r.num_processors
+                for r in report.records
+                if r.cluster_name == cluster.name and r.start <= t < r.finish
+            )
+            counts.append(busy)
+        lines.append(
+            cluster.name.ljust(14)
+            + "".join(f"{c:8d}" for c in counts)
+            + f"   / {cluster.num_processors}"
+        )
+    return "\n".join(lines)
+
+
+def schedule_to_rows(schedule: Schedule) -> List[Dict[str, object]]:
+    """Flatten a *planned* schedule (before simulation) into dictionaries."""
+    rows: List[Dict[str, object]] = []
+    for entry in sorted(schedule, key=lambda e: (e.start, e.ptg_name, e.task_id)):
+        rows.append(
+            {
+                "application": entry.ptg_name,
+                "task": entry.task_id,
+                "cluster": entry.cluster_name,
+                "processors": entry.num_processors,
+                "start": entry.start,
+                "finish": entry.finish,
+                "reference_processors": entry.reference_processors,
+            }
+        )
+    return rows

@@ -1,0 +1,33 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+The submodules are intentionally dependency-free (only the standard
+library and NumPy) so they can be imported from anywhere in the package
+without creating import cycles:
+
+* :mod:`repro.utils.rng` -- helpers to normalise random-number-generator
+  arguments (seed, ``numpy.random.Generator`` or ``None``).
+* :mod:`repro.utils.tables` -- minimal ASCII table rendering used by the
+  experiment reporting code and the command line interface.
+* :mod:`repro.utils.validation` -- argument validation helpers that raise
+  the package's own exception types with informative messages.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_unit_interval,
+    check_fraction,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_non_negative",
+    "check_in_unit_interval",
+    "check_fraction",
+]

@@ -1,0 +1,148 @@
+"""Tests for the shared iterative allocation machinery."""
+
+import pytest
+
+from repro.allocation.base import Allocation
+from repro.allocation.iterative import (
+    AreaConstraint,
+    LevelConstraint,
+    NoConstraint,
+    run_iterative_allocation,
+)
+from repro.allocation.reference import ReferenceCluster
+from repro.exceptions import AllocationError
+
+from tests.conftest import make_chain_ptg, make_fork_join_ptg
+
+
+class TestConstraintChecks:
+    def test_no_constraint_never_violated(self, small_platform, chain_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        alloc = Allocation(chain_ptg, ref)
+        check = NoConstraint()
+        assert not check.violated(alloc, chain_ptg.task(0))
+
+    def test_area_constraint_detects_violation(self, small_platform, chain_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        alloc = Allocation(chain_ptg, ref, beta=0.05)
+        check = AreaConstraint(0.05, small_platform.total_power_gflops)
+        # push one task to a huge allocation: average power explodes
+        alloc.set_processors(0, ref.size)
+        assert check.violated(alloc, chain_ptg.task(0))
+
+    def test_level_constraint_detects_violation(self, small_platform, fork_join_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        alloc = Allocation(fork_join_ptg, ref, beta=0.1)
+        check = LevelConstraint(0.1, small_platform.total_power_gflops)
+        # the middle level holds 5 tasks; give one of them a lot
+        middle_task = fork_join_ptg.task(1)
+        alloc.set_processors(1, ref.size // 2)
+        assert check.violated(alloc, middle_task)
+
+    def test_level_constraint_other_level_unaffected(self, small_platform, fork_join_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        alloc = Allocation(fork_join_ptg, ref, beta=0.5)
+        check = LevelConstraint(0.5, small_platform.total_power_gflops)
+        alloc.set_processors(1, 4)
+        # the entry task's level only holds the entry task
+        assert not check.violated(alloc, fork_join_ptg.task(0))
+
+    @pytest.mark.parametrize("cls", [AreaConstraint, LevelConstraint])
+    def test_invalid_parameters(self, cls):
+        with pytest.raises(AllocationError):
+            cls(0.0, 100.0)
+        with pytest.raises(AllocationError):
+            cls(0.5, 0.0)
+
+
+class TestIterativeLoop:
+    def test_allocations_grow_from_one(self, small_platform):
+        ptg = make_chain_ptg(n=3, flops=50e9, alpha=0.05)
+        ref = ReferenceCluster.of(small_platform)
+        alloc, stats = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint()
+        )
+        assert stats.increments > 0
+        assert any(alloc.processors(t.task_id) > 1 for t in ptg.tasks())
+
+    def test_lower_beta_means_smaller_allocations(self, small_platform):
+        ptg = make_fork_join_ptg(width=4, flops=50e9, alpha=0.05)
+        ref = ReferenceCluster.of(small_platform)
+        big, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0,
+            constraint=LevelConstraint(1.0, small_platform.total_power_gflops),
+        )
+        small, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=0.1,
+            constraint=LevelConstraint(0.1, small_platform.total_power_gflops),
+        )
+        assert sum(small.as_dict().values()) <= sum(big.as_dict().values())
+
+    def test_allocation_never_exceeds_cap(self, small_platform):
+        ptg = make_chain_ptg(n=2, flops=500e9, alpha=0.0)
+        ref = ReferenceCluster.of(small_platform)
+        alloc, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint()
+        )
+        cap = ref.max_allocation(small_platform)
+        assert all(p <= cap for p in alloc.as_dict().values())
+
+    def test_invalid_beta(self, small_platform, chain_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        with pytest.raises(AllocationError):
+            run_iterative_allocation(
+                ptg=chain_ptg, platform=small_platform, reference=ref,
+                beta=0.0, constraint=NoConstraint(),
+            )
+
+    def test_invalid_efficiency_threshold(self, small_platform, chain_ptg):
+        ref = ReferenceCluster.of(small_platform)
+        with pytest.raises(AllocationError):
+            run_iterative_allocation(
+                ptg=chain_ptg, platform=small_platform, reference=ref,
+                beta=1.0, constraint=NoConstraint(), efficiency_threshold=1.5,
+            )
+
+    def test_efficiency_threshold_limits_growth(self, small_platform):
+        ptg = make_chain_ptg(n=2, flops=500e9, alpha=0.25)
+        ref = ReferenceCluster.of(small_platform)
+        unguarded, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint(),
+            efficiency_threshold=0.0,
+        )
+        guarded, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint(),
+            efficiency_threshold=0.5,
+        )
+        assert max(guarded.as_dict().values()) <= max(unguarded.as_dict().values())
+        # with alpha = 0.25, efficiency >= 0.5 caps the allocation at
+        # p <= (1 + alpha) / alpha = 5
+        assert max(guarded.as_dict().values()) <= 5
+
+    def test_stats_report_stopping_reason(self, small_platform):
+        ptg = make_chain_ptg(n=3, flops=50e9, alpha=0.05)
+        ref = ReferenceCluster.of(small_platform)
+        _, stats = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint()
+        )
+        assert (
+            stats.stopped_by_balance
+            or stats.stopped_by_saturation
+            or stats.stopped_by_constraint
+        )
+
+    def test_synthetic_tasks_keep_one_processor(self, small_platform):
+        ptg = make_fork_join_ptg(width=3, flops=50e9, alpha=0.05)
+        # force synthetic entry/exit by adding parallel entries
+        from repro.dag.task import Task
+
+        ptg.add_task(Task(100, flops=50e9, alpha=0.05, data_elements=4e6))
+        ptg.add_edge(100, ptg.n_tasks - 2)  # connect into the graph
+        ptg.ensure_single_entry_exit()
+        ref = ReferenceCluster.of(small_platform)
+        alloc, _ = run_iterative_allocation(
+            ptg, small_platform, ref, beta=1.0, constraint=NoConstraint()
+        )
+        for task in ptg.tasks():
+            if task.is_synthetic:
+                assert alloc.processors(task.task_id) == 1

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro-ptg" in capsys.readouterr().out
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "fig2", "fig3", "fig4", "fig5", "schedule", "generate"):
+            args = parser.parse_args([command] if command != "schedule" else ["schedule"])
+            assert args.command == command
+
+
+class TestTable1Command:
+    def test_prints_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "grelon" in out
+
+
+class TestGenerateCommand:
+    def test_json_output(self, capsys):
+        assert main(["generate", "--family", "random", "--tasks", "6", "--seed", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 1
+        assert len(payload["tasks"]) >= 6
+
+    def test_dot_output(self, capsys):
+        assert main(["generate", "--family", "strassen", "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_fft_points(self, capsys):
+        assert main(["generate", "--family", "fft", "--points", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tasks"]) == 16  # 15 computational + synthetic exit
+
+
+class TestScheduleCommand:
+    def test_schedule_small_workload(self, capsys):
+        code = main(
+            [
+                "schedule",
+                "--family", "random",
+                "--n-ptgs", "2",
+                "--platform", "lille",
+                "--strategy", "ES",
+                "--seed", "3",
+                "--max-tasks", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unfairness" in out
+        assert "M_own" in out and "M_multi" in out
+
+
+class TestFigureCommands:
+    def test_fig2_reduced(self, capsys):
+        code = main(
+            [
+                "fig2",
+                "--workloads", "1",
+                "--ptg-counts", "2",
+                "--platforms", "lille",
+                "--max-tasks", "8",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "recommended mu" in out
+
+    def test_fig5_reduced(self, capsys):
+        code = main(
+            [
+                "fig5",
+                "--workloads", "1",
+                "--ptg-counts", "2",
+                "--platforms", "lille",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out

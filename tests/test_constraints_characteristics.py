@@ -1,0 +1,69 @@
+"""Tests for the PS/WPS application characteristics."""
+
+import pytest
+
+from repro.constraints.characteristics import (
+    CHARACTERISTICS,
+    critical_path_characteristic,
+    get_characteristic,
+    width_characteristic,
+    work_characteristic,
+)
+from repro.exceptions import ConfigurationError
+
+from tests.conftest import make_chain_ptg, make_fork_join_ptg
+
+
+class TestWorkCharacteristic:
+    def test_equals_total_flops(self, small_platform, diamond_ptg):
+        assert work_characteristic(diamond_ptg, small_platform) == pytest.approx(
+            diamond_ptg.total_work()
+        )
+
+    def test_scales_with_task_count(self, small_platform):
+        small = make_chain_ptg(n=2)
+        big = make_chain_ptg(n=8)
+        assert work_characteristic(big, small_platform) > work_characteristic(
+            small, small_platform
+        )
+
+
+class TestWidthCharacteristic:
+    def test_chain_width_one(self, small_platform, chain_ptg):
+        assert width_characteristic(chain_ptg, small_platform) == 1.0
+
+    def test_fork_join_width(self, small_platform, fork_join_ptg):
+        assert width_characteristic(fork_join_ptg, small_platform) == 5.0
+
+
+class TestCriticalPathCharacteristic:
+    def test_chain_cp_is_sum_of_sequential_times(self, small_platform):
+        ptg = make_chain_ptg(n=3, flops=4e9, alpha=0.1)
+        # reference speed is 2 GFlop/s -> 2 seconds per task
+        assert critical_path_characteristic(ptg, small_platform) == pytest.approx(6.0)
+
+    def test_longer_chain_longer_cp(self, small_platform):
+        short = make_chain_ptg(n=2)
+        long = make_chain_ptg(n=6)
+        assert critical_path_characteristic(long, small_platform) > (
+            critical_path_characteristic(short, small_platform)
+        )
+
+    def test_fork_join_cp_independent_of_width(self, small_platform):
+        narrow = make_fork_join_ptg(width=2)
+        wide = make_fork_join_ptg(width=8)
+        assert critical_path_characteristic(
+            narrow, small_platform
+        ) == pytest.approx(critical_path_characteristic(wide, small_platform))
+
+
+class TestRegistry:
+    def test_all_three_registered(self):
+        assert set(CHARACTERISTICS) == {"cp", "width", "work"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_characteristic("CP") is critical_path_characteristic
+
+    def test_unknown_characteristic(self):
+        with pytest.raises(ConfigurationError):
+            get_characteristic("volume")

@@ -1,0 +1,76 @@
+"""Tests for the strategy registry."""
+
+import pytest
+
+from repro.constraints.registry import (
+    PAPER_MU,
+    STRATEGY_NAMES,
+    default_mu,
+    paper_strategies,
+    strategy,
+)
+from repro.constraints.strategies import (
+    EqualShareStrategy,
+    ProportionalShareStrategy,
+    SelfishStrategy,
+    WeightedProportionalShareStrategy,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestStrategyFactory:
+    def test_all_names_instantiable(self):
+        for name in STRATEGY_NAMES:
+            instance = strategy(name)
+            assert instance.name == name
+
+    def test_types(self):
+        assert isinstance(strategy("S"), SelfishStrategy)
+        assert isinstance(strategy("ES"), EqualShareStrategy)
+        assert isinstance(strategy("PS-work"), ProportionalShareStrategy)
+        assert isinstance(strategy("WPS-cp"), WeightedProportionalShareStrategy)
+
+    def test_case_insensitive(self):
+        assert strategy("wps-WIDTH").name == "WPS-width"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            strategy("FAIR")
+
+    def test_mu_override(self):
+        assert strategy("WPS-work", mu=0.3).mu == 0.3
+
+    def test_paper_mu_defaults(self):
+        assert strategy("WPS-work").mu == 0.7
+        assert strategy("WPS-cp").mu == 0.5
+        assert strategy("WPS-width", family="random").mu == 0.5
+        assert strategy("WPS-width", family="fft").mu == 0.3
+
+
+class TestPaperMu:
+    def test_table_contents(self):
+        assert PAPER_MU["work"]["default"] == 0.7
+        assert PAPER_MU["cp"]["default"] == 0.5
+        assert PAPER_MU["width"]["fft"] == 0.3
+
+    def test_default_mu_unknown_characteristic(self):
+        with pytest.raises(ConfigurationError):
+            default_mu("volume")
+
+    def test_default_mu_unknown_family_falls_back(self):
+        assert default_mu("work", "unknown-family") == 0.7
+
+
+class TestPaperStrategies:
+    def test_full_set(self):
+        names = [s.name for s in paper_strategies("random")]
+        assert names == STRATEGY_NAMES
+
+    def test_strassen_excludes_width(self):
+        names = [s.name for s in paper_strategies("strassen", include_width=False)]
+        assert "PS-width" not in names and "WPS-width" not in names
+        assert len(names) == 6
+
+    def test_fft_width_mu(self):
+        strategies = {s.name: s for s in paper_strategies("fft")}
+        assert strategies["WPS-width"].mu == 0.3

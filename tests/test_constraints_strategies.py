@@ -1,0 +1,149 @@
+"""Tests for the eight resource-constraint determination strategies."""
+
+import pytest
+
+from repro.constraints.strategies import (
+    EqualShareStrategy,
+    ProportionalShareStrategy,
+    SelfishStrategy,
+    WeightedProportionalShareStrategy,
+)
+from repro.exceptions import ConfigurationError
+
+from tests.conftest import make_chain_ptg, make_fork_join_ptg
+
+
+@pytest.fixture
+def mixed_workload():
+    """Three applications with clearly different characteristics."""
+    return [
+        make_chain_ptg("long-chain", n=8, flops=20e9),
+        make_fork_join_ptg("wide", width=8, flops=5e9),
+        make_chain_ptg("tiny", n=2, flops=2e9),
+    ]
+
+
+class TestSelfish:
+    def test_all_ones(self, small_platform, mixed_workload):
+        betas = SelfishStrategy().compute_betas(mixed_workload, small_platform)
+        assert all(beta == 1.0 for beta in betas.values())
+        assert set(betas) == {p.name for p in mixed_workload}
+
+    def test_empty_workload_rejected(self, small_platform):
+        with pytest.raises(ConfigurationError):
+            SelfishStrategy().compute_betas([], small_platform)
+
+    def test_duplicate_names_rejected(self, small_platform):
+        ptgs = [make_chain_ptg("same"), make_chain_ptg("same")]
+        with pytest.raises(ConfigurationError):
+            SelfishStrategy().compute_betas(ptgs, small_platform)
+
+
+class TestEqualShare:
+    def test_equal_split(self, small_platform, mixed_workload):
+        betas = EqualShareStrategy().compute_betas(mixed_workload, small_platform)
+        assert all(beta == pytest.approx(1 / 3) for beta in betas.values())
+
+    def test_single_application_gets_everything(self, small_platform, chain_ptg):
+        betas = EqualShareStrategy().compute_betas([chain_ptg], small_platform)
+        assert betas[chain_ptg.name] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("count", [2, 4, 6, 8, 10])
+    def test_paper_counts(self, small_platform, count):
+        ptgs = [make_chain_ptg(f"app-{i}") for i in range(count)]
+        betas = EqualShareStrategy().compute_betas(ptgs, small_platform)
+        assert all(beta == pytest.approx(1.0 / count) for beta in betas.values())
+
+
+class TestProportionalShare:
+    def test_betas_sum_to_one(self, small_platform, mixed_workload):
+        for characteristic in ("cp", "width", "work"):
+            betas = ProportionalShareStrategy(characteristic).compute_betas(
+                mixed_workload, small_platform
+            )
+            assert sum(betas.values()) == pytest.approx(1.0, rel=1e-3)
+
+    def test_work_strategy_favours_heavy_application(self, small_platform, mixed_workload):
+        betas = ProportionalShareStrategy("work").compute_betas(
+            mixed_workload, small_platform
+        )
+        assert betas["long-chain"] > betas["tiny"]
+
+    def test_width_strategy_favours_wide_application(self, small_platform, mixed_workload):
+        betas = ProportionalShareStrategy("width").compute_betas(
+            mixed_workload, small_platform
+        )
+        assert betas["wide"] > betas["long-chain"]
+
+    def test_cp_strategy_favours_long_critical_path(self, small_platform, mixed_workload):
+        betas = ProportionalShareStrategy("cp").compute_betas(
+            mixed_workload, small_platform
+        )
+        assert betas["long-chain"] > betas["wide"]
+
+    def test_identical_applications_get_equal_share(self, small_platform):
+        ptgs = [make_chain_ptg(f"app-{i}", n=4) for i in range(4)]
+        betas = ProportionalShareStrategy("work").compute_betas(ptgs, small_platform)
+        assert all(beta == pytest.approx(0.25) for beta in betas.values())
+
+    def test_name_embeds_characteristic(self):
+        assert ProportionalShareStrategy("width").name == "PS-width"
+
+    def test_unknown_characteristic(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalShareStrategy("volume")
+
+    def test_betas_strictly_positive(self, small_platform, mixed_workload):
+        betas = ProportionalShareStrategy("work").compute_betas(
+            mixed_workload, small_platform
+        )
+        assert all(beta > 0 for beta in betas.values())
+
+
+class TestWeightedProportionalShare:
+    def test_mu_zero_equals_ps(self, small_platform, mixed_workload):
+        wps = WeightedProportionalShareStrategy("work", mu=0.0)
+        ps = ProportionalShareStrategy("work")
+        assert wps.compute_betas(mixed_workload, small_platform) == pytest.approx(
+            ps.compute_betas(mixed_workload, small_platform)
+        )
+
+    def test_mu_one_equals_es(self, small_platform, mixed_workload):
+        wps = WeightedProportionalShareStrategy("work", mu=1.0)
+        es = EqualShareStrategy()
+        assert wps.compute_betas(mixed_workload, small_platform) == pytest.approx(
+            es.compute_betas(mixed_workload, small_platform)
+        )
+
+    def test_intermediate_mu_between_extremes(self, small_platform, mixed_workload):
+        ps = ProportionalShareStrategy("work").compute_betas(mixed_workload, small_platform)
+        es = EqualShareStrategy().compute_betas(mixed_workload, small_platform)
+        wps = WeightedProportionalShareStrategy("work", mu=0.7).compute_betas(
+            mixed_workload, small_platform
+        )
+        for name in wps:
+            low, high = sorted((ps[name], es[name]))
+            assert low - 1e-9 <= wps[name] <= high + 1e-9
+
+    def test_equation_2(self, small_platform, mixed_workload):
+        mu = 0.4
+        strategy = WeightedProportionalShareStrategy("work", mu=mu)
+        betas = strategy.compute_betas(mixed_workload, small_platform)
+        total_work = sum(p.total_work() for p in mixed_workload)
+        n = len(mixed_workload)
+        for ptg in mixed_workload:
+            expected = mu / n + (1 - mu) * ptg.total_work() / total_work
+            assert betas[ptg.name] == pytest.approx(expected)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ConfigurationError):
+            WeightedProportionalShareStrategy("work", mu=1.5)
+
+    def test_name(self):
+        assert WeightedProportionalShareStrategy("cp", mu=0.5).name == "WPS-cp"
+
+    def test_betas_sum_to_one(self, small_platform, mixed_workload):
+        betas = WeightedProportionalShareStrategy("width", mu=0.3).compute_betas(
+            mixed_workload, small_platform
+        )
+        assert sum(betas.values()) == pytest.approx(1.0, rel=1e-3)

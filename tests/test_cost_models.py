@@ -1,0 +1,141 @@
+"""Tests for repro.dag.cost_models (the paper's task cost model)."""
+
+import math
+
+import pytest
+
+from repro.dag.cost_models import (
+    ALPHA_MAX,
+    A_FACTOR_MAX,
+    A_FACTOR_MIN,
+    AmdahlTaskModel,
+    BYTES_PER_ELEMENT,
+    ComplexityClass,
+    MAX_DATA_ELEMENTS,
+    MIN_DATA_ELEMENTS,
+    communication_bytes,
+    sample_a_factor,
+    sample_alpha,
+    sample_complexity,
+    sample_data_elements,
+    sequential_flops,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSequentialFlops:
+    def test_linear(self):
+        assert sequential_flops(ComplexityClass.LINEAR, 1000, a_factor=3) == 3000.0
+
+    def test_log_linear(self):
+        d = 1024
+        expected = 5 * d * math.log2(d)
+        assert sequential_flops(ComplexityClass.LOG_LINEAR, d, a_factor=5) == pytest.approx(expected)
+
+    def test_matmul_ignores_a_factor(self):
+        d = 10_000
+        assert sequential_flops(ComplexityClass.MATMUL, d, a_factor=99) == pytest.approx(d**1.5)
+
+    def test_invalid_data(self):
+        with pytest.raises(ConfigurationError):
+            sequential_flops(ComplexityClass.LINEAR, 0)
+
+    def test_mixed_is_not_concrete(self):
+        with pytest.raises(ConfigurationError):
+            sequential_flops(ComplexityClass.MIXED, 100)
+
+
+class TestCommunicationBytes:
+    def test_eight_bytes_per_element(self):
+        assert communication_bytes(1_000_000) == 8_000_000.0
+        assert BYTES_PER_ELEMENT == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            communication_bytes(-1)
+
+
+class TestAmdahlModel:
+    def test_fully_parallel(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.0)
+        assert m.time(4, 1e9) == pytest.approx(0.25)
+        assert m.speedup(4) == pytest.approx(4.0)
+        assert m.efficiency(4) == pytest.approx(1.0)
+
+    def test_fully_sequential(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=1.0)
+        assert m.time(100, 1e9) == pytest.approx(1.0)
+        assert m.speedup(100) == pytest.approx(1.0)
+
+    def test_time_decreases_with_processors(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.2)
+        times = [m.time(p, 1e9) for p in range(1, 20)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_time_scales_with_speed(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.1)
+        assert m.time(2, 2e9) == pytest.approx(m.time(2, 1e9) / 2)
+
+    def test_amdahl_limit(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.25)
+        assert m.time(10**6, 1e9) == pytest.approx(0.25, rel=1e-3)
+
+    def test_area_grows_with_processors_when_alpha_positive(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.2)
+        assert m.area(10, 1e9) > m.area(1, 1e9)
+
+    def test_area_constant_when_alpha_zero(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.0)
+        assert m.area(10, 1e9) == pytest.approx(m.area(1, 1e9))
+
+    def test_marginal_gain_positive_and_decreasing(self):
+        m = AmdahlTaskModel(flops=1e9, alpha=0.1)
+        gains = [m.marginal_gain(p, 1e9) for p in range(1, 10)]
+        assert all(g > 0 for g in gains)
+        assert all(a > b for a, b in zip(gains, gains[1:]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AmdahlTaskModel(flops=0, alpha=0.1)
+        with pytest.raises(ConfigurationError):
+            AmdahlTaskModel(flops=1e9, alpha=1.5)
+        m = AmdahlTaskModel(flops=1e9, alpha=0.1)
+        with pytest.raises(ConfigurationError):
+            m.time(0, 1e9)
+        with pytest.raises(ConfigurationError):
+            m.time(1, 0)
+
+
+class TestSampling:
+    def test_data_elements_within_paper_bounds(self, rng):
+        for _ in range(50):
+            d = sample_data_elements(rng)
+            assert MIN_DATA_ELEMENTS <= d <= MAX_DATA_ELEMENTS
+
+    def test_a_factor_within_bounds(self, rng):
+        for _ in range(50):
+            a = sample_a_factor(rng)
+            assert A_FACTOR_MIN <= a <= A_FACTOR_MAX
+
+    def test_alpha_within_bounds(self, rng):
+        for _ in range(50):
+            alpha = sample_alpha(rng)
+            assert 0.0 <= alpha <= ALPHA_MAX
+
+    def test_alpha_invalid_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_alpha(rng, 0.5, 0.1)
+
+    def test_complexity_concrete_passthrough(self, rng):
+        assert (
+            sample_complexity(rng, ComplexityClass.MATMUL) is ComplexityClass.MATMUL
+        )
+
+    def test_complexity_mixed_draws_concrete(self, rng):
+        seen = {sample_complexity(rng, ComplexityClass.MIXED) for _ in range(100)}
+        assert seen <= set(ComplexityClass.concrete())
+        assert len(seen) >= 2
+
+    def test_data_elements_invalid_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_data_elements(rng, 100, 10)

@@ -1,0 +1,64 @@
+"""Tests for the CPA and HCPA allocation procedures."""
+
+import pytest
+
+from repro.allocation.cpa import CPAAllocator
+from repro.allocation.hcpa import HCPAAllocator
+from repro.allocation.reference import ReferenceCluster
+from repro.exceptions import AllocationError
+
+from tests.conftest import make_chain_ptg, make_fork_join_ptg
+
+
+class TestCPA:
+    def test_requires_single_cluster(self, small_platform, chain_ptg):
+        with pytest.raises(AllocationError):
+            CPAAllocator().allocate(chain_ptg, small_platform)
+
+    def test_allocates_on_single_cluster(self, single_cluster):
+        ptg = make_chain_ptg(n=3, flops=100e9, alpha=0.05)
+        alloc = CPAAllocator().allocate(ptg, single_cluster)
+        assert all(1 <= p <= 16 for p in alloc.as_dict().values())
+        assert any(p > 1 for p in alloc.as_dict().values())
+
+    def test_balance_criterion_reached(self, single_cluster):
+        ptg = make_chain_ptg(n=3, flops=100e9, alpha=0.05)
+        alloc = CPAAllocator().allocate(ptg, single_cluster)
+        ref = ReferenceCluster.of(single_cluster)
+        t_cp = alloc.critical_path_length()
+        t_a = alloc.total_area() / ref.size
+        # CPA stops when T_CP <= T_A (or when no task can grow anymore)
+        assert t_cp <= t_a * 1.5 + 1e-9
+
+
+class TestHCPA:
+    def test_chain_gets_large_allocations(self, small_platform):
+        # a chain has no task parallelism: the whole share goes to the path
+        ptg = make_chain_ptg(n=3, flops=200e9, alpha=0.02)
+        alloc = HCPAAllocator().allocate(ptg, small_platform)
+        assert max(alloc.as_dict().values()) > 2
+
+    def test_fork_join_spreads_allocations(self, small_platform):
+        ptg = make_fork_join_ptg(width=6, flops=50e9, alpha=0.05)
+        alloc = HCPAAllocator().allocate(ptg, small_platform)
+        branch_allocs = [alloc.processors(i) for i in range(1, 7)]
+        # branches all look the same, so their allocations should be close
+        assert max(branch_allocs) - min(branch_allocs) <= 2
+
+    def test_beta_scales_down_allocations(self, small_platform):
+        ptg = make_chain_ptg(n=4, flops=200e9, alpha=0.02)
+        full = HCPAAllocator().allocate(ptg, small_platform, beta=1.0)
+        constrained = HCPAAllocator().allocate(ptg, small_platform, beta=0.2)
+        assert sum(constrained.as_dict().values()) <= sum(full.as_dict().values())
+
+    def test_works_on_every_grid5000_site(self, lille):
+        ptg = make_fork_join_ptg(width=4, flops=100e9, alpha=0.1)
+        alloc = HCPAAllocator().allocate(ptg, lille)
+        cap = ReferenceCluster.of(lille).max_allocation(lille)
+        assert all(1 <= p <= cap for p in alloc.as_dict().values())
+
+    def test_efficiency_guard_parameter(self, small_platform):
+        ptg = make_chain_ptg(n=2, flops=500e9, alpha=0.25)
+        loose = HCPAAllocator(efficiency_threshold=0.0).allocate(ptg, small_platform)
+        tight = HCPAAllocator(efficiency_threshold=0.5).allocate(ptg, small_platform)
+        assert max(tight.as_dict().values()) <= max(loose.as_dict().values())

@@ -1,0 +1,89 @@
+"""Tests for the figure harnesses (Figures 2-5) at a reduced scale."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import FIGURE_FAMILIES, run_figure
+from repro.experiments.mu_sweep import run_mu_sweep
+from repro.experiments.reporting import (
+    render_campaign_summary,
+    render_figure,
+    render_mu_sweep,
+)
+from repro.platform.builder import heterogeneous_platform
+
+
+@pytest.fixture(scope="module")
+def tiny_platform():
+    return heterogeneous_platform((10, 14), (3.0, 4.0), name="fig-platform")
+
+
+class TestRunFigure:
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError):
+            run_figure(7)
+
+    def test_figure_families(self):
+        assert FIGURE_FAMILIES == {3: "random", 4: "fft", 5: "strassen"}
+
+    @pytest.mark.parametrize("figure", [3, 5])
+    def test_reduced_figure_runs(self, figure, tiny_platform):
+        result = run_figure(
+            figure,
+            ptg_counts=(2,),
+            workloads_per_point=1,
+            platforms=[tiny_platform],
+            base_seed=3,
+            max_tasks=8,
+        )
+        assert result.ptg_counts == [2]
+        strategies = result.strategies()
+        assert "S" in strategies and "ES" in strategies
+        if figure == 5:
+            assert "WPS-width" not in strategies
+        for name in strategies:
+            assert result.unfairness_at(name, 2) >= 0
+            assert result.relative_makespan_at(name, 2) >= 1.0
+        # rendering works
+        text = render_figure(result)
+        assert f"Figure {figure}" in text
+        summary = render_campaign_summary(result.campaign)
+        assert "strategy" in summary
+
+    def test_mean_helpers(self, tiny_platform):
+        result = run_figure(
+            3, ptg_counts=(2,), workloads_per_point=1,
+            platforms=[tiny_platform], base_seed=1, max_tasks=8,
+        )
+        for name in result.strategies():
+            assert result.mean_unfairness(name) == pytest.approx(
+                result.unfairness_at(name, 2)
+            )
+            assert result.mean_relative_makespan(name) >= 1.0
+
+
+class TestMuSweep:
+    def test_reduced_sweep(self, tiny_platform):
+        result = run_mu_sweep(
+            characteristic="work",
+            family="random",
+            mu_values=(0.0, 1.0),
+            ptg_counts=(2,),
+            workloads_per_point=1,
+            platforms=[tiny_platform],
+            base_seed=2,
+            max_tasks=8,
+        )
+        assert result.mu_values == [0.0, 1.0]
+        assert result.ptg_counts == [2]
+        assert len(result.unfairness[2]) == 2
+        assert len(result.average_makespan[2]) == 2
+        assert 0.0 <= result.recommended_mu() <= 1.0
+        text = render_mu_sweep(result)
+        assert "Figure 2" in text
+
+    def test_invalid_arguments(self, tiny_platform):
+        with pytest.raises(ConfigurationError):
+            run_mu_sweep(mu_values=(), platforms=[tiny_platform])
+        with pytest.raises(ConfigurationError):
+            run_mu_sweep(workloads_per_point=0, platforms=[tiny_platform])

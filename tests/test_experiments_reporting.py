@@ -1,0 +1,60 @@
+"""Tests for the experiment reporting helpers not covered elsewhere."""
+
+import pytest
+
+from repro.experiments.mu_sweep import MuSweepResult
+from repro.experiments.reporting import render_mu_sweep
+from repro.exceptions import ConfigurationError
+from repro.metrics.makespan import relative_makespans
+from repro.utils.tables import format_series
+
+
+class TestMuSweepResult:
+    def make_result(self):
+        return MuSweepResult(
+            characteristic="work",
+            family="random",
+            mu_values=[0.0, 0.5, 1.0],
+            ptg_counts=[2, 4],
+            unfairness={2: [0.4, 0.29, 0.28], 4: [1.0, 0.58, 0.55]},
+            average_makespan={2: [100.0, 110.0, 130.0], 4: [200.0, 215.0, 260.0]},
+        )
+
+    def test_recommended_mu_is_the_knee(self):
+        result = self.make_result()
+        # the knee is the smallest mu whose unfairness is within 10% of the
+        # series' spread above the best value: mu = 0.5 for both series
+        assert result.recommended_mu() == pytest.approx(0.5)
+
+    def test_recommended_mu_single_count(self):
+        result = self.make_result()
+        assert result.recommended_mu(n_ptgs=4) == pytest.approx(0.5)
+
+    def test_flat_series_recommends_smallest_mu(self):
+        result = MuSweepResult(
+            characteristic="cp",
+            family="fft",
+            mu_values=[0.0, 0.5, 1.0],
+            ptg_counts=[2],
+            unfairness={2: [0.3, 0.3, 0.3]},
+            average_makespan={2: [1.0, 1.0, 1.0]},
+        )
+        assert result.recommended_mu() == 0.0
+
+    def test_render(self):
+        text = render_mu_sweep(self.make_result())
+        assert "unfairness vs mu" in text
+        assert "average makespan vs mu" in text
+        assert "2 PTGs" in text and "4 PTGs" in text
+
+
+class TestRenderingConsistency:
+    def test_relative_makespan_rows_render(self):
+        rel = relative_makespans({"S": 20.0, "ES": 10.0})
+        text = format_series("#PTGs", [4], {name: [value] for name, value in rel.items()})
+        assert "S" in text and "ES" in text
+        assert "2.000" in text and "1.000" in text
+
+    def test_series_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"a": [1.0]})

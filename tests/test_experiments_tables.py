@@ -1,0 +1,31 @@
+"""Tests for the Table 1 harness."""
+
+from repro.experiments.tables import site_summary_rows, table1_rows, table1_text
+
+
+class TestTable1:
+    def test_eleven_clusters(self):
+        rows = table1_rows()
+        assert len(rows) == 11
+
+    def test_rows_match_paper(self):
+        rows = {cluster: (procs, speed) for _, cluster, procs, speed in table1_rows()}
+        assert rows["chuque"] == (53, 3.647)
+        assert rows["grelon"] == (120, 3.185)
+        assert rows["paraquad"] == (66, 4.603)
+        assert rows["sol"] == (50, 4.389)
+
+    def test_site_summaries(self):
+        summary = {site: (procs, round(het, 1)) for site, procs, _, het in site_summary_rows()}
+        assert summary["lille"][0] == 99
+        assert summary["nancy"][0] == 167
+        assert summary["rennes"][0] == 229
+        assert summary["sophia"][0] == 180
+        assert summary["lille"][1] == 20.2
+        assert summary["nancy"][1] == 6.1
+
+    def test_text_rendering(self):
+        text = table1_text()
+        assert "Table 1" in text
+        assert "grelon" in text
+        assert "heterogeneity" in text

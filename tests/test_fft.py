@@ -1,0 +1,85 @@
+"""Tests for the FFT PTG generator."""
+
+import pytest
+
+from repro.dag.fft import (
+    PAPER_FFT_SIZES,
+    fft_task_count,
+    generate_fft_ptg,
+    paper_fft_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTaskCount:
+    @pytest.mark.parametrize("n,expected", [(4, 15), (8, 39), (16, 95)])
+    def test_formula(self, n, expected):
+        assert fft_task_count(n) == expected
+
+    def test_generated_graph_matches_formula(self):
+        for n in PAPER_FFT_SIZES:
+            g = generate_fft_ptg(n, rng=0)
+            assert len(g.real_tasks()) == fft_task_count(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 6, -4])
+    def test_invalid_sizes(self, n):
+        with pytest.raises(ConfigurationError):
+            fft_task_count(n)
+
+
+class TestStructure:
+    def test_valid_single_entry_exit(self):
+        g = generate_fft_ptg(8, rng=1)
+        g.validate()
+
+    def test_regularity_same_cost_per_level(self):
+        g = generate_fft_ptg(8, rng=2)
+        by_level = g.tasks_by_level()
+        for level, tids in by_level.items():
+            flops = {g.task(t).flops for t in tids if not g.task(t).is_synthetic}
+            assert len(flops) <= 1, f"level {level} has heterogeneous costs"
+
+    def test_depth_grows_with_size(self):
+        d4 = generate_fft_ptg(4, rng=0).depth
+        d16 = generate_fft_ptg(16, rng=0).depth
+        assert d16 > d4
+
+    def test_butterfly_level_width_equals_points(self):
+        n = 8
+        g = generate_fft_ptg(n, rng=0)
+        assert g.max_width() == n
+
+    def test_deterministic_given_parameters(self):
+        a = generate_fft_ptg(8, rng=5)
+        b = generate_fft_ptg(8, rng=5)
+        assert a.edges() == b.edges()
+        assert [t.flops for t in a.tasks()] == [t.flops for t in b.tasks()]
+
+    def test_explicit_parameters(self):
+        g = generate_fft_ptg(4, data_elements=8e6, alpha=0.1, a_factor=64, name="fft-custom")
+        assert g.name == "fft-custom"
+        assert all(t.alpha == 0.1 for t in g.real_tasks())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(data_elements=-1), dict(alpha=2.0), dict(a_factor=0)],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            generate_fft_ptg(4, rng=0, **kwargs)
+
+
+class TestWorkload:
+    def test_sizes_from_paper_set(self):
+        workload = paper_fft_workload(0, n_ptgs=8)
+        assert len(workload) == 8
+        for ptg in workload:
+            assert len(ptg.real_tasks()) in {fft_task_count(n) for n in PAPER_FFT_SIZES}
+
+    def test_unique_names(self):
+        workload = paper_fft_workload(0, n_ptgs=5)
+        assert len({p.name for p in workload}) == 5
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            paper_fft_workload(0, n_ptgs=0)

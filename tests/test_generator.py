@@ -1,0 +1,134 @@
+"""Tests for the random layered PTG generator."""
+
+import numpy as np
+import pytest
+
+from repro.dag.cost_models import (
+    ComplexityClass,
+    MAX_DATA_ELEMENTS,
+    MIN_DATA_ELEMENTS,
+)
+from repro.dag.generator import (
+    PAPER_DENSITIES,
+    PAPER_JUMPS,
+    PAPER_REGULARITIES,
+    PAPER_TASK_COUNTS,
+    PAPER_WIDTHS,
+    RandomPTGConfig,
+    generate_random_ptg,
+    generate_random_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RandomPTGConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_tasks=0),
+            dict(width=0.0),
+            dict(width=1.5),
+            dict(regularity=-0.1),
+            dict(density=2.0),
+            dict(jump=0),
+            dict(alpha_max=2.0),
+            dict(min_data_elements=0),
+            dict(min_data_elements=100, max_data_elements=10),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RandomPTGConfig(**kwargs)
+
+    def test_label(self):
+        cfg = RandomPTGConfig(n_tasks=10, width=0.2, regularity=0.8, density=0.5, jump=2)
+        assert "n10" in cfg.label() and "w0.2" in cfg.label()
+        assert RandomPTGConfig(name="custom").label() == "custom"
+
+    def test_paper_grid_size(self):
+        grid = RandomPTGConfig.paper_grid()
+        expected = (
+            len(PAPER_TASK_COUNTS)
+            * len(PAPER_WIDTHS)
+            * len(PAPER_REGULARITIES)
+            * len(PAPER_DENSITIES)
+            * len(PAPER_JUMPS)
+        )
+        assert len(grid) == expected
+
+
+class TestGeneration:
+    def test_task_count(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=25))
+        assert len(g.real_tasks()) == 25
+
+    def test_single_entry_exit_and_valid(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=15))
+        g.validate()
+        assert g.entry_tasks() and g.exit_tasks()
+
+    def test_deterministic_for_seed(self):
+        a = generate_random_ptg(3, RandomPTGConfig(n_tasks=12))
+        b = generate_random_ptg(3, RandomPTGConfig(n_tasks=12))
+        assert a.edges() == b.edges()
+        assert [t.flops for t in a.tasks()] == [t.flops for t in b.tasks()]
+
+    def test_costs_within_paper_bounds(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=30))
+        for task in g.real_tasks():
+            assert MIN_DATA_ELEMENTS <= task.data_elements <= MAX_DATA_ELEMENTS
+            assert 0.0 <= task.alpha <= 0.25
+            assert task.flops > 0
+
+    def test_fixed_complexity_scenario(self, rng):
+        g = generate_random_ptg(
+            rng, RandomPTGConfig(n_tasks=20, complexity=ComplexityClass.MATMUL)
+        )
+        assert all(t.complexity is ComplexityClass.MATMUL for t in g.real_tasks())
+
+    def test_width_parameter_controls_parallelism(self):
+        narrow = generate_random_ptg(7, RandomPTGConfig(n_tasks=30, width=0.1, regularity=0.8))
+        wide = generate_random_ptg(7, RandomPTGConfig(n_tasks=30, width=0.9, regularity=0.8))
+        assert wide.max_width() > narrow.max_width()
+        assert narrow.depth > wide.depth
+
+    def test_jump_edges_do_not_break_validity(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=40, jump=4, density=0.8))
+        g.validate()
+
+    def test_edge_data_matches_source_output(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=15, density=0.8))
+        for src, dst, data in g.edges():
+            src_task = g.task(src)
+            if not src_task.is_synthetic and not g.task(dst).is_synthetic:
+                assert data == pytest.approx(src_task.output_bytes)
+
+    def test_name_override(self, rng):
+        g = generate_random_ptg(rng, RandomPTGConfig(n_tasks=5), name="custom-name")
+        assert g.name == "custom-name"
+
+
+class TestWorkloadGeneration:
+    def test_count_and_unique_names(self, rng):
+        workload = generate_random_workload(rng, n_ptgs=6)
+        assert len(workload) == 6
+        assert len({p.name for p in workload}) == 6
+
+    def test_explicit_configs(self, rng):
+        cfgs = [RandomPTGConfig(n_tasks=5)]
+        workload = generate_random_workload(rng, n_ptgs=3, configs=cfgs)
+        assert all(len(p.real_tasks()) == 5 for p in workload)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_random_workload(rng, n_ptgs=0)
+        with pytest.raises(ConfigurationError):
+            generate_random_workload(rng, n_ptgs=2, configs=[])
+
+    def test_sizes_come_from_paper_set(self, rng):
+        workload = generate_random_workload(rng, n_ptgs=10)
+        for ptg in workload:
+            assert len(ptg.real_tasks()) in PAPER_TASK_COUNTS

@@ -1,0 +1,188 @@
+"""Tests for the PTG container (repro.dag.graph)."""
+
+import pytest
+
+from repro.dag.graph import PTG
+from repro.dag.task import Task
+from repro.exceptions import InvalidGraphError
+
+from tests.conftest import make_chain_ptg, make_diamond_ptg, make_fork_join_ptg
+
+
+def unit_time(task):
+    """A time function: one second per task, zero for synthetic tasks."""
+    return 0.0 if task.is_synthetic else 1.0
+
+
+class TestConstruction:
+    def test_add_task_and_edge(self, diamond_ptg):
+        assert diamond_ptg.n_tasks == 4
+        assert diamond_ptg.n_edges == 4
+        assert diamond_ptg.has_edge(0, 1)
+        assert not diamond_ptg.has_edge(1, 0)
+
+    def test_duplicate_task_rejected(self):
+        g = PTG("g")
+        g.add_task(Task(0, 1e9, 0.1))
+        with pytest.raises(InvalidGraphError):
+            g.add_task(Task(0, 2e9, 0.1))
+
+    def test_edge_validation(self):
+        g = PTG("g")
+        g.add_task(Task(0, 1e9, 0.1))
+        g.add_task(Task(1, 1e9, 0.1))
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 99)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(99, 0)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 0)
+        g.add_edge(0, 1, 10.0)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 1, 10.0)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(1, 0, -5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            PTG("")
+
+    def test_edge_data_lookup(self, diamond_ptg):
+        assert diamond_ptg.edge_data(0, 1) == pytest.approx(8.0 * 4e6)
+        with pytest.raises(InvalidGraphError):
+            diamond_ptg.edge_data(1, 2)
+
+    def test_copy_is_independent(self, diamond_ptg):
+        clone = diamond_ptg.copy("clone")
+        clone.add_task(Task(99, 1e9, 0.1))
+        assert 99 in clone
+        assert 99 not in diamond_ptg
+
+
+class TestStructuralQueries:
+    def test_predecessors_successors(self, diamond_ptg):
+        assert set(diamond_ptg.successors(0)) == {1, 2}
+        assert set(diamond_ptg.predecessors(3)) == {1, 2}
+        assert diamond_ptg.in_degree(0) == 0
+        assert diamond_ptg.out_degree(3) == 0
+
+    def test_entry_exit(self, diamond_ptg):
+        assert diamond_ptg.entry_task.task_id == 0
+        assert diamond_ptg.exit_task.task_id == 3
+
+    def test_topological_order(self, diamond_ptg):
+        order = diamond_ptg.topological_order()
+        assert order.index(0) < order.index(1) < order.index(3)
+        assert order.index(0) < order.index(2) < order.index(3)
+
+    def test_cycle_detected(self):
+        g = PTG("cycle")
+        for i in range(3):
+            g.add_task(Task(i, 1e9, 0.1))
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        with pytest.raises(InvalidGraphError):
+            g.topological_order()
+
+    def test_precedence_levels_diamond(self, diamond_ptg):
+        levels = diamond_ptg.precedence_levels()
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert diamond_ptg.depth == 3
+        assert diamond_ptg.level_widths() == [1, 2, 1]
+
+    def test_precedence_levels_chain(self, chain_ptg):
+        assert chain_ptg.level_widths() == [1, 1, 1, 1]
+        assert chain_ptg.max_width() == 1
+
+    def test_max_width_fork_join(self, fork_join_ptg):
+        assert fork_join_ptg.max_width() == 5
+
+    def test_tasks_by_level(self, diamond_ptg):
+        by_level = diamond_ptg.tasks_by_level()
+        assert sorted(by_level[1]) == [1, 2]
+
+    def test_total_work(self, diamond_ptg):
+        assert diamond_ptg.total_work() == pytest.approx(4 * 8e9)
+
+    def test_total_data_bytes(self, diamond_ptg):
+        assert diamond_ptg.total_data_bytes() == pytest.approx(4 * 8 * 4e6)
+
+
+class TestSingleEntryExit:
+    def test_already_single(self, chain_ptg):
+        before = chain_ptg.n_tasks
+        chain_ptg.ensure_single_entry_exit()
+        assert chain_ptg.n_tasks == before
+
+    def test_multiple_entries_get_virtual_entry(self):
+        g = PTG("multi")
+        for i in range(3):
+            g.add_task(Task(i, 1e9, 0.1))
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.ensure_single_entry_exit()
+        g.validate()
+        assert g.entry_task.is_synthetic
+        assert len(g.real_tasks()) == 3
+
+    def test_multiple_exits_get_virtual_exit(self):
+        g = PTG("multi-exit")
+        for i in range(3):
+            g.add_task(Task(i, 1e9, 0.1))
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.ensure_single_entry_exit()
+        g.validate()
+        assert g.exit_task.is_synthetic
+
+    def test_validate_rejects_multiple_entries(self):
+        g = PTG("bad")
+        g.add_task(Task(0, 1e9, 0.1))
+        g.add_task(Task(1, 1e9, 0.1))
+        with pytest.raises(InvalidGraphError):
+            g.validate()
+        g.validate(require_single_entry_exit=False)
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(InvalidGraphError):
+            PTG("empty").validate()
+
+
+class TestTimedQuantities:
+    def test_bottom_levels_chain(self, chain_ptg):
+        bl = chain_ptg.bottom_levels(unit_time)
+        assert bl[0] == pytest.approx(4.0)
+        assert bl[3] == pytest.approx(1.0)
+
+    def test_bottom_levels_with_communication(self, chain_ptg):
+        bl = chain_ptg.bottom_levels(unit_time, lambda s, d, data: 0.5)
+        assert bl[0] == pytest.approx(4.0 + 3 * 0.5)
+
+    def test_top_levels_chain(self, chain_ptg):
+        tl = chain_ptg.top_levels(unit_time)
+        assert tl[0] == 0.0
+        assert tl[3] == pytest.approx(3.0)
+
+    def test_critical_path_chain(self, chain_ptg):
+        assert chain_ptg.critical_path_length(unit_time) == pytest.approx(4.0)
+        assert chain_ptg.critical_path(unit_time) == [0, 1, 2, 3]
+
+    def test_critical_path_prefers_heavier_branch(self):
+        g = make_diamond_ptg()
+        # make task 2 heavier than task 1
+
+        def weighted(task):
+            return 5.0 if task.task_id == 2 else 1.0
+
+        path = g.critical_path(weighted)
+        assert path == [0, 2, 3]
+        assert g.critical_path_length(weighted) == pytest.approx(7.0)
+
+    def test_average_execution_time(self, diamond_ptg):
+        assert diamond_ptg.average_execution_time(unit_time) == pytest.approx(1.0)
+
+    def test_empty_critical_path(self):
+        g = PTG("x")
+        assert g.critical_path(unit_time) == []
+        assert g.critical_path_length(unit_time) == 0.0

@@ -1,0 +1,111 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims
+on small workloads.
+
+These tests exercise the whole pipeline (generation -> constraint ->
+allocation -> mapping -> simulation -> metrics) exactly as the experiment
+harness does, but at a scale that keeps the test suite fast.  They check
+*robust* qualitative properties rather than exact numbers.
+"""
+
+import pytest
+
+from repro.constraints.registry import strategy
+from repro.experiments.runner import compute_own_makespans, run_experiment
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.metrics.fairness import slowdowns, unfairness
+from repro.platform import grid5000
+from repro.platform.builder import heterogeneous_platform
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.simulate.executor import ScheduleExecutor
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return grid5000.lille()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(WorkloadSpec("random", n_ptgs=4, seed=21, max_tasks=20))
+
+
+@pytest.fixture(scope="module")
+def experiment(platform, workload):
+    strategies = [strategy(name) for name in ("S", "ES", "PS-work", "WPS-width", "WPS-work")]
+    return run_experiment(workload, platform, strategies, workload_label="integration")
+
+
+class TestPipeline:
+    def test_every_strategy_produces_measured_makespans(self, experiment, workload):
+        for outcome in experiment.outcomes.values():
+            assert set(outcome.makespans) == {p.name for p in workload}
+            assert all(v > 0 for v in outcome.makespans.values())
+
+    def test_concurrent_makespans_not_better_than_dedicated_on_average(
+        self, experiment, workload
+    ):
+        """Sharing the platform cannot speed up the average application much."""
+        own_mean = sum(experiment.own_makespans.values()) / len(workload)
+        for outcome in experiment.outcomes.values():
+            multi_mean = sum(outcome.makespans.values()) / len(workload)
+            assert multi_mean >= own_mean * 0.8
+
+    def test_constrained_strategies_beat_selfish_batch_makespan(self, experiment):
+        """Paper Figure 3 (right): with several PTGs the selfish strategy
+        produces longer batches than the constrained ones."""
+        selfish = experiment.outcomes["S"].batch_makespan
+        constrained_best = min(
+            experiment.outcomes[name].batch_makespan
+            for name in ("ES", "PS-work", "WPS-width", "WPS-work")
+        )
+        assert constrained_best <= selfish * 1.05
+
+    def test_unfairness_non_negative_and_finite(self, experiment):
+        for outcome in experiment.outcomes.values():
+            assert 0 <= outcome.unfairness < 2 * len(outcome.slowdowns)
+
+    def test_betas_reflect_strategy_definitions(self, experiment, workload):
+        assert all(b == 1.0 for b in experiment.outcomes["S"].betas.values())
+        n = len(workload)
+        assert all(
+            b == pytest.approx(1.0 / n)
+            for b in experiment.outcomes["ES"].betas.values()
+        )
+        ps = experiment.outcomes["PS-work"].betas
+        assert sum(ps.values()) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestFairnessMechanism:
+    def test_equal_share_helps_a_small_application(self):
+        """A tiny application competing with heavy ones is served earlier
+        under ES than under the selfish strategy."""
+        platform = heterogeneous_platform((24, 24), (3.0, 4.0), name="fair")
+        heavy = make_workload(WorkloadSpec("random", n_ptgs=3, seed=5, max_tasks=50))
+        small = make_workload(WorkloadSpec("random", n_ptgs=1, seed=17, max_tasks=10))[0]
+        workload = heavy + [small]
+
+        results = {}
+        executor = ScheduleExecutor(platform)
+        for name in ("S", "ES"):
+            planned = ConcurrentScheduler(strategy(name)).schedule(workload, platform)
+            report = executor.execute(workload, planned.schedule)
+            results[name] = report.makespan(small.name)
+        assert results["ES"] <= results["S"] * 1.1
+
+    def test_slowdown_definition_matches_metrics_module(self, experiment, workload):
+        outcome = experiment.outcomes["ES"]
+        recomputed = slowdowns(experiment.own_makespans, outcome.makespans)
+        assert recomputed == pytest.approx(outcome.slowdowns)
+        assert unfairness(recomputed) == pytest.approx(outcome.unfairness)
+
+
+class TestCrossPlatformConsistency:
+    @pytest.mark.parametrize("site", ["nancy", "sophia"])
+    def test_pipeline_runs_on_other_sites(self, site, workload):
+        platform = grid5000.site(site)
+        result = run_experiment(
+            workload, platform, [strategy("WPS-work")], workload_label=site
+        )
+        outcome = result.outcomes["WPS-work"]
+        assert all(v > 0 for v in outcome.makespans.values())
+        assert outcome.unfairness >= 0

@@ -1,0 +1,72 @@
+"""Tests for the communication estimator used by the mappers."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping.comm import CommunicationEstimator
+
+
+class TestTransferTime:
+    def test_intra_cluster_is_free(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        name = small_platform.cluster_names()[0]
+        assert comm.transfer_time(1e9, name, name) == 0.0
+
+    def test_zero_bytes_is_free(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        a, b = small_platform.cluster_names()
+        assert comm.transfer_time(0.0, a, b) == 0.0
+
+    def test_inter_cluster_positive_and_monotone(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        a, b = small_platform.cluster_names()
+        small = comm.transfer_time(1e6, a, b)
+        large = comm.transfer_time(1e9, a, b)
+        assert 0 < small < large
+
+    def test_includes_latency(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        a, b = small_platform.cluster_names()
+        assert comm.transfer_time(1.0, a, b) >= small_platform.topology.path_latency(a, b)
+
+    def test_negative_bytes_rejected(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        a, b = small_platform.cluster_names()
+        with pytest.raises(MappingError):
+            comm.transfer_time(-1.0, a, b)
+
+    def test_unknown_cluster_rejected(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        a = small_platform.cluster_names()[0]
+        with pytest.raises(MappingError):
+            comm.transfer_time(1.0, a, "nope")
+
+    def test_split_switch_at_least_as_slow(self, small_platform, split_switch_platform):
+        shared = CommunicationEstimator(small_platform)
+        split = CommunicationEstimator(split_switch_platform)
+        a1, b1 = small_platform.cluster_names()
+        a2, b2 = split_switch_platform.cluster_names()
+        assert split.transfer_time(1e9, a2, b2) >= shared.transfer_time(1e9, a1, b1)
+
+    def test_bandwidth_accounts_for_nic_pools(self, small_platform):
+        """The transfer is bounded by the smaller cluster's aggregate NICs."""
+        comm = CommunicationEstimator(small_platform)
+        a, b = small_platform.cluster_names()
+        small_cluster = small_platform.cluster(a)
+        expected_bw = min(
+            small_platform.topology.switches[0].bandwidth,
+            small_cluster.num_processors * small_platform.topology.link_bandwidth,
+            small_platform.cluster(b).num_processors
+            * small_platform.topology.link_bandwidth,
+        )
+        data = 1e9
+        expected = small_platform.topology.path_latency(a, b) + data / expected_bw
+        assert comm.transfer_time(data, a, b) == pytest.approx(expected)
+
+    def test_worst_case_covers_all_pairs(self, small_platform):
+        comm = CommunicationEstimator(small_platform)
+        names = small_platform.cluster_names()
+        worst = comm.worst_case_transfer_time(5e8)
+        for a in names:
+            for b in names:
+                assert comm.transfer_time(5e8, a, b) <= worst + 1e-12

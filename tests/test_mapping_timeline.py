@@ -1,0 +1,91 @@
+"""Tests for the cluster processor timelines."""
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping.timeline import ClusterTimeline, PlatformTimeline
+from repro.platform.cluster import Cluster
+
+
+@pytest.fixture
+def timeline():
+    return ClusterTimeline(Cluster("c", 4, 2.0))
+
+
+class TestClusterTimeline:
+    def test_initially_all_free(self, timeline):
+        assert timeline.earliest_start(4, 0.0) == 0.0
+        assert list(timeline.free_times()) == [0.0] * 4
+
+    def test_reserve_advances_free_times(self, timeline):
+        procs, start, finish = timeline.reserve(2, 0.0, 5.0)
+        assert start == 0.0 and finish == 5.0
+        assert sorted(procs) == [0, 1]
+        assert timeline.earliest_start(4, 0.0) == 5.0  # needs all four
+        assert timeline.earliest_start(2, 0.0) == 0.0  # two still free
+
+    def test_ready_time_respected(self, timeline):
+        _, start, _ = timeline.reserve(1, 3.0, 1.0)
+        assert start == 3.0
+
+    def test_earliest_start_kth_smallest(self, timeline):
+        timeline.reserve(1, 0.0, 10.0)
+        timeline.reserve(1, 0.0, 2.0)
+        # free times are now [10, 2, 0, 0]
+        assert timeline.earliest_start(2, 0.0) == 0.0
+        assert timeline.earliest_start(3, 0.0) == 2.0
+        assert timeline.earliest_start(4, 0.0) == 10.0
+
+    def test_selects_earliest_free_processors(self, timeline):
+        timeline.reserve(2, 0.0, 8.0)      # procs 0,1 busy until 8
+        procs, start, finish = timeline.reserve(2, 0.0, 1.0)
+        assert sorted(procs) == [2, 3]
+        assert start == 0.0
+
+    def test_too_many_processors(self, timeline):
+        with pytest.raises(MappingError):
+            timeline.earliest_start(5, 0.0)
+        with pytest.raises(MappingError):
+            timeline.reserve(0, 0.0, 1.0)
+
+    def test_negative_arguments(self, timeline):
+        with pytest.raises(MappingError):
+            timeline.earliest_start(1, -1.0)
+        with pytest.raises(MappingError):
+            timeline.reserve(1, 0.0, -2.0)
+
+    def test_utilisation(self, timeline):
+        timeline.reserve(2, 0.0, 5.0)
+        assert timeline.utilisation(10.0) == pytest.approx(2 * 5.0 / (10.0 * 4))
+        assert timeline.utilisation(0.0) == 0.0
+
+
+class TestEarliestStartKth:
+    def test_kth_smallest_semantics(self):
+        t = ClusterTimeline(Cluster("c", 3, 1.0))
+        t.reserve(1, 0.0, 4.0)
+        t.reserve(1, 0.0, 2.0)
+        # free times now [4, 2, 0]
+        assert t.earliest_start(1, 0.0) == 0.0
+        assert t.earliest_start(2, 0.0) == 2.0
+        assert t.earliest_start(3, 0.0) == 4.0
+
+
+class TestPlatformTimeline:
+    def test_one_timeline_per_cluster(self, small_platform):
+        pt = PlatformTimeline(small_platform)
+        assert len(pt.timelines()) == len(small_platform)
+        for cluster in small_platform:
+            assert pt.timeline(cluster.name).num_processors == cluster.num_processors
+
+    def test_unknown_cluster(self, small_platform):
+        pt = PlatformTimeline(small_platform)
+        with pytest.raises(MappingError):
+            pt.timeline("nope")
+
+    def test_reset(self, small_platform):
+        pt = PlatformTimeline(small_platform)
+        name = small_platform.cluster_names()[0]
+        pt.timeline(name).reserve(1, 0.0, 10.0)
+        pt.reset()
+        assert pt.timeline(name).earliest_start(1, 0.0) == 0.0

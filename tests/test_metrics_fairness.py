@@ -1,0 +1,73 @@
+"""Tests for the slowdown / unfairness metrics (Eq. 3-5 of the paper)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.fairness import average_slowdown, slowdown, slowdowns, unfairness
+
+
+class TestSlowdown:
+    def test_definition(self):
+        assert slowdown(50.0, 100.0) == pytest.approx(0.5)
+        assert slowdown(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            slowdown(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            slowdown(10.0, 0.0)
+
+    def test_dict_version(self):
+        own = {"a": 10.0, "b": 20.0}
+        multi = {"a": 20.0, "b": 20.0}
+        assert slowdowns(own, multi) == {"a": 0.5, "b": 1.0}
+
+    def test_dict_version_mismatched_keys(self):
+        with pytest.raises(ConfigurationError):
+            slowdowns({"a": 1.0}, {"b": 1.0})
+
+    def test_dict_version_empty(self):
+        with pytest.raises(ConfigurationError):
+            slowdowns({}, {})
+
+
+class TestAverageSlowdown:
+    def test_mapping_and_sequence(self):
+        assert average_slowdown({"a": 0.5, "b": 1.0}) == pytest.approx(0.75)
+        assert average_slowdown([0.5, 1.0]) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_slowdown([])
+
+
+class TestUnfairness:
+    def test_perfectly_fair_is_zero(self):
+        assert unfairness([0.5, 0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_paper_example(self):
+        """Section 7's worked example: 8 apps at slowdown 1, 2 at 0.2.
+
+        The average slowdown is 0.84 and the unfairness is
+        8 * |1 - 0.84| + 2 * |0.2 - 0.84| = 2.56.
+        """
+        values = [1.0] * 8 + [0.2] * 2
+        assert average_slowdown(values) == pytest.approx(0.84)
+        assert unfairness(values) == pytest.approx(2.56)
+
+    def test_grows_with_spread(self):
+        narrow = unfairness([0.5, 0.6, 0.5, 0.6])
+        wide = unfairness([0.1, 1.0, 0.1, 1.0])
+        assert wide > narrow
+
+    def test_grows_with_application_count(self):
+        few = unfairness([1.0, 0.2])
+        many = unfairness([1.0, 0.2] * 5)
+        assert many > few
+
+    def test_accepts_mapping(self):
+        assert unfairness({"a": 1.0, "b": 0.5}) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfairness([])

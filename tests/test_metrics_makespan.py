@@ -1,0 +1,70 @@
+"""Tests for the relative-makespan metrics."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.makespan import (
+    average_makespan,
+    average_relative_makespan,
+    best_makespan,
+    relative_makespans,
+)
+
+
+class TestBestMakespan:
+    def test_minimum(self):
+        assert best_makespan({"a": 3.0, "b": 2.0}) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_makespan({})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_makespan({"a": 0.0})
+
+
+class TestRelativeMakespans:
+    def test_best_is_one(self):
+        rel = relative_makespans({"a": 10.0, "b": 20.0, "c": 15.0})
+        assert rel["a"] == pytest.approx(1.0)
+        assert rel["b"] == pytest.approx(2.0)
+        assert all(v >= 1.0 for v in rel.values())
+
+
+class TestAverageRelativeMakespan:
+    def test_two_experiments(self):
+        exp1 = {"S": 10.0, "ES": 20.0}
+        exp2 = {"S": 40.0, "ES": 20.0}
+        avg = average_relative_makespan([exp1, exp2])
+        assert avg["S"] == pytest.approx((1.0 + 2.0) / 2)
+        assert avg["ES"] == pytest.approx((2.0 + 1.0) / 2)
+
+    def test_extreme_values_not_smoothed(self):
+        """The paper's motivation: relative values keep extreme experiments visible."""
+        exp1 = {"S": 1.0, "ES": 1.0}
+        exp2 = {"S": 1000.0, "ES": 1.0}
+        avg = average_relative_makespan([exp1, exp2])
+        assert avg["S"] > 100
+
+    def test_mismatched_strategies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_relative_makespan([{"S": 1.0}, {"ES": 1.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_relative_makespan([])
+
+
+class TestAverageMakespan:
+    def test_plain_average(self):
+        avg = average_makespan([{"x": 10.0}, {"x": 20.0}])
+        assert avg["x"] == pytest.approx(15.0)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_makespan([{"x": 1.0}, {"y": 1.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_makespan([])

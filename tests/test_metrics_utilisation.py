@@ -1,0 +1,76 @@
+"""Tests for the utilisation diagnostics."""
+
+import pytest
+
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.metrics.utilisation import (
+    per_cluster_utilisation,
+    schedule_utilisation,
+    work_efficiency,
+)
+from repro.exceptions import ConfigurationError
+
+
+def build_schedule(platform):
+    """Occupy half of the first cluster for the whole horizon."""
+    cluster = platform.clusters[0]
+    schedule = Schedule(platform.name)
+    half = cluster.num_processors // 2
+    schedule.add(
+        ScheduledTask(
+            ptg_name="app", task_id=0, cluster_name=cluster.name,
+            processors=tuple(range(half)), start=0.0, finish=10.0,
+        )
+    )
+    return schedule
+
+
+class TestScheduleUtilisation:
+    def test_half_cluster_fraction(self, small_platform):
+        schedule = build_schedule(small_platform)
+        cluster = small_platform.clusters[0]
+        expected = (cluster.num_processors // 2) / small_platform.total_processors
+        assert schedule_utilisation(schedule, small_platform) == pytest.approx(expected)
+
+    def test_empty_schedule_zero(self, small_platform):
+        assert schedule_utilisation(Schedule("x"), small_platform) == 0.0
+
+    def test_bounded_by_one(self, small_platform):
+        schedule = Schedule(small_platform.name)
+        for index, cluster in enumerate(small_platform):
+            schedule.add(
+                ScheduledTask(
+                    ptg_name="app", task_id=index,
+                    cluster_name=cluster.name,
+                    processors=tuple(range(cluster.num_processors)),
+                    start=0.0, finish=5.0,
+                )
+            )
+        assert schedule_utilisation(schedule, small_platform) == pytest.approx(1.0)
+
+
+class TestWorkEfficiency:
+    def test_fraction_of_capacity(self, small_platform):
+        schedule = build_schedule(small_platform)
+        capacity = small_platform.total_power_flops * 10.0
+        assert work_efficiency(capacity / 2, schedule, small_platform) == pytest.approx(0.5)
+
+    def test_zero_horizon(self, small_platform):
+        assert work_efficiency(1e9, Schedule("x"), small_platform) == 0.0
+
+    def test_negative_work_rejected(self, small_platform):
+        with pytest.raises(ConfigurationError):
+            work_efficiency(-1.0, build_schedule(small_platform), small_platform)
+
+
+class TestPerClusterUtilisation:
+    def test_only_used_cluster_busy(self, small_platform):
+        schedule = build_schedule(small_platform)
+        util = per_cluster_utilisation(schedule, small_platform)
+        names = small_platform.cluster_names()
+        assert util[names[0]] > 0
+        assert util[names[1]] == 0.0
+
+    def test_empty_schedule(self, small_platform):
+        util = per_cluster_utilisation(Schedule("x"), small_platform)
+        assert all(v == 0.0 for v in util.values())

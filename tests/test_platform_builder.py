@@ -1,0 +1,81 @@
+"""Tests for repro.platform.builder."""
+
+import pytest
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.builder import (
+    heterogeneous_platform,
+    homogeneous_platform,
+    random_platform,
+    single_cluster_platform,
+)
+
+
+class TestSingleCluster:
+    def test_default(self):
+        p = single_cluster_platform()
+        assert len(p) == 1
+        assert p.total_processors == 64
+
+    def test_custom(self):
+        p = single_cluster_platform(num_processors=8, speed_gflops=2.0, name="tiny")
+        assert p.total_power_gflops == 16.0
+        assert p.name == "tiny"
+
+
+class TestHomogeneous:
+    def test_identical_clusters(self):
+        p = homogeneous_platform(num_clusters=4, processors_per_cluster=10, speed_gflops=3.0)
+        assert len(p) == 4
+        assert p.heterogeneity == pytest.approx(0.0)
+        assert p.total_processors == 40
+
+    def test_switch_modes(self):
+        shared = homogeneous_platform(num_clusters=2, shared_switch=True)
+        split = homogeneous_platform(num_clusters=2, shared_switch=False)
+        a, b = shared.cluster_names()
+        assert shared.topology.shares_switch(a, b)
+        a, b = split.cluster_names()
+        assert not split.topology.shares_switch(a, b)
+
+    def test_invalid_count(self):
+        with pytest.raises(InvalidPlatformError):
+            homogeneous_platform(num_clusters=0)
+
+
+class TestHeterogeneous:
+    def test_explicit_sizes(self):
+        p = heterogeneous_platform((4, 8), (2.0, 4.0))
+        assert p.total_processors == 12
+        assert p.heterogeneity == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidPlatformError):
+            heterogeneous_platform((4, 8), (2.0,))
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = random_platform(5, num_clusters=3)
+        b = random_platform(5, num_clusters=3)
+        assert a.describe() == b.describe()
+
+    def test_bounds_respected(self):
+        p = random_platform(1, num_clusters=5, min_processors=10, max_processors=20,
+                            min_speed_gflops=2.0, max_speed_gflops=3.0)
+        for c in p:
+            assert 10 <= c.num_processors <= 20
+            assert 2.0 <= c.speed_gflops <= 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidPlatformError):
+            random_platform(0, min_processors=10, max_processors=5)
+        with pytest.raises(InvalidPlatformError):
+            random_platform(0, min_speed_gflops=5.0, max_speed_gflops=1.0)
+        with pytest.raises(InvalidPlatformError):
+            random_platform(0, num_clusters=0)
+
+    def test_forced_switch_mode(self):
+        p = random_platform(2, num_clusters=2, shared_switch=False)
+        a, b = p.cluster_names()
+        assert not p.topology.shares_switch(a, b)

@@ -1,0 +1,49 @@
+"""Tests for repro.platform.cluster."""
+
+import pytest
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.cluster import Cluster, GFLOP
+
+
+class TestClusterConstruction:
+    def test_basic_properties(self):
+        c = Cluster("grelon", 120, 3.185, site="nancy")
+        assert c.num_processors == 120
+        assert c.speed_gflops == 3.185
+        assert c.site == "nancy"
+
+    def test_power(self):
+        c = Cluster("c", 10, 2.5)
+        assert c.power_gflops == 25.0
+        assert c.power_flops == 25.0 * GFLOP
+
+    def test_speed_flops(self):
+        c = Cluster("c", 1, 4.0)
+        assert c.speed_flops == 4.0e9
+
+    def test_processors_range(self):
+        c = Cluster("c", 5, 1.0)
+        assert list(c.processors()) == [0, 1, 2, 3, 4]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Cluster("", 10, 1.0)
+
+    @pytest.mark.parametrize("procs", [0, -3, 2.5])
+    def test_invalid_processors_rejected(self, procs):
+        with pytest.raises(InvalidPlatformError):
+            Cluster("c", procs, 1.0)
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0])
+    def test_invalid_speed_rejected(self, speed):
+        with pytest.raises(InvalidPlatformError):
+            Cluster("c", 10, speed)
+
+    def test_frozen(self):
+        c = Cluster("c", 10, 1.0)
+        with pytest.raises(Exception):
+            c.num_processors = 20
+
+    def test_equality_ignores_site(self):
+        assert Cluster("c", 10, 1.0, site="a") == Cluster("c", 10, 1.0, site="b")

@@ -1,0 +1,87 @@
+"""Tests for the Grid'5000 Table 1 catalogue (Experiment E1)."""
+
+import pytest
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform import grid5000
+
+
+class TestTable1Catalogue:
+    """The numbers of Table 1 and of Section 2 of the paper."""
+
+    def test_four_sites(self):
+        sites = grid5000.all_sites()
+        assert [p.name for p in sites] == ["lille", "nancy", "rennes", "sophia"]
+
+    @pytest.mark.parametrize(
+        "site,expected_procs",
+        [("lille", 99), ("nancy", 167), ("rennes", 229), ("sophia", 180)],
+    )
+    def test_total_processors(self, site, expected_procs):
+        assert grid5000.site(site).total_processors == expected_procs
+
+    @pytest.mark.parametrize(
+        "site,expected_het",
+        [("lille", 20.2), ("nancy", 6.1), ("rennes", 36.8), ("sophia", 34.7)],
+    )
+    def test_heterogeneity_percent(self, site, expected_het):
+        assert grid5000.site(site).heterogeneity_percent == pytest.approx(
+            expected_het, abs=0.1
+        )
+
+    def test_cluster_count_per_site(self):
+        assert len(grid5000.lille()) == 3
+        assert len(grid5000.nancy()) == 2
+        assert len(grid5000.rennes()) == 3
+        assert len(grid5000.sophia()) == 3
+
+    @pytest.mark.parametrize(
+        "cluster,procs,speed",
+        [
+            ("chuque", 53, 3.647),
+            ("chti", 20, 4.311),
+            ("chicon", 26, 4.384),
+            ("grillon", 47, 3.379),
+            ("grelon", 120, 3.185),
+            ("parasol", 64, 3.573),
+            ("paravent", 99, 3.364),
+            ("paraquad", 66, 4.603),
+            ("azur", 74, 3.258),
+            ("helios", 56, 3.675),
+            ("sol", 50, 4.389),
+        ],
+    )
+    def test_individual_cluster_rows(self, cluster, procs, speed):
+        for platform in grid5000.all_sites():
+            if cluster in platform:
+                c = platform.cluster(cluster)
+                assert c.num_processors == procs
+                assert c.speed_gflops == speed
+                return
+        pytest.fail(f"cluster {cluster} not found in any site")
+
+
+class TestTopologies:
+    def test_shared_switch_sites(self):
+        for site in ("lille", "rennes"):
+            platform = grid5000.site(site)
+            names = platform.cluster_names()
+            assert platform.topology.shares_switch(names[0], names[1])
+
+    def test_per_cluster_switch_sites(self):
+        for site in ("nancy", "sophia"):
+            platform = grid5000.site(site)
+            names = platform.cluster_names()
+            assert not platform.topology.shares_switch(names[0], names[1])
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert grid5000.site("Rennes").name == "rennes"
+
+    def test_unknown_site(self):
+        with pytest.raises(InvalidPlatformError):
+            grid5000.site("parapluie")
+
+    def test_site_names_order(self):
+        assert grid5000.site_names() == ["lille", "nancy", "rennes", "sophia"]

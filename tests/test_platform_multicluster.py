@@ -1,0 +1,69 @@
+"""Tests for repro.platform.multicluster."""
+
+import pytest
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.cluster import Cluster
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.platform.network import NetworkTopology
+
+
+def make_platform():
+    return MultiClusterPlatform(
+        "demo", [Cluster("a", 10, 2.0), Cluster("b", 20, 4.0), Cluster("c", 5, 3.0)]
+    )
+
+
+class TestConstruction:
+    def test_aggregates(self):
+        p = make_platform()
+        assert p.total_processors == 35
+        assert p.total_power_gflops == pytest.approx(10 * 2 + 20 * 4 + 5 * 3)
+        assert p.max_cluster_size == 20
+        assert p.min_speed_gflops == 2.0
+        assert p.max_speed_gflops == 4.0
+
+    def test_heterogeneity(self):
+        p = make_platform()
+        assert p.heterogeneity == pytest.approx(1.0)
+        assert p.heterogeneity_percent == pytest.approx(100.0)
+
+    def test_default_topology_is_shared_switch(self):
+        p = make_platform()
+        assert p.topology.shares_switch("a", "b")
+
+    def test_container_protocol(self):
+        p = make_platform()
+        assert len(p) == 3
+        assert "a" in p and "zzz" not in p
+        assert [c.name for c in p] == ["a", "b", "c"]
+        assert p.cluster_names() == ["a", "b", "c"]
+
+    def test_cluster_lookup(self):
+        p = make_platform()
+        assert p.cluster("b").num_processors == 20
+        with pytest.raises(InvalidPlatformError):
+            p.cluster("zzz")
+
+    def test_describe_rows(self):
+        p = make_platform()
+        assert p.describe()[0] == ("a", 10, 2.0)
+
+
+class TestValidation:
+    def test_empty_platform_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            MultiClusterPlatform("p", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            MultiClusterPlatform("", [Cluster("a", 1, 1.0)])
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            MultiClusterPlatform("p", [Cluster("a", 1, 1.0), Cluster("a", 2, 2.0)])
+
+    def test_topology_must_cover_clusters(self):
+        topo = NetworkTopology.shared_switch(["a"])
+        with pytest.raises(InvalidPlatformError):
+            MultiClusterPlatform("p", [Cluster("a", 1, 1.0), Cluster("b", 1, 1.0)], topo)

@@ -1,0 +1,120 @@
+"""Tests for repro.platform.network."""
+
+import pytest
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.network import (
+    DEFAULT_LATENCY,
+    DEFAULT_LINK_BANDWIDTH,
+    DEFAULT_SWITCH_BANDWIDTH,
+    NetworkLink,
+    NetworkTopology,
+    Switch,
+)
+
+
+class TestSwitchAndLink:
+    def test_switch_defaults(self):
+        s = Switch("sw")
+        assert s.bandwidth == DEFAULT_SWITCH_BANDWIDTH
+        assert s.latency == DEFAULT_LATENCY
+
+    def test_switch_invalid(self):
+        with pytest.raises(InvalidPlatformError):
+            Switch("")
+        with pytest.raises(InvalidPlatformError):
+            Switch("sw", bandwidth=0)
+        with pytest.raises(InvalidPlatformError):
+            Switch("sw", latency=-1)
+
+    def test_link_invalid(self):
+        with pytest.raises(InvalidPlatformError):
+            NetworkLink("l", bandwidth=0)
+        with pytest.raises(InvalidPlatformError):
+            NetworkLink("l", latency=-0.1)
+
+
+class TestSharedSwitchTopology:
+    def test_all_clusters_on_one_switch(self):
+        topo = NetworkTopology.shared_switch(["a", "b", "c"], switch_name="sw")
+        assert topo.switch_names() == ["sw"]
+        assert topo.shares_switch("a", "b")
+        assert topo.clusters_on("sw") == ["a", "b", "c"]
+
+    def test_route_single_switch(self):
+        topo = NetworkTopology.shared_switch(["a", "b"])
+        assert len(topo.route("a", "b")) == 1
+        assert len(topo.route("a", "a")) == 1
+
+    def test_hop_counts(self):
+        topo = NetworkTopology.shared_switch(["a", "b"])
+        assert topo.hop_count("a", "a") == 2
+        assert topo.hop_count("a", "b") == 2
+
+    def test_needs_a_cluster(self):
+        with pytest.raises(InvalidPlatformError):
+            NetworkTopology.shared_switch([])
+
+
+class TestPerClusterSwitchTopology:
+    def test_one_switch_per_cluster(self):
+        topo = NetworkTopology.per_cluster_switch(["a", "b"])
+        assert len(topo.switch_names()) == 2
+        assert not topo.shares_switch("a", "b")
+
+    def test_route_crosses_two_switches(self):
+        topo = NetworkTopology.per_cluster_switch(["a", "b"])
+        assert len(topo.route("a", "b")) == 2
+        assert topo.hop_count("a", "b") == 3
+
+    def test_path_latency_larger_than_shared(self):
+        shared = NetworkTopology.shared_switch(["a", "b"])
+        split = NetworkTopology.per_cluster_switch(["a", "b"])
+        assert split.path_latency("a", "b") > shared.path_latency("a", "b")
+
+
+class TestBandwidthQueries:
+    def test_path_bandwidth_is_single_node_bottleneck(self):
+        topo = NetworkTopology.shared_switch(["a", "b"])
+        assert topo.path_bandwidth("a", "b") == min(
+            DEFAULT_LINK_BANDWIDTH, DEFAULT_SWITCH_BANDWIDTH
+        )
+
+    def test_cluster_access_bandwidth_scales_with_nodes(self):
+        topo = NetworkTopology.shared_switch(["a"])
+        assert topo.cluster_access_bandwidth(10) == 10 * DEFAULT_LINK_BANDWIDTH
+        with pytest.raises(InvalidPlatformError):
+            topo.cluster_access_bandwidth(0)
+
+    def test_route_bandwidth_capped_by_switch(self):
+        topo = NetworkTopology.shared_switch(["a", "b"])
+        bw = topo.route_bandwidth("a", "b", 1000, 1000)
+        assert bw == DEFAULT_SWITCH_BANDWIDTH
+
+    def test_route_bandwidth_capped_by_small_nic_pool(self):
+        topo = NetworkTopology.shared_switch(["a", "b"])
+        bw = topo.route_bandwidth("a", "b", 2, 1000)
+        assert bw == 2 * DEFAULT_LINK_BANDWIDTH
+
+
+class TestValidation:
+    def test_unknown_switch_attachment(self):
+        with pytest.raises(InvalidPlatformError):
+            NetworkTopology(switches=[Switch("sw")], attachment={"a": "other"})
+
+    def test_duplicate_switch_names(self):
+        with pytest.raises(InvalidPlatformError):
+            NetworkTopology(
+                switches=[Switch("sw"), Switch("sw")], attachment={"a": "sw"}
+            )
+
+    def test_unknown_cluster_queries(self):
+        topo = NetworkTopology.shared_switch(["a"])
+        with pytest.raises(InvalidPlatformError):
+            topo.switch_of("zzz")
+        with pytest.raises(InvalidPlatformError):
+            topo.switch("zzz")
+
+    def test_no_switch_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            NetworkTopology(switches=[], attachment={})

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the PTG data structure and generators."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.cost_models import ComplexityClass
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.dag.graph import PTG
+from repro.dag.io import ptg_from_json, ptg_to_json
+from repro.dag.task import Task
+
+# strategy for generator configurations within the paper's parameter ranges
+config_strategy = st.builds(
+    RandomPTGConfig,
+    n_tasks=st.integers(min_value=1, max_value=30),
+    width=st.floats(min_value=0.1, max_value=1.0),
+    regularity=st.floats(min_value=0.0, max_value=1.0),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    jump=st.integers(min_value=1, max_value=4),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_generated_graphs_are_valid_dags(config, seed):
+    """Any generated graph is acyclic with a single entry and a single exit."""
+    graph = generate_random_ptg(seed, config)
+    graph.validate()
+    assert len(graph.real_tasks()) == config.n_tasks
+    order = graph.topological_order()
+    position = {tid: i for i, tid in enumerate(order)}
+    for src, dst, data in graph.edges():
+        assert position[src] < position[dst]
+        assert data >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_precedence_levels_consistent_with_edges(config, seed):
+    """Every edge goes from a strictly lower precedence level to a higher one."""
+    graph = generate_random_ptg(seed, config)
+    levels = graph.precedence_levels()
+    for src, dst, _ in graph.edges():
+        assert levels[src] < levels[dst]
+    widths = graph.level_widths()
+    assert sum(widths) == graph.n_tasks
+    assert graph.max_width(include_synthetic=True) == max(widths)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_bottom_levels_dominate_successors(config, seed):
+    """bl(v) >= time(v) + bl(w) for every edge (v, w) when comm is ignored."""
+    graph = generate_random_ptg(seed, config)
+
+    def time_fn(task):
+        return 0.0 if task.is_synthetic else task.flops / 1e9
+
+    bl = graph.bottom_levels(time_fn)
+    for src, dst, _ in graph.edges():
+        assert bl[src] >= time_fn(graph.task(src)) + bl[dst] - 1e-6
+    assert graph.critical_path_length(time_fn) == max(bl.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_critical_path_is_a_real_path_with_maximal_length(config, seed):
+    graph = generate_random_ptg(seed, config)
+
+    def time_fn(task):
+        return 0.0 if task.is_synthetic else task.flops / 1e9
+
+    path = graph.critical_path(time_fn)
+    # consecutive nodes are connected
+    for a, b in zip(path, path[1:]):
+        assert graph.has_edge(a, b)
+    # the path length equals the critical path length
+    assert sum(time_fn(graph.task(t)) for t in path) == (
+        graph.critical_path_length(time_fn)
+    ) or math.isclose(
+        sum(time_fn(graph.task(t)) for t in path),
+        graph.critical_path_length(time_fn),
+        rel_tol=1e-9,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(config=config_strategy, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_json_round_trip_is_lossless(config, seed):
+    graph = generate_random_ptg(seed, config)
+    restored = ptg_from_json(ptg_to_json(graph))
+    assert restored.name == graph.name
+    assert sorted(restored.edges()) == sorted(graph.edges())
+    for task in graph.tasks():
+        other = restored.task(task.task_id)
+        assert other.flops == task.flops
+        assert other.alpha == task.alpha
+        assert other.data_elements == task.data_elements
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    flops=st.floats(min_value=1e6, max_value=1e14),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    procs=st.integers(min_value=1, max_value=512),
+    speed=st.floats(min_value=1e8, max_value=1e11),
+)
+def test_amdahl_time_monotone_in_processors(flops, alpha, procs, speed):
+    """More processors never increase a task's execution time."""
+    task = Task(0, flops=flops, alpha=alpha)
+    t1 = task.execution_time(procs, speed)
+    t2 = task.execution_time(procs + 1, speed)
+    assert t2 <= t1 + 1e-9
+    assert task.execution_time(1, speed) >= t1 - 1e-9

@@ -1,0 +1,116 @@
+"""Tests of the public package surface (imports, __all__, version)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    def test_key_entry_points_exposed(self):
+        assert repro.ConcurrentScheduler is not None
+        assert repro.ScheduleExecutor is not None
+        assert repro.generate_random_ptg is not None
+        assert callable(repro.strategy)
+        assert repro.STRATEGY_NAMES[0] == "S"
+
+    def test_exception_hierarchy(self):
+        for name in (
+            "InvalidGraphError",
+            "InvalidPlatformError",
+            "AllocationError",
+            "MappingError",
+            "SimulationError",
+            "ConfigurationError",
+        ):
+            exc = getattr(repro, name)
+            assert issubclass(exc, repro.ReproError)
+
+
+class TestSubpackagesImportable:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.platform",
+            "repro.platform.grid5000",
+            "repro.dag",
+            "repro.allocation",
+            "repro.constraints",
+            "repro.mapping",
+            "repro.scheduler",
+            "repro.scheduler.online",
+            "repro.baselines",
+            "repro.simulate",
+            "repro.simulate.trace",
+            "repro.metrics",
+            "repro.experiments",
+            "repro.cli",
+            "repro.utils",
+        ],
+    )
+    def test_importable(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_lists_resolve(self):
+        for module_name in (
+            "repro.platform",
+            "repro.dag",
+            "repro.allocation",
+            "repro.constraints",
+            "repro.mapping",
+            "repro.scheduler",
+            "repro.baselines",
+            "repro.simulate",
+            "repro.metrics",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro",
+            "repro.platform.multicluster",
+            "repro.dag.graph",
+            "repro.allocation.scrap",
+            "repro.constraints.strategies",
+            "repro.mapping.ready_list",
+            "repro.scheduler.concurrent",
+            "repro.simulate.executor",
+            "repro.metrics.fairness",
+            "repro.experiments.runner",
+        ],
+    )
+    def test_modules_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+
+    def test_public_classes_documented(self):
+        from repro.allocation.scrap import ScrapMaxAllocator
+        from repro.constraints.strategies import WeightedProportionalShareStrategy
+        from repro.mapping.ready_list import ReadyListMapper
+        from repro.scheduler.concurrent import ConcurrentScheduler
+        from repro.simulate.executor import ScheduleExecutor
+
+        for cls in (
+            ScrapMaxAllocator,
+            WeightedProportionalShareStrategy,
+            ReadyListMapper,
+            ConcurrentScheduler,
+            ScheduleExecutor,
+        ):
+            assert cls.__doc__
+            assert cls.allocate.__doc__ if hasattr(cls, "allocate") else True

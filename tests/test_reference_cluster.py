@@ -1,0 +1,93 @@
+"""Tests for the homogeneous reference cluster abstraction."""
+
+import math
+
+import pytest
+
+from repro.allocation.reference import ReferenceCluster
+from repro.dag.task import Task
+from repro.exceptions import AllocationError
+from repro.platform import grid5000
+from repro.platform.builder import heterogeneous_platform, single_cluster_platform
+
+
+class TestConstruction:
+    def test_of_platform(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        # slowest speed is 2.0, total power = 8*2 + 12*4 = 64
+        assert ref.speed_gflops == 2.0
+        assert ref.size == 32
+        assert ref.total_power_gflops == pytest.approx(64.0)
+
+    def test_single_cluster_platform_is_identity(self):
+        platform = single_cluster_platform(num_processors=16, speed_gflops=4.0)
+        ref = ReferenceCluster.of(platform)
+        assert ref.speed_gflops == 4.0
+        assert ref.size == 16
+
+    def test_grid5000_reference_sizes(self):
+        for platform in grid5000.all_sites():
+            ref = ReferenceCluster.of(platform)
+            assert ref.size >= platform.total_processors
+            assert ref.speed_gflops == platform.min_speed_gflops
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AllocationError):
+            ReferenceCluster(speed_gflops=0, size=10)
+        with pytest.raises(AllocationError):
+            ReferenceCluster(speed_gflops=1.0, size=0)
+
+
+class TestTiming:
+    def test_execution_time(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        task = Task(0, flops=4e9, alpha=0.0)
+        assert ref.execution_time(task, 1) == pytest.approx(2.0)
+        assert ref.execution_time(task, 2) == pytest.approx(1.0)
+
+    def test_area_and_power(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        task = Task(0, flops=4e9, alpha=0.0)
+        assert ref.area(task, 4) == pytest.approx(2.0)
+        assert ref.power_used(4) == pytest.approx(8.0)
+
+    def test_marginal_gain_positive(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        task = Task(0, flops=4e9, alpha=0.1)
+        assert ref.marginal_gain(task, 1) > 0
+
+
+class TestTranslation:
+    def test_translate_equivalent_power(self):
+        platform = heterogeneous_platform((10, 10), (2.0, 4.0))
+        ref = ReferenceCluster.of(platform)  # s_ref = 2.0
+        fast = platform.cluster(platform.cluster_names()[1])
+        # 4 reference processors at 2 GFlop/s == 8 GFlop/s -> 2 fast processors
+        assert ref.translate(4, fast) == 2
+
+    def test_translate_clipped_to_cluster_size(self):
+        platform = heterogeneous_platform((4, 50), (2.0, 2.0))
+        ref = ReferenceCluster.of(platform)
+        small = platform.cluster(platform.cluster_names()[0])
+        assert ref.translate(40, small) == 4
+
+    def test_translate_at_least_one(self):
+        platform = heterogeneous_platform((10, 10), (1.0, 8.0))
+        ref = ReferenceCluster.of(platform)
+        fast = platform.cluster(platform.cluster_names()[1])
+        assert ref.translate(1, fast) == 1
+
+    def test_translate_invalid(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        with pytest.raises(AllocationError):
+            ref.translate(0, small_platform.clusters[0])
+
+    def test_max_allocation_bounded_by_best_cluster(self, small_platform):
+        ref = ReferenceCluster.of(small_platform)
+        # best cluster power = 12 * 4 = 48 GFlop/s -> 24 reference processors
+        assert ref.max_allocation(small_platform) == 24
+
+    def test_max_allocation_not_above_reference_size(self):
+        platform = single_cluster_platform(num_processors=8, speed_gflops=2.0)
+        ref = ReferenceCluster.of(platform)
+        assert ref.max_allocation(platform) <= ref.size

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulate.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(3.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_run_in_schedule_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(1.0, lambda: log.append(2))
+        engine.run()
+        assert log == [1, 2]
+
+    def test_schedule_after(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule_after(0.5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.5]
+
+    def test_arguments_passed(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, seen.append, "x")
+        engine.run()
+        assert seen == ["x"]
+
+    def test_past_event_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        log = []
+        handle = engine.schedule(1.0, lambda: log.append("no"))
+        engine.schedule(2.0, lambda: log.append("yes"))
+        handle.cancel()
+        engine.run()
+        assert log == ["yes"]
+
+    def test_peek_skips_cancelled(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_peek_empty(self):
+        assert SimulationEngine().peek_time() is None
+
+
+class TestRunControl:
+    def test_run_until(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        engine.run(until=5.0)
+        assert log == [1]
+        assert engine.now == 5.0
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_event_count(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule(float(t), lambda: None)
+        engine.run()
+        assert engine.processed_events == 5
+
+    def test_livelock_guard(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_after(0.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=1000)

@@ -1,0 +1,126 @@
+"""Tests for the fluid fair-sharing network model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulate.engine import SimulationEngine
+from repro.simulate.network import FairShareNetwork
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def network(small_platform, engine):
+    return FairShareNetwork(small_platform, engine)
+
+
+class TestBasicTransfers:
+    def test_intra_cluster_completes_immediately(self, small_platform, engine, network):
+        done = []
+        name = small_platform.cluster_names()[0]
+        network.start_transfer(1e9, name, name, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [0.0]
+
+    def test_zero_bytes_completes_after_latency(self, small_platform, engine, network):
+        done = []
+        a, b = small_platform.cluster_names()
+        network.start_transfer(0.0, a, b, lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 1
+        assert done[0] <= small_platform.topology.path_latency(a, b) + 1e-9
+
+    def test_single_flow_duration(self, small_platform, engine, network):
+        done = []
+        a, b = small_platform.cluster_names()
+        data = 1e9
+        network.start_transfer(data, a, b, lambda: done.append(engine.now))
+        engine.run()
+        bandwidth = small_platform.topology.route_bandwidth(
+            a, b,
+            small_platform.cluster(a).num_processors,
+            small_platform.cluster(b).num_processors,
+        )
+        expected = small_platform.topology.path_latency(a, b) + data / bandwidth
+        assert done[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_counters(self, small_platform, engine, network):
+        a, b = small_platform.cluster_names()
+        network.start_transfer(5e8, a, b, lambda: None)
+        engine.run()
+        assert network.completed_flows == 1
+        assert network.total_bytes_transferred == pytest.approx(5e8)
+        assert network.active_flows == 0
+
+    def test_invalid_arguments(self, small_platform, engine, network):
+        a, b = small_platform.cluster_names()
+        with pytest.raises(SimulationError):
+            network.start_transfer(-1.0, a, b, lambda: None)
+        with pytest.raises(SimulationError):
+            network.start_transfer(1.0, a, "nope", lambda: None)
+
+
+class TestContention:
+    def test_two_flows_share_bandwidth(self, small_platform, engine, network):
+        """Two simultaneous flows on the same route take about twice as long."""
+        a, b = small_platform.cluster_names()
+        data = 2e9
+        finishes = []
+        network.start_transfer(data, a, b, lambda: finishes.append(engine.now))
+        network.start_transfer(data, a, b, lambda: finishes.append(engine.now))
+        engine.run()
+        bandwidth = small_platform.topology.route_bandwidth(
+            a, b,
+            small_platform.cluster(a).num_processors,
+            small_platform.cluster(b).num_processors,
+        )
+        single_duration = data / bandwidth
+        assert len(finishes) == 2
+        assert max(finishes) == pytest.approx(2 * single_duration, rel=0.05)
+
+    def test_flow_speeds_up_after_competitor_finishes(self, small_platform, engine, network):
+        """A long flow sharing with a short one finishes earlier than 2x alone."""
+        a, b = small_platform.cluster_names()
+        bandwidth = small_platform.topology.route_bandwidth(
+            a, b,
+            small_platform.cluster(a).num_processors,
+            small_platform.cluster(b).num_processors,
+        )
+        finishes = {}
+        network.start_transfer(4e9, a, b, lambda: finishes.__setitem__("long", engine.now))
+        network.start_transfer(1e9, a, b, lambda: finishes.__setitem__("short", engine.now))
+        engine.run()
+        alone = 4e9 / bandwidth
+        assert finishes["short"] < finishes["long"]
+        # the long flow is only delayed by the time it shared with the short one
+        assert finishes["long"] < 2 * alone
+        assert finishes["long"] > alone
+
+    def test_opposite_direction_flows_share_the_switch(self, small_platform, engine, network):
+        a, b = small_platform.cluster_names()
+        finishes = []
+        network.start_transfer(2e9, a, b, lambda: finishes.append(engine.now))
+        network.start_transfer(2e9, b, a, lambda: finishes.append(engine.now))
+        engine.run()
+        assert len(finishes) == 2
+
+    def test_reverse_flows_on_split_switch_platform(self, split_switch_platform, engine):
+        network = FairShareNetwork(split_switch_platform, engine)
+        a, b = split_switch_platform.cluster_names()
+        done = []
+        network.start_transfer(1e9, a, b, lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 1
+
+    def test_flow_rate_query(self, small_platform, engine, network):
+        a, b = small_platform.cluster_names()
+        flow_id = network.start_transfer(1e9, a, b, lambda: None)
+        # the fluid part only starts after the latency event
+        engine.step()
+        assert network.flow_rate(flow_id) > 0
+        engine.run()
+        with pytest.raises(SimulationError):
+            network.flow_rate(flow_id)

@@ -1,0 +1,87 @@
+"""Tests for the execution trace / Gantt rendering utilities."""
+
+import pytest
+
+from repro.allocation.scrap import ScrapMaxAllocator
+from repro.exceptions import SimulationError
+from repro.mapping.base import AllocatedPTG
+from repro.mapping.ready_list import ReadyListMapper
+from repro.simulate.executor import ScheduleExecutor
+from repro.simulate.trace import (
+    application_gantt,
+    cluster_load_profile,
+    report_to_csv,
+    report_to_rows,
+    schedule_to_rows,
+)
+
+
+@pytest.fixture
+def executed(medium_platform, random_workload):
+    allocated = [
+        AllocatedPTG(p, ScrapMaxAllocator().allocate(p, medium_platform, beta=1 / 3))
+        for p in random_workload
+    ]
+    schedule = ReadyListMapper().map(allocated, medium_platform)
+    report = ScheduleExecutor(medium_platform).execute(random_workload, schedule)
+    return schedule, report
+
+
+class TestRows:
+    def test_report_rows_cover_every_task(self, executed, random_workload):
+        _, report = executed
+        rows = report_to_rows(report)
+        assert len(rows) == sum(p.n_tasks for p in random_workload)
+        assert all(row["finish"] >= row["start"] for row in rows)
+
+    def test_rows_sorted_by_start(self, executed):
+        _, report = executed
+        rows = report_to_rows(report)
+        starts = [row["start"] for row in rows]
+        assert starts == sorted(starts)
+
+    def test_schedule_rows(self, executed, random_workload):
+        schedule, _ = executed
+        rows = schedule_to_rows(schedule)
+        assert len(rows) == sum(p.n_tasks for p in random_workload)
+        assert all("reference_processors" in row for row in rows)
+
+    def test_csv_round_trip(self, executed):
+        _, report = executed
+        text = report_to_csv(report)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("application,")
+        assert len(lines) == len(report.records) + 1
+
+    def test_csv_empty_report(self, medium_platform):
+        from repro.simulate.report import SimulationReport
+
+        assert report_to_csv(SimulationReport(platform_name="x")) == ""
+
+
+class TestGantt:
+    def test_one_bar_per_application(self, executed, random_workload):
+        _, report = executed
+        text = application_gantt(report, width=40)
+        lines = text.splitlines()
+        assert len(lines) == len(random_workload) + 1
+        assert all("#" in line for line in lines[1:])
+
+    def test_width_validation(self, executed):
+        _, report = executed
+        with pytest.raises(SimulationError):
+            application_gantt(report, width=2)
+
+
+class TestLoadProfile:
+    def test_counts_bounded_by_cluster_size(self, executed, medium_platform):
+        _, report = executed
+        text = cluster_load_profile(report, medium_platform, samples=6)
+        assert "cluster load" in text
+        for cluster in medium_platform:
+            assert cluster.name in text
+
+    def test_sample_validation(self, executed, medium_platform):
+        _, report = executed
+        with pytest.raises(SimulationError):
+            cluster_load_profile(report, medium_platform, samples=0)

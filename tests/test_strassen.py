@@ -1,0 +1,72 @@
+"""Tests for the Strassen PTG generator."""
+
+import pytest
+
+from repro.dag.strassen import (
+    STRASSEN_TASK_COUNT,
+    generate_strassen_ptg,
+    paper_strassen_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestStructure:
+    def test_twenty_five_tasks(self):
+        g = generate_strassen_ptg(rng=0)
+        assert g.n_tasks == STRASSEN_TASK_COUNT == 25
+
+    def test_valid_single_entry_exit(self):
+        g = generate_strassen_ptg(rng=0)
+        g.validate()
+        assert g.entry_task.name == "split"
+        assert g.exit_task.name == "merge"
+
+    def test_seven_products_present(self):
+        g = generate_strassen_ptg(rng=0)
+        products = [t for t in g.tasks() if t.name.startswith("P")]
+        assert len(products) == 7
+
+    def test_products_dominate_cost(self):
+        g = generate_strassen_ptg(rng=0)
+        products = [t for t in g.tasks() if t.name.startswith("P")]
+        additions = [t for t in g.tasks() if t.name.startswith("S")]
+        assert min(p.flops for p in products) > max(a.flops for a in additions)
+
+    def test_fixed_shape_across_instances(self):
+        a = generate_strassen_ptg(rng=1)
+        b = generate_strassen_ptg(rng=2)
+        assert a.n_tasks == b.n_tasks
+        assert sorted((s, d) for s, d, _ in a.edges()) == sorted(
+            (s, d) for s, d, _ in b.edges()
+        )
+        assert a.max_width() == b.max_width()
+
+    def test_costs_differ_across_instances(self):
+        a = generate_strassen_ptg(rng=1)
+        b = generate_strassen_ptg(rng=2)
+        assert [t.flops for t in a.tasks()] != [t.flops for t in b.tasks()]
+
+    def test_explicit_parameters(self):
+        g = generate_strassen_ptg(data_elements=16e6, alpha=0.2, name="str")
+        assert g.name == "str"
+        assert all(t.alpha == 0.2 for t in g.tasks())
+
+    @pytest.mark.parametrize("kwargs", [dict(data_elements=-1), dict(alpha=1.5)])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            generate_strassen_ptg(rng=0, **kwargs)
+
+
+class TestWorkload:
+    def test_workload_same_shape_same_width(self):
+        workload = paper_strassen_workload(0, n_ptgs=4)
+        widths = {p.max_width() for p in workload}
+        assert len(widths) == 1  # the reason width-based strategies degenerate to ES
+
+    def test_unique_names(self):
+        workload = paper_strassen_workload(0, n_ptgs=6)
+        assert len({p.name for p in workload}) == 6
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            paper_strassen_workload(0, n_ptgs=0)

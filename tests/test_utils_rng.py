@@ -1,0 +1,78 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, sample_choice, sample_log_uniform, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        g = ensure_rng(np.random.SeedSequence(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(3, 4)]
+        b = [g.random() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(3, 2)
+        assert streams[0].random() != streams[1].random()
+
+
+class TestSampling:
+    def test_log_uniform_bounds(self):
+        g = ensure_rng(0)
+        values = sample_log_uniform(g, 10.0, 1000.0, size=200)
+        assert np.all(values >= 10.0) and np.all(values <= 1000.0)
+
+    def test_log_uniform_invalid_bounds(self):
+        g = ensure_rng(0)
+        with pytest.raises(ValueError):
+            sample_log_uniform(g, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            sample_log_uniform(g, 10.0, 1.0)
+
+    def test_choice_returns_member(self):
+        g = ensure_rng(0)
+        options = ["a", "b", "c"]
+        for _ in range(10):
+            assert sample_choice(g, options) in options
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            sample_choice(ensure_rng(0), [])

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table, series_from_records
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], float_fmt=".2f")
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in text and "0.25" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_alignment_width(self):
+        text = format_table(["name", "v"], [["a-very-long-name", 1]])
+        header, _, row = text.splitlines()
+        assert len(header) >= len("a-very-long-name")
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+        assert "s1" in text and "s2" in text
+        assert text.count("\n") >= 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s1": [0.1]})
+
+
+class TestSeriesFromRecords:
+    def test_pivot(self):
+        records = [
+            {"n": 2, "strategy": "S", "value": 1.0},
+            {"n": 4, "strategy": "S", "value": 2.0},
+            {"n": 2, "strategy": "ES", "value": 3.0},
+            {"n": 4, "strategy": "ES", "value": 4.0},
+        ]
+        series = series_from_records(records, "n", "strategy", "value")
+        assert series == {"ES": [3.0, 4.0], "S": [1.0, 2.0]}
+
+    def test_missing_combination_raises(self):
+        records = [
+            {"n": 2, "strategy": "S", "value": 1.0},
+            {"n": 4, "strategy": "ES", "value": 4.0},
+        ]
+        with pytest.raises(KeyError):
+            series_from_records(records, "n", "strategy", "value")

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_unit_interval,
+    check_int_at_least,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, "nope", None])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+        check_non_negative("x", 3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+
+class TestUnitInterval:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_closed(self, value):
+        check_in_unit_interval("mu", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, "x"])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_in_unit_interval("mu", value)
+
+    def test_open_low_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_in_unit_interval("beta", 0.0, closed_low=False)
+
+
+class TestFraction:
+    def test_accepts_beta_range(self):
+        check_fraction("beta", 0.0001)
+        check_fraction("beta", 1.0)
+
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction("beta", value)
+
+
+class TestIntAtLeast:
+    def test_accepts(self):
+        check_int_at_least("n", 3, 1)
+
+    @pytest.mark.parametrize("value", [0, 2.5, True, "3"])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_int_at_least("n", value, 1)
