@@ -1,0 +1,94 @@
+"""Benchmark E9 -- the campaign orchestration subsystem.
+
+Runs the same reduced-scale random-PTG campaign three ways:
+
+1. the serial in-process runner (the baseline every other figure
+   benchmark uses),
+2. the parallel orchestrator fanning shards out across worker processes
+   with a persistent result store,
+3. a warm re-run against the persisted own-makespan cache (the resume
+   scenario: results lost, reference makespans kept).
+
+It checks that the parallel aggregates are bit-identical to the serial
+ones and writes a ``BENCH_campaign.json`` summary with the wall times,
+the speedup and the cache hit rate of the warm re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import campaign_scale, write_result
+from repro.campaigns.orchestrator import orchestrate
+from repro.campaigns.pool import default_jobs
+from repro.campaigns.store import CampaignStore
+from repro.experiments.runner import CampaignConfig, run_campaign
+
+
+def _config() -> CampaignConfig:
+    scale = campaign_scale()
+    return CampaignConfig(
+        family="random",
+        ptg_counts=scale["ptg_counts"],
+        workloads_per_point=scale["workloads_per_point"],
+        platforms=tuple(scale["platforms"]),
+        base_seed=2009,
+        max_tasks=scale["max_tasks"],
+    )
+
+
+def run_campaign_bench() -> dict:
+    config = _config()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or default_jobs()
+
+    start = time.perf_counter()
+    serial = run_campaign(config)
+    serial_seconds = time.perf_counter() - start
+
+    root = tempfile.mkdtemp(prefix="bench-campaign-")
+    try:
+        store = CampaignStore(root)
+        start = time.perf_counter()
+        parallel = orchestrate(config, store=store, jobs=jobs)
+        parallel_seconds = time.perf_counter() - start
+
+        identical = (
+            parallel.result.average_unfairness() == serial.average_unfairness()
+            and parallel.result.average_relative_makespan()
+            == serial.average_relative_makespan()
+        )
+
+        # resume scenario: results lost, own-makespan cache kept
+        os.remove(store.results_path)
+        warm = orchestrate(config, store=store, jobs=jobs)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "shards": parallel.stats.total_shards,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "aggregates_identical": identical,
+        "warm_cache_hit_rate": round(warm.stats.cache_hit_rate, 3),
+        "warm_cache_hits": warm.stats.cache_hits,
+        "warm_cache_misses": warm.stats.cache_misses,
+    }
+
+
+def bench_campaign_parallel(benchmark):
+    """Serial vs. parallel campaign wall-time and own-makespan cache hit rate."""
+    summary = benchmark.pedantic(run_campaign_bench, rounds=1, iterations=1)
+    write_result("BENCH_campaign.json", json.dumps(summary, indent=2, sort_keys=True))
+
+    assert summary["aggregates_identical"]
+    assert summary["warm_cache_hit_rate"] == 1.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_campaign_bench(), indent=2, sort_keys=True))

@@ -24,7 +24,10 @@ It provides:
   (:mod:`repro.simulate`),
 * the paper's evaluation metrics (:mod:`repro.metrics`) and the full
   experiment harness reproducing every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`),
+* a campaign orchestration subsystem -- shard fan-out across worker
+  processes, append-only result persistence, own-makespan caching and
+  resume-after-interrupt (:mod:`repro.campaigns`).
 
 Quickstart
 ----------
@@ -34,10 +37,17 @@ Quickstart
 >>> import numpy as np
 >>> rng = np.random.default_rng(42)
 >>> platform = grid5000.rennes()
->>> ptgs = [generate_random_ptg(rng, RandomPTGConfig(n_tasks=20)) for _ in range(4)]
+>>> ptgs = [
+...     generate_random_ptg(rng, RandomPTGConfig(n_tasks=20), name=f"app-{i}")
+...     for i in range(4)
+... ]
 >>> scheduler = ConcurrentScheduler(strategy("WPS-width"))
 >>> result = scheduler.schedule(ptgs, platform)
->>> sorted(result.makespans) == sorted(result.makespans)
+>>> set(result.makespans) == {ptg.name for ptg in ptgs}
+True
+>>> all(m > 0 for m in result.makespans.values())
+True
+>>> result.global_makespan >= max(result.makespans.values())
 True
 """
 
@@ -52,6 +62,7 @@ from repro.exceptions import (
     MappingError,
     SimulationError,
     ConfigurationError,
+    CampaignError,
 )
 from repro.platform import (
     Cluster,
@@ -100,6 +111,13 @@ from repro.scheduler import (
 )
 from repro.simulate import ScheduleExecutor, SimulationReport
 from repro.metrics import slowdown, average_slowdown, unfairness, relative_makespans
+from repro.campaigns import (
+    CampaignStore,
+    ExperimentShard,
+    OwnMakespanCache,
+    make_shards,
+    run_campaign_parallel,
+)
 
 __all__ = [
     "__version__",
@@ -111,6 +129,7 @@ __all__ = [
     "MappingError",
     "SimulationError",
     "ConfigurationError",
+    "CampaignError",
     # platform
     "Cluster",
     "MultiClusterPlatform",
@@ -158,4 +177,10 @@ __all__ = [
     "average_slowdown",
     "unfairness",
     "relative_makespans",
+    # campaigns
+    "CampaignStore",
+    "ExperimentShard",
+    "OwnMakespanCache",
+    "make_shards",
+    "run_campaign_parallel",
 ]

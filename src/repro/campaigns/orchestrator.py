@@ -1,0 +1,218 @@
+"""Campaign orchestration: fan out, persist, resume, re-aggregate.
+
+:func:`run_campaign_parallel` is the parallel, persistent counterpart of
+the serial :func:`repro.experiments.runner.run_campaign`:
+
+1. the campaign is split into deterministic shards
+   (:func:`repro.campaigns.shards.make_shards`),
+2. shards whose key is already present in the result store are skipped
+   (resume-after-interrupt),
+3. the remaining shards are executed across worker processes
+   (:func:`repro.campaigns.pool.run_shards`), each completed shard being
+   appended to the store -- results, archived workload and own-makespan
+   cache -- the moment it arrives,
+4. the :class:`~repro.experiments.runner.CampaignResult` is re-assembled
+   from the store in campaign order, so ``average_unfairness()`` and
+   ``average_relative_makespan()`` aggregate exactly as the serial
+   runner's in-memory result does.
+
+Because shards are seeded deterministically and results round-trip
+exactly through JSON, a parallel run, a serial run and a resumed run of
+the same :class:`~repro.experiments.runner.CampaignConfig` produce
+bit-identical aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.campaigns.pool import run_shards
+from repro.campaigns.shards import ExperimentShard, campaign_signature, make_shards
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError
+from repro.experiments.runner import (
+    CampaignConfig,
+    CampaignResult,
+    ExperimentResult,
+    ProgressCallback,
+)
+
+#: Version stamp of the store metadata document.
+META_FORMAT_VERSION = 1
+
+
+@dataclass
+class CampaignRunStats:
+    """Bookkeeping of one orchestrated campaign run."""
+
+    total_shards: int = 0
+    skipped_shards: int = 0
+    executed_shards: int = 0
+    failed_shards: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed_seconds: float = 0.0
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of own-makespan lookups served from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class CampaignRun:
+    """Result + statistics of one orchestrated campaign run."""
+
+    result: CampaignResult
+    stats: CampaignRunStats
+
+
+def _campaign_meta(config: CampaignConfig, shards: List[ExperimentShard]) -> Dict:
+    return {
+        "format_version": META_FORMAT_VERSION,
+        "signature": campaign_signature(shards),
+        "family": config.family,
+        "ptg_counts": list(config.ptg_counts),
+        "workloads_per_point": config.workloads_per_point,
+        "base_seed": config.base_seed,
+        "max_tasks": config.max_tasks,
+        "platforms": [p.name for p in config.resolved_platforms()],
+        "strategies": [s.name for s in config.resolved_strategies()],
+        "total_shards": len(shards),
+    }
+
+
+def _check_store(
+    store: CampaignStore,
+    config: CampaignConfig,
+    shards: List[ExperimentShard],
+    resume: bool,
+    completed: int,
+) -> None:
+    meta = store.read_meta()
+    if meta is not None:
+        signature = campaign_signature(shards)
+        if meta.get("signature") != signature:
+            raise CampaignError(
+                f"store {store.root} belongs to a different campaign "
+                f"(stored signature {meta.get('signature')!r}, this campaign "
+                f"{signature!r}); refusing to mix results"
+            )
+    if completed and not resume:
+        raise CampaignError(
+            f"store {store.root} already holds {completed} result(s); pass "
+            f"resume=True (--resume) to continue it or point at a fresh directory"
+        )
+    if meta is None:
+        store.write_meta(_campaign_meta(config, shards))
+
+
+def orchestrate(
+    config: CampaignConfig,
+    store: Optional[Union[CampaignStore, str]] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    resume: bool = True,
+    archive_workloads: bool = True,
+) -> CampaignRun:
+    """Run *config* in parallel with persistence, returning result + stats.
+
+    Parameters
+    ----------
+    config:
+        The campaign to run.
+    store:
+        A :class:`CampaignStore` or a directory path.  When given,
+        completed shards are skipped (if *resume*) and every new shard is
+        persisted as it completes; when omitted, the run is in-memory
+        only (no resume, no archive).
+    jobs:
+        Worker processes (default: one per CPU; ``1`` runs inline).
+    progress:
+        Called with a short string after each shard is skipped, completed
+        or failed.
+    resume:
+        Whether an already-populated store may be continued.  A store
+        holding results from a *different* campaign is always refused.
+    archive_workloads:
+        Whether to archive each shard's generated PTGs next to its
+        result record.
+    """
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = CampaignStore(store)
+    shards = make_shards(config)
+    stats = CampaignRunStats(total_shards=len(shards))
+
+    results: Dict[str, ExperimentResult] = {}
+    cache = None
+    if store is not None:
+        results = store.results_by_key()
+        _check_store(store, config, shards, resume, completed=len(results))
+        cache = store.load_cache()
+
+    pending = [s for s in shards if s.key() not in results]
+    stats.skipped_shards = len(shards) - len(pending)
+    if progress is not None and stats.skipped_shards:
+        progress(f"resuming: {stats.skipped_shards}/{len(shards)} shards already done")
+
+    for outcome in run_shards(
+        pending,
+        jobs=jobs,
+        cache=cache,
+        return_workload=store is not None and archive_workloads,
+    ):
+        if not outcome.ok:
+            stats.failed_shards += 1
+            stats.failures[outcome.label] = outcome.error or ""
+            if progress is not None:
+                progress(f"FAILED {outcome.label}")
+            continue
+        stats.executed_shards += 1
+        stats.cache_hits += outcome.cache_hits
+        stats.cache_misses += outcome.cache_misses
+        stats.executed_seconds += outcome.seconds
+        results[outcome.key] = outcome.result
+        if store is not None:
+            store.append(
+                outcome.key,
+                outcome.result,
+                workload=outcome.workload if archive_workloads else None,
+            )
+            if outcome.cache_entries:
+                store.save_cache(cache)
+        if progress is not None:
+            progress(outcome.label)
+
+    if stats.failures:
+        done = stats.executed_shards + stats.skipped_shards
+        first_label, first_error = next(iter(stats.failures.items()))
+        raise CampaignError(
+            f"{stats.failed_shards} shard(s) failed ({done}/{len(shards)} "
+            f"completed{' and persisted' if store is not None else ''}); "
+            f"first failure on {first_label}:\n{first_error}"
+        )
+
+    experiments = [results[shard.key()] for shard in shards]
+    result = CampaignResult(config=config, experiments=experiments)
+    return CampaignRun(result=result, stats=stats)
+
+
+def run_campaign_parallel(
+    config: CampaignConfig,
+    store: Optional[Union[CampaignStore, str]] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    resume: bool = True,
+) -> CampaignResult:
+    """Parallel, persistent, resumable drop-in for ``run_campaign``.
+
+    Same aggregates as the serial runner (bit-identical for a given
+    *config*); see :func:`orchestrate` for the parameters and for access
+    to the run statistics.
+    """
+    return orchestrate(
+        config, store=store, jobs=jobs, progress=progress, resume=resume
+    ).result

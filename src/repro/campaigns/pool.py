@@ -1,0 +1,193 @@
+"""Multiprocessing fan-out of experiment shards.
+
+:func:`run_shards` executes a list of
+:class:`~repro.campaigns.shards.ExperimentShard` either inline
+(``jobs=1``) or across a :class:`multiprocessing.Pool` of worker
+processes, yielding one :class:`ShardOutcome` per shard *in shard
+order* (``imap`` preserves submission order) so progress reporting and
+result persistence stay deterministic regardless of which worker
+finishes first.
+
+Failures are captured, not propagated: a shard that raises returns a
+:class:`ShardOutcome` carrying the formatted traceback, and the
+remaining shards keep running.  The orchestrator decides what to do
+with failures once every shard has had its chance.
+
+Workers are seeded with a snapshot of the own-makespan cache taken at
+submission time and ship their fresh entries back in the outcome; the
+orchestrator merges them so later submissions (and the persisted store)
+benefit.  Entries computed concurrently by two workers are simply
+computed twice -- correctness never depends on the cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaigns.cache import (
+    OwnMakespanCache,
+    compute_own_makespans_cached,
+    platform_fingerprint,
+)
+from repro.campaigns.shards import ExperimentShard
+from repro.constraints.registry import strategy
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.workload import make_workload
+
+
+@dataclass
+class ShardOutcome:
+    """What came back from executing one shard.
+
+    Exactly one of :attr:`result` and :attr:`error` is set.  The PTGs
+    generated for the shard ride along so the orchestrator can archive
+    them without regenerating the workload.
+    """
+
+    key: str
+    label: str
+    index: int
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    workload: Optional[list] = None
+    cache_entries: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the shard executed to completion."""
+        return self.error is None
+
+
+def default_jobs() -> int:
+    """Default worker count: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+def execute_shard(
+    shard: ExperimentShard,
+    cache_entries: Optional[Mapping[str, float]] = None,
+    return_workload: bool = True,
+) -> ShardOutcome:
+    """Execute one shard from its self-describing fields.
+
+    This is the pure worker function of the subsystem: the workload is
+    regenerated from its seed, the strategies are rebuilt from their
+    registry names, and the result is a serialisable
+    :class:`ExperimentResult` -- nothing depends on process state, so
+    the same call runs inline, in a worker process, or on another host.
+    """
+    start = time.perf_counter()
+    try:
+        ptgs = make_workload(shard.spec)
+        strategies = [
+            strategy(name, family=shard.spec.family) for name in shard.strategy_names
+        ]
+        cache = OwnMakespanCache(cache_entries)
+        own = compute_own_makespans_cached(
+            ptgs, shard.platform, cache,
+            platform_fp=platform_fingerprint(shard.platform),
+        )
+        result = run_experiment(
+            ptgs,
+            shard.platform,
+            strategies,
+            workload_label=shard.spec.label(),
+            own_makespans=own,
+        )
+        return ShardOutcome(
+            key=shard.key(),
+            label=shard.label(),
+            index=shard.index,
+            result=result,
+            workload=ptgs if return_workload else None,
+            cache_entries=dict(cache.new_entries),
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            seconds=time.perf_counter() - start,
+        )
+    except Exception:
+        return ShardOutcome(
+            key=shard.key(),
+            label=shard.label(),
+            index=shard.index,
+            error=traceback.format_exc(),
+            seconds=time.perf_counter() - start,
+        )
+
+
+#: Per-worker state installed by :func:`_init_worker`.  The cache
+#: snapshot is shipped once per worker process (through the pool
+#: initializer) instead of once per shard, which matters when resuming
+#: a large campaign with a warm cache.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(cache_entries: Dict[str, float], return_workload: bool) -> None:
+    """Pool initializer: install the shared cache snapshot in the worker."""
+    _WORKER_STATE["cache_entries"] = cache_entries
+    _WORKER_STATE["return_workload"] = return_workload
+
+
+def _worker(shard: ExperimentShard) -> ShardOutcome:
+    """Pool entry point (module-level so it pickles)."""
+    return execute_shard(
+        shard,
+        _WORKER_STATE.get("cache_entries"),
+        return_workload=bool(_WORKER_STATE.get("return_workload", True)),
+    )
+
+
+def run_shards(
+    shards: Sequence[ExperimentShard],
+    jobs: Optional[int] = None,
+    cache: Optional[OwnMakespanCache] = None,
+    return_workload: bool = True,
+) -> Iterator[ShardOutcome]:
+    """Execute *shards*, yielding outcomes in shard order.
+
+    Parameters
+    ----------
+    shards:
+        The shards to run.
+    jobs:
+        Worker process count; ``None`` means one per CPU, ``1`` runs
+        inline in the calling process (no multiprocessing at all, which
+        also keeps single-job runs debuggable).
+    cache:
+        Own-makespan cache shared across shards.  Inline runs consult
+        and update it between shards; parallel runs snapshot it at pool
+        start and merge worker entries back as outcomes arrive.
+    return_workload:
+        Whether outcomes carry the generated PTGs.  Callers that will
+        not archive workloads should pass ``False`` so workers skip
+        pickling every graph back to the orchestrator.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    cache = cache if cache is not None else OwnMakespanCache()
+
+    if jobs == 1 or len(shards) <= 1:
+        for shard in shards:
+            outcome = execute_shard(shard, cache.entries, return_workload)
+            cache.merge(outcome.cache_entries)
+            cache.hits += outcome.cache_hits
+            cache.misses += outcome.cache_misses
+            yield outcome
+        return
+
+    snapshot = dict(cache.entries)
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(snapshot, return_workload)
+    ) as pool:
+        for outcome in pool.imap(_worker, shards, chunksize=1):
+            cache.merge(outcome.cache_entries)
+            cache.hits += outcome.cache_hits
+            cache.misses += outcome.cache_misses
+            yield outcome

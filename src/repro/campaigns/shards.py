@@ -1,0 +1,118 @@
+"""Deterministic decomposition of a campaign into experiment shards.
+
+A *shard* is the unit of fan-out of the campaign orchestrator: one
+workload specification run on one platform with one set of constraint
+strategies.  Shards are self-describing -- a worker process can execute
+one from its fields alone (the workload is regenerated from its seed,
+the strategies are rebuilt from their registry names) -- and carry a
+stable, content-derived key so that a result store can recognise an
+already-completed shard across interrupted and resumed runs.
+
+:func:`make_shards` enumerates the shards of a
+:class:`~repro.experiments.runner.CampaignConfig` in exactly the order
+the serial :func:`~repro.experiments.runner.run_campaign` visits them
+(workload-major, then platform), which keeps progress reporting and
+result aggregation identical between the serial and parallel paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.campaigns.cache import content_digest, platform_fingerprint
+from repro.experiments.runner import CampaignConfig
+from repro.experiments.workload import WorkloadSpec, paper_workload_specs
+from repro.platform.multicluster import MultiClusterPlatform
+
+#: Version stamp of the shard-key scheme.  Bump when the key payload
+#: changes so stale stores are not silently misinterpreted.
+SHARD_KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentShard:
+    """One self-describing unit of campaign work.
+
+    Attributes
+    ----------
+    index:
+        Position of the shard in campaign order (used to reassemble
+        results in the serial runner's order).
+    spec:
+        The workload specification; the worker regenerates the PTGs from
+        its seed, so the shard stays small and picklable.
+    platform:
+        The target platform.
+    strategy_names:
+        Registry names of the strategies to compare; the worker rebuilds
+        the instances with the family-specific paper parameters.
+    """
+
+    index: int
+    spec: WorkloadSpec
+    platform: MultiClusterPlatform
+    strategy_names: Tuple[str, ...]
+
+    def label(self) -> str:
+        """Readable identifier used in progress reports and logs."""
+        return f"{self.spec.label()} on {self.platform.name}"
+
+    def key_payload(self) -> Dict:
+        """The content from which the shard key is derived."""
+        return {
+            "version": SHARD_KEY_VERSION,
+            "workload": {
+                "family": self.spec.family,
+                "n_ptgs": self.spec.n_ptgs,
+                "seed": self.spec.seed,
+                "max_tasks": self.spec.max_tasks,
+            },
+            "platform": platform_fingerprint(self.platform),
+            "strategies": list(self.strategy_names),
+        }
+
+    def key(self) -> str:
+        """Stable content-derived key of the shard.
+
+        Two shards share a key exactly when they describe the same
+        computation: same workload content (family, size, seed, caps),
+        same platform content and same strategy set.  The key is
+        independent of process, ordering and platform *object* identity,
+        so it survives interruption and resumption.
+        """
+        return content_digest(self.key_payload())
+
+
+def make_shards(config: CampaignConfig) -> List[ExperimentShard]:
+    """Split *config* into its experiment shards, in campaign order."""
+    platforms = config.resolved_platforms()
+    strategy_names = tuple(s.name for s in config.resolved_strategies())
+    specs = paper_workload_specs(
+        config.family,
+        ptg_counts=config.ptg_counts,
+        workloads_per_point=config.workloads_per_point,
+        base_seed=config.base_seed,
+        max_tasks=config.max_tasks,
+    )
+    shards: List[ExperimentShard] = []
+    for spec in specs:
+        for platform in platforms:
+            shards.append(
+                ExperimentShard(
+                    index=len(shards),
+                    spec=spec,
+                    platform=platform,
+                    strategy_names=strategy_names,
+                )
+            )
+    return shards
+
+
+def campaign_signature(shards: List[ExperimentShard]) -> str:
+    """Content digest of a whole campaign (the ordered list of shard keys).
+
+    Stored in the result store's metadata so a resumed run can verify it
+    is continuing the *same* campaign and not silently mixing configs.
+    """
+    return content_digest([shard.key() for shard in shards])

@@ -1,0 +1,251 @@
+"""Append-only persistent store of campaign results.
+
+Layout of a store directory::
+
+    <root>/
+        meta.json        -- campaign signature + config summary
+        results.jsonl    -- one JSON record per completed experiment shard
+        cache.json       -- persisted own-makespan cache
+        workloads/
+            <shard key>.json  -- the generated PTGs of the shard
+                                 (``repro.dag.io.save_workload`` format)
+
+``results.jsonl`` is append-only: every completed shard is written as a
+single line and flushed immediately, so an interrupted campaign loses at
+most the shard that was being written.  A truncated trailing line (the
+signature of a crash mid-write) is ignored on read and simply re-executed
+on resume.
+
+The records serialise :class:`~repro.experiments.runner.ExperimentResult`
+(including every :class:`~repro.experiments.runner.StrategyOutcome`) in
+full, so a :class:`~repro.experiments.runner.CampaignResult` re-assembled
+from the store aggregates *bit-identically* to one produced in process --
+Python floats round-trip exactly through JSON.  The archived workloads
+make any single experiment re-runnable on the exact graphs that produced
+its record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.campaigns.cache import OwnMakespanCache
+from repro.dag.graph import PTG
+from repro.dag.io import load_workload, save_workload
+from repro.exceptions import CampaignError
+from repro.experiments.runner import ExperimentResult, StrategyOutcome
+
+#: Version stamp of the result-record format.
+STORE_FORMAT_VERSION = 1
+
+RESULTS_FILENAME = "results.jsonl"
+CACHE_FILENAME = "cache.json"
+META_FILENAME = "meta.json"
+WORKLOADS_DIRNAME = "workloads"
+
+
+# ---------------------------------------------------------------------- #
+# record (de)serialisation
+# ---------------------------------------------------------------------- #
+def strategy_outcome_to_dict(outcome: StrategyOutcome) -> Dict:
+    """Serialise one :class:`StrategyOutcome` to plain JSON types."""
+    return {
+        "strategy": outcome.strategy,
+        "betas": dict(outcome.betas),
+        "makespans": dict(outcome.makespans),
+        "slowdowns": dict(outcome.slowdowns),
+        "unfairness": outcome.unfairness,
+        "batch_makespan": outcome.batch_makespan,
+        "mean_application_makespan": outcome.mean_application_makespan,
+    }
+
+
+def strategy_outcome_from_dict(payload: Dict) -> StrategyOutcome:
+    """Rebuild a :class:`StrategyOutcome` from :func:`strategy_outcome_to_dict`."""
+    try:
+        return StrategyOutcome(
+            strategy=payload["strategy"],
+            betas={str(k): float(v) for k, v in payload["betas"].items()},
+            makespans={str(k): float(v) for k, v in payload["makespans"].items()},
+            slowdowns={str(k): float(v) for k, v in payload["slowdowns"].items()},
+            unfairness=float(payload["unfairness"]),
+            batch_makespan=float(payload["batch_makespan"]),
+            mean_application_makespan=float(payload["mean_application_makespan"]),
+        )
+    except KeyError as exc:
+        raise CampaignError(f"strategy outcome record misses field {exc}") from None
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> Dict:
+    """Serialise one :class:`ExperimentResult` to plain JSON types."""
+    return {
+        "platform": result.platform,
+        "workload": result.workload,
+        "n_ptgs": result.n_ptgs,
+        "own_makespans": dict(result.own_makespans),
+        "outcomes": {
+            name: strategy_outcome_to_dict(outcome)
+            for name, outcome in result.outcomes.items()
+        },
+    }
+
+
+def experiment_result_from_dict(payload: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`experiment_result_to_dict`."""
+    try:
+        return ExperimentResult(
+            platform=payload["platform"],
+            workload=payload["workload"],
+            n_ptgs=int(payload["n_ptgs"]),
+            own_makespans={
+                str(k): float(v) for k, v in payload["own_makespans"].items()
+            },
+            outcomes={
+                str(name): strategy_outcome_from_dict(out)
+                for name, out in payload["outcomes"].items()
+            },
+        )
+    except KeyError as exc:
+        raise CampaignError(f"experiment record misses field {exc}") from None
+
+
+# ---------------------------------------------------------------------- #
+# the store
+# ---------------------------------------------------------------------- #
+class CampaignStore:
+    """Directory-backed, append-only store of per-shard experiment results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------- #
+    @property
+    def results_path(self) -> Path:
+        return self.root / RESULTS_FILENAME
+
+    @property
+    def cache_path(self) -> Path:
+        return self.root / CACHE_FILENAME
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / META_FILENAME
+
+    @property
+    def workloads_dir(self) -> Path:
+        return self.root / WORKLOADS_DIRNAME
+
+    def workload_path(self, key: str) -> Path:
+        return self.workloads_dir / f"{key}.json"
+
+    # -- results ------------------------------------------------------- #
+    def append(
+        self,
+        key: str,
+        result: ExperimentResult,
+        workload: Optional[List[PTG]] = None,
+    ) -> None:
+        """Persist one completed shard (and optionally its generated PTGs).
+
+        The record is written as one line and flushed before the call
+        returns, so a crash can only ever lose the record being written.
+        """
+        record = {
+            "format_version": STORE_FORMAT_VERSION,
+            "key": key,
+            "result": experiment_result_to_dict(result),
+        }
+        line = json.dumps(record, sort_keys=True)
+        with open(self.results_path, "a+", encoding="utf-8") as handle:
+            # A crash can leave a partial record without a trailing newline;
+            # terminate it so the new record starts on its own line (the
+            # partial line is then skipped as corrupt-but-trailing on read
+            # until more records follow -- see iter_records).
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(handle.tell() - 1)
+                if handle.read(1) != "\n":
+                    handle.write("\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if workload is not None:
+            self.workloads_dir.mkdir(parents=True, exist_ok=True)
+            save_workload(workload, str(self.workload_path(key)))
+
+    def iter_records(self) -> Iterator[Tuple[str, ExperimentResult]]:
+        """Yield ``(shard key, result)`` pairs, in append order.
+
+        Unparsable lines are skipped: they are truncated records left by
+        interrupted writes (possibly newline-terminated by a later
+        :meth:`append`), and the orchestrator re-executes any shard whose
+        key is missing, so the store self-heals.  A *parsable* record
+        with an unsupported format version still raises -- that is a
+        versioning problem, not a crash artefact.
+        """
+        if not self.results_path.exists():
+            return
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # interrupted write: the shard re-runs
+            if record.get("format_version") != STORE_FORMAT_VERSION:
+                raise CampaignError(
+                    f"{self.results_path}:{lineno + 1}: unsupported format "
+                    f"version {record.get('format_version')!r}"
+                )
+            yield str(record["key"]), experiment_result_from_dict(record["result"])
+
+    def results_by_key(self) -> Dict[str, ExperimentResult]:
+        """All persisted results, keyed by shard key (last record wins)."""
+        return {key: result for key, result in self.iter_records()}
+
+    def completed_keys(self) -> Set[str]:
+        """Keys of the shards already present in the store."""
+        return {key for key, _ in self.iter_records()}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed_keys()
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+    # -- workload archive ---------------------------------------------- #
+    def load_workload(self, key: str) -> List[PTG]:
+        """Reload the archived PTGs of one shard."""
+        path = self.workload_path(key)
+        if not path.exists():
+            raise CampaignError(f"no archived workload for shard {key!r}")
+        return load_workload(str(path))
+
+    # -- own-makespan cache -------------------------------------------- #
+    def load_cache(self) -> OwnMakespanCache:
+        """The persisted own-makespan cache (empty when absent)."""
+        return OwnMakespanCache.load(str(self.cache_path))
+
+    def save_cache(self, cache: OwnMakespanCache) -> None:
+        """Persist the own-makespan cache."""
+        cache.save(str(self.cache_path))
+
+    # -- metadata ------------------------------------------------------ #
+    def read_meta(self) -> Optional[Dict]:
+        """The stored campaign metadata, or ``None`` for a fresh store."""
+        if not self.meta_path.exists():
+            return None
+        with open(self.meta_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def write_meta(self, meta: Dict) -> None:
+        """Record campaign metadata (signature + config summary)."""
+        with open(self.meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)

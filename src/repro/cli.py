@@ -7,11 +7,17 @@ Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
 * ``fig2``     -- run the mu sweep (Figure 2) at a configurable scale,
 * ``fig3`` / ``fig4`` / ``fig5`` -- run a comparison figure at a
   configurable scale,
+* ``campaign`` -- run a full campaign through the orchestration
+  subsystem (parallel workers, persistent result store, resume),
 * ``schedule`` -- schedule one generated workload with one strategy and
   print the per-application makespans and fairness metrics,
 * ``generate`` -- generate a PTG and print it as JSON or DOT.
 
 All stochastic commands take ``--seed`` so results are reproducible.
+The campaign-style commands (``fig3``/``fig4``/``fig5``/``campaign``)
+accept ``--jobs`` (worker processes), ``--store`` (result directory) and
+``--resume`` (continue an interrupted store); parallel and resumed runs
+reproduce the serial aggregates exactly.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import List, Optional, Sequence
 
 from repro._version import __version__
 from repro.constraints.registry import STRATEGY_NAMES, strategy
+from repro.exceptions import ConfigurationError, ReproError
 from repro.dag.fft import generate_fft_ptg
 from repro.dag.generator import RandomPTGConfig, generate_random_ptg
 from repro.dag.io import ptg_to_dot, ptg_to_json
@@ -55,6 +62,30 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         help="cap random PTG sizes (smaller graphs run faster)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (0 or omitted = one per CPU when orchestrating)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist per-experiment results (JSONL + workload archive) to DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted --store without re-running finished experiments",
+    )
+
+
+def _resolve_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Map the ``--jobs`` flag to a worker count (0 means one per CPU)."""
+    if jobs is None or jobs > 0:
+        return jobs
+    from repro.campaigns.pool import default_jobs
+
+    return default_jobs()
 
 
 def _resolve_platforms(names: Optional[Sequence[str]]):
@@ -91,8 +122,46 @@ def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
         platforms=_resolve_platforms(args.platforms),
         base_seed=args.seed,
         max_tasks=args.max_tasks,
+        jobs=_resolve_jobs(args.jobs),
+        store=args.store,
+        resume=args.resume,
     )
     print(render_figure(result))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaigns.orchestrator import orchestrate
+    from repro.experiments.reporting import render_campaign_summary
+    from repro.experiments.runner import CampaignConfig
+
+    if args.resume and not args.store:
+        raise ConfigurationError("--resume requires --store")
+    config = CampaignConfig(
+        family=args.family,
+        ptg_counts=tuple(args.ptg_counts),
+        workloads_per_point=args.workloads,
+        platforms=tuple(p for p in _resolve_platforms(args.platforms) or ()) or None,
+        base_seed=args.seed,
+        max_tasks=args.max_tasks,
+    )
+    progress = None
+    if not args.quiet:
+        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    run = orchestrate(
+        config,
+        store=args.store,
+        jobs=_resolve_jobs(args.jobs),
+        progress=progress,
+        resume=args.resume,
+    )
+    print(render_campaign_summary(run.result))
+    stats = run.stats
+    print(
+        f"\nshards: {stats.total_shards} total, {stats.skipped_shards} resumed, "
+        f"{stats.executed_shards} executed; own-makespan cache hit rate "
+        f"{100.0 * stats.cache_hit_rate:.1f}%"
+    )
     return 0
 
 
@@ -167,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     for number in (3, 4, 5):
         fig = sub.add_parser(f"fig{number}", help=f"run Figure {number}")
         _add_scale_arguments(fig)
+        _add_parallel_arguments(fig)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a campaign with parallel workers and a persistent result store",
+    )
+    camp.add_argument(
+        "--family", default="random", choices=["random", "fft", "strassen"]
+    )
+    camp.add_argument("--quiet", action="store_true", help="suppress progress output")
+    _add_scale_arguments(camp)
+    _add_parallel_arguments(camp)
 
     sched = sub.add_parser("schedule", help="schedule one workload with one strategy")
     sched.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
@@ -190,12 +271,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-ptg`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command == "fig2":
         return _cmd_fig2(args)
     if args.command in ("fig3", "fig4", "fig5"):
         return _cmd_figure(int(args.command[-1]), args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
     if args.command == "generate":

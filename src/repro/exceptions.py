@@ -66,3 +66,13 @@ class ConfigurationError(ReproError):
     outside ``[0, 1]``, an unknown constraint strategy name, or an
     experiment requesting zero concurrent applications.
     """
+
+
+class CampaignError(ReproError):
+    """Raised by the campaign orchestration subsystem.
+
+    Examples: a result store whose recorded campaign signature does not
+    match the campaign being resumed, a store record with an unsupported
+    format version, or shards that failed during a parallel run (raised
+    after every surviving shard has been executed and persisted).
+    """

@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     CampaignConfig,
     CampaignResult,
+    ProgressCallback,
     run_experiment,
     run_campaign,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentResult",
     "CampaignConfig",
     "CampaignResult",
+    "ProgressCallback",
     "run_experiment",
     "run_campaign",
     "MuSweepResult",

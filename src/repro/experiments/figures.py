@@ -65,11 +65,26 @@ def run_figure(
     base_seed: int = 0,
     max_tasks: Optional[int] = None,
     strategy_names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    store: Optional[str] = None,
+    resume: bool = False,
 ) -> FigureResult:
-    """Reproduce one of the paper's comparison figures (3, 4 or 5)."""
+    """Reproduce one of the paper's comparison figures (3, 4 or 5).
+
+    When *jobs* or *store* is given the campaign goes through the
+    orchestration subsystem (:mod:`repro.campaigns`): experiments fan out
+    across *jobs* worker processes, results are persisted to the *store*
+    directory as they complete, and *resume* continues an interrupted
+    store without re-running finished experiments.  Aggregates are
+    bit-identical to the serial path either way.
+    """
     if figure not in FIGURE_FAMILIES:
         raise ConfigurationError(
             f"unknown figure {figure}; reproducible figures: {sorted(FIGURE_FAMILIES)}"
+        )
+    if resume and store is None:
+        raise ConfigurationError(
+            "resume requires a result store (pass store=/--store)"
         )
     family = FIGURE_FAMILIES[figure]
     config = CampaignConfig(
@@ -81,7 +96,14 @@ def run_figure(
         base_seed=base_seed,
         max_tasks=max_tasks,
     )
-    campaign = run_campaign(config)
+    if jobs is not None or store is not None:
+        # Imported lazily: repro.campaigns itself imports the experiment
+        # layer, so a top-level import here would be circular.
+        from repro.campaigns.orchestrator import run_campaign_parallel
+
+        campaign = run_campaign_parallel(config, store=store, jobs=jobs, resume=resume)
+    else:
+        campaign = run_campaign(config)
     return FigureResult(
         figure=figure,
         family=family,

@@ -19,7 +19,7 @@ of concurrent PTGs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.base import ConstraintStrategy
 from repro.constraints.registry import paper_strategies
@@ -38,6 +38,11 @@ from repro.platform.multicluster import MultiClusterPlatform
 from repro.scheduler.concurrent import ConcurrentScheduler
 from repro.scheduler.single import SinglePTGScheduler
 from repro.simulate.executor import ScheduleExecutor
+
+#: Signature of campaign progress callbacks: called with a short,
+#: human-readable string after each experiment (shared by the serial
+#: runner and :mod:`repro.campaigns.orchestrator`).
+ProgressCallback = Callable[[str], None]
 
 
 @dataclass
@@ -235,7 +240,9 @@ class CampaignResult:
         return result
 
 
-def run_campaign(config: CampaignConfig, progress: Optional[callable] = None) -> CampaignResult:
+def run_campaign(
+    config: CampaignConfig, progress: Optional[ProgressCallback] = None
+) -> CampaignResult:
     """Run a full campaign: every workload on every platform.
 
     *progress*, when given, is called with a short string after each

@@ -1,0 +1,97 @@
+"""Tests for the own-makespan cache and content fingerprints."""
+
+import pytest
+
+from repro.campaigns.cache import (
+    OwnMakespanCache,
+    compute_own_makespans_cached,
+    platform_fingerprint,
+    ptg_fingerprint,
+)
+from repro.experiments.runner import compute_own_makespans
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform import grid5000
+from repro.platform.builder import heterogeneous_platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform((10, 14), (3.0, 4.0), name="cache-platform")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(WorkloadSpec("random", n_ptgs=3, seed=5, max_tasks=8))
+
+
+class TestFingerprints:
+    def test_ptg_fingerprint_ignores_names(self, workload):
+        from repro.dag.io import ptg_from_dict, ptg_to_dict
+
+        graph = workload[0]
+        payload = ptg_to_dict(graph)
+        payload["name"] = "renamed"
+        for task in payload["tasks"]:
+            task["name"] = f"other-{task['task_id']}"
+        renamed = ptg_from_dict(payload)
+        assert ptg_fingerprint(renamed) == ptg_fingerprint(graph)
+
+    def test_ptg_fingerprint_distinguishes_content(self, workload):
+        prints = {ptg_fingerprint(g) for g in workload}
+        assert len(prints) == len(workload)  # random graphs differ in content
+
+    def test_strassen_instances_share_costs_not_fingerprints(self):
+        """Strassen PTGs share shape but differ in sampled costs."""
+        graphs = make_workload(WorkloadSpec("strassen", n_ptgs=2, seed=1))
+        assert graphs[0].n_tasks == graphs[1].n_tasks
+
+    def test_platform_fingerprint_is_content_derived(self):
+        assert platform_fingerprint(grid5000.lille()) == platform_fingerprint(
+            grid5000.lille()
+        )
+        assert platform_fingerprint(grid5000.lille()) != platform_fingerprint(
+            grid5000.nancy()
+        )
+
+
+class TestOwnMakespanCache:
+    def test_hit_and_miss_accounting(self):
+        cache = OwnMakespanCache()
+        assert cache.get("a", "p") is None
+        cache.put("a", "p", 3.5)
+        assert cache.get("a", "p") == 3.5
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.new_entries == {"a:p": 3.5}
+
+    def test_merge_tracks_new_entries(self):
+        cache = OwnMakespanCache({"a:p": 1.0})
+        cache.merge({"b:p": 2.0})
+        assert cache.entries == {"a:p": 1.0, "b:p": 2.0}
+        assert cache.new_entries == {"b:p": 2.0}
+
+    def test_save_load_round_trip(self, tmp_path):
+        cache = OwnMakespanCache({"a:p": 1.25, "b:q": 0.5})
+        path = str(tmp_path / "cache.json")
+        cache.save(path)
+        loaded = OwnMakespanCache.load(path)
+        assert loaded.entries == cache.entries
+        assert loaded.new_entries == {}
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        cache = OwnMakespanCache.load(str(tmp_path / "absent.json"))
+        assert len(cache) == 0
+
+
+class TestComputeOwnMakespansCached:
+    def test_matches_uncached_computation(self, platform, workload):
+        cache = OwnMakespanCache()
+        cached = compute_own_makespans_cached(workload, platform, cache)
+        assert cached == compute_own_makespans(workload, platform)
+        assert cache.misses == len(workload)
+
+    def test_second_pass_is_all_hits(self, platform, workload):
+        cache = OwnMakespanCache()
+        first = compute_own_makespans_cached(workload, platform, cache)
+        second = compute_own_makespans_cached(workload, platform, cache)
+        assert second == first
+        assert cache.hits == len(workload)

@@ -1,0 +1,187 @@
+"""Tests for the campaign orchestrator: parallel fan-out, persistence, resume."""
+
+import os
+
+import pytest
+
+from repro.campaigns.orchestrator import orchestrate, run_campaign_parallel
+from repro.campaigns.pool import execute_shard, run_shards
+from repro.campaigns.shards import ExperimentShard, make_shards
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError
+from repro.experiments.runner import CampaignConfig, run_campaign
+from repro.experiments.workload import WorkloadSpec
+from repro.platform.builder import heterogeneous_platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform((10, 14), (3.0, 4.0), name="orch-platform")
+
+
+@pytest.fixture(scope="module")
+def config(platform):
+    return CampaignConfig(
+        family="random",
+        ptg_counts=(2, 3),
+        workloads_per_point=2,
+        platforms=(platform,),
+        strategy_names=("S", "ES"),
+        base_seed=17,
+        max_tasks=8,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(config):
+    return run_campaign(config)
+
+
+class TestExecuteShard:
+    def test_matches_serial_experiment(self, config, serial):
+        shard = make_shards(config)[0]
+        outcome = execute_shard(shard)
+        assert outcome.ok
+        assert outcome.result == serial.experiments[0]
+        assert outcome.workload is not None
+
+    def test_failure_is_captured_not_raised(self, config, platform):
+        shard = ExperimentShard(
+            index=0,
+            spec=WorkloadSpec("random", n_ptgs=2, seed=1, max_tasks=8),
+            platform=platform,
+            strategy_names=("no-such-strategy",),
+        )
+        outcome = execute_shard(shard)
+        assert not outcome.ok
+        assert outcome.result is None
+        assert "no-such-strategy" in outcome.error
+
+
+class TestRunShards:
+    def test_outcomes_arrive_in_shard_order(self, config):
+        shards = make_shards(config)
+        outcomes = list(run_shards(shards, jobs=2))
+        assert [o.index for o in outcomes] == [s.index for s in shards]
+        assert [o.key for o in outcomes] == [s.key() for s in shards]
+
+    def test_inline_and_parallel_agree(self, config):
+        shards = make_shards(config)
+        inline = [o.result for o in run_shards(shards, jobs=1)]
+        parallel = [o.result for o in run_shards(shards, jobs=2)]
+        assert inline == parallel
+
+
+class TestParallelMatchesSerial:
+    def test_aggregates_are_bit_identical(self, config, serial):
+        result = run_campaign_parallel(config, jobs=2)
+        assert result.average_unfairness() == serial.average_unfairness()
+        assert (
+            result.average_relative_makespan() == serial.average_relative_makespan()
+        )
+        assert (
+            result.average_mean_application_makespan()
+            == serial.average_mean_application_makespan()
+        )
+
+    def test_store_round_trip_is_bit_identical(self, config, serial, tmp_path):
+        """Aggregates survive the JSONL round trip exactly."""
+        run_campaign_parallel(config, store=str(tmp_path / "s"), jobs=2)
+        # a fresh orchestration re-assembles everything from the store
+        rebuilt = run_campaign_parallel(config, store=str(tmp_path / "s"), jobs=2)
+        assert rebuilt.average_unfairness() == serial.average_unfairness()
+        assert (
+            rebuilt.average_relative_makespan() == serial.average_relative_makespan()
+        )
+
+
+class TestResume:
+    def test_completed_shards_are_skipped(self, config, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        first = orchestrate(config, store=store, jobs=1)
+        assert first.stats.executed_shards == first.stats.total_shards
+        second = orchestrate(config, store=store, jobs=1)
+        assert second.stats.executed_shards == 0
+        assert second.stats.skipped_shards == second.stats.total_shards
+        assert (
+            second.result.average_unfairness() == first.result.average_unfairness()
+        )
+
+    def test_interrupted_run_completes_without_reexecution(
+        self, config, serial, tmp_path
+    ):
+        """Drop all but one record, resume, and check only the rest re-runs."""
+        store = CampaignStore(tmp_path / "s")
+        orchestrate(config, store=store, jobs=1)
+        with open(store.results_path, "r", encoding="utf-8") as handle:
+            first_line = handle.readline()
+        with open(store.results_path, "w", encoding="utf-8") as handle:
+            handle.write(first_line)
+        resumed = orchestrate(config, store=store, jobs=1)
+        assert resumed.stats.skipped_shards == 1
+        assert resumed.stats.executed_shards == resumed.stats.total_shards - 1
+        assert resumed.result.average_unfairness() == serial.average_unfairness()
+
+    def test_progress_reports_resume_and_labels(self, config, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        orchestrate(config, store=store, jobs=1)
+        messages = []
+        orchestrate(config, store=store, jobs=1, progress=messages.append)
+        assert any("resuming" in m for m in messages)
+
+    def test_warm_cache_serves_resumed_reference_makespans(self, config, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        orchestrate(config, store=store, jobs=1)
+        # lose the results but keep the own-makespan cache: every reference
+        # makespan of the re-run must come from the cache
+        os.remove(store.results_path)
+        rerun = orchestrate(config, store=store, jobs=1)
+        assert rerun.stats.cache_misses == 0
+        assert rerun.stats.cache_hits > 0
+        assert rerun.stats.cache_hit_rate == 1.0
+
+
+class TestStoreGuards:
+    def test_mismatched_campaign_is_refused(self, config, platform, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        orchestrate(config, store=store, jobs=1)
+        other = CampaignConfig(
+            family="random", ptg_counts=(2,), workloads_per_point=1,
+            platforms=(platform,), strategy_names=("S",), base_seed=99, max_tasks=8,
+        )
+        with pytest.raises(CampaignError):
+            orchestrate(other, store=store, jobs=1)
+
+    def test_populated_store_requires_resume(self, config, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        orchestrate(config, store=store, jobs=1)
+        with pytest.raises(CampaignError):
+            orchestrate(config, store=store, jobs=1, resume=False)
+
+
+class TestFailureHandling:
+    def test_failures_raise_after_all_shards_ran(self, platform, tmp_path, monkeypatch):
+        """One bad shard fails the run, but good shards are persisted first."""
+        config = CampaignConfig(
+            family="random", ptg_counts=(2, 3), workloads_per_point=1,
+            platforms=(platform,), strategy_names=("S",), base_seed=17, max_tasks=8,
+        )
+        shards = make_shards(config)
+        from repro.campaigns import pool
+
+        original = pool.run_experiment
+
+        def flaky(ptgs, *args, **kwargs):
+            if len(ptgs) == 3:
+                raise RuntimeError("boom on the 3-PTG shard")
+            return original(ptgs, *args, **kwargs)
+
+        monkeypatch.setattr(pool, "run_experiment", flaky)
+        store = CampaignStore(tmp_path / "s")
+        with pytest.raises(CampaignError, match="1 shard"):
+            orchestrate(config, store=store, jobs=1)
+        assert store.completed_keys() == {shards[0].key()}
+        monkeypatch.undo()
+        resumed = orchestrate(config, store=store, jobs=1)
+        assert resumed.stats.skipped_shards == 1
+        assert resumed.stats.executed_shards == 1

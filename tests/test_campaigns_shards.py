@@ -1,0 +1,98 @@
+"""Tests for the campaign shard decomposition."""
+
+import pytest
+
+from repro.campaigns.shards import campaign_signature, make_shards
+from repro.experiments.runner import CampaignConfig, run_campaign
+from repro.platform import grid5000
+from repro.platform.builder import heterogeneous_platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform((10, 14), (3.0, 4.0), name="shard-platform")
+
+
+@pytest.fixture(scope="module")
+def config(platform):
+    return CampaignConfig(
+        family="random",
+        ptg_counts=(2, 3),
+        workloads_per_point=2,
+        platforms=(platform,),
+        strategy_names=("S", "ES"),
+        base_seed=11,
+        max_tasks=8,
+    )
+
+
+class TestMakeShards:
+    def test_one_shard_per_workload_platform_pair(self, config):
+        shards = make_shards(config)
+        assert len(shards) == 2 * 2  # two PTG counts x two workloads x one platform
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_campaign_order_matches_serial_runner(self, config):
+        """Shards enumerate in the order run_campaign visits experiments."""
+        shards = make_shards(config)
+        serial = run_campaign(config)
+        assert [s.spec.label() for s in shards] == [
+            e.workload for e in serial.experiments
+        ]
+        assert [s.platform.name for s in shards] == [
+            e.platform for e in serial.experiments
+        ]
+
+    def test_strategy_names_resolved_from_family(self):
+        shards = make_shards(CampaignConfig(family="strassen", ptg_counts=(2,),
+                                            workloads_per_point=1))
+        assert all("width" not in n for n in shards[0].strategy_names)
+
+    def test_labels_are_readable(self, config):
+        shard = make_shards(config)[0]
+        assert shard.spec.label() in shard.label()
+        assert shard.platform.name in shard.label()
+
+
+class TestShardKeys:
+    def test_keys_are_unique_within_a_campaign(self, config):
+        shards = make_shards(config)
+        assert len({s.key() for s in shards}) == len(shards)
+
+    def test_keys_are_stable_across_processes(self, config):
+        """Same config -> same keys, independent of object identity."""
+        first = [s.key() for s in make_shards(config)]
+        second = [s.key() for s in make_shards(config)]
+        assert first == second
+
+    def test_keys_ignore_platform_object_identity(self):
+        a = CampaignConfig(ptg_counts=(2,), workloads_per_point=1,
+                           platforms=(grid5000.lille(),), strategy_names=("S",))
+        b = CampaignConfig(ptg_counts=(2,), workloads_per_point=1,
+                           platforms=(grid5000.lille(),), strategy_names=("S",))
+        assert make_shards(a)[0].key() == make_shards(b)[0].key()
+
+    def test_keys_depend_on_content(self, config, platform):
+        base = make_shards(config)[0].key()
+        reseeded = CampaignConfig(
+            family="random", ptg_counts=(2, 3), workloads_per_point=2,
+            platforms=(platform,), strategy_names=("S", "ES"),
+            base_seed=12, max_tasks=8,
+        )
+        assert make_shards(reseeded)[0].key() != base
+        restrategied = CampaignConfig(
+            family="random", ptg_counts=(2, 3), workloads_per_point=2,
+            platforms=(platform,), strategy_names=("ES",),
+            base_seed=11, max_tasks=8,
+        )
+        assert make_shards(restrategied)[0].key() != base
+
+    def test_campaign_signature_detects_config_changes(self, config, platform):
+        signature = campaign_signature(make_shards(config))
+        assert signature == campaign_signature(make_shards(config))
+        other = CampaignConfig(
+            family="random", ptg_counts=(2,), workloads_per_point=2,
+            platforms=(platform,), strategy_names=("S", "ES"),
+            base_seed=11, max_tasks=8,
+        )
+        assert campaign_signature(make_shards(other)) != signature

@@ -1,0 +1,136 @@
+"""Tests for campaign result persistence (JSONL store + workload archive)."""
+
+import json
+
+import pytest
+
+from repro.campaigns.shards import make_shards
+from repro.campaigns.store import (
+    CampaignStore,
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+    strategy_outcome_from_dict,
+    strategy_outcome_to_dict,
+)
+from repro.constraints.registry import strategy
+from repro.exceptions import CampaignError
+from repro.experiments.runner import CampaignConfig, run_experiment
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform.builder import heterogeneous_platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform((10, 14), (3.0, 4.0), name="store-platform")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(WorkloadSpec("random", n_ptgs=2, seed=3, max_tasks=8))
+
+
+@pytest.fixture(scope="module")
+def result(platform, workload):
+    return run_experiment(
+        workload, platform, [strategy("S"), strategy("ES")], workload_label="t"
+    )
+
+
+class TestRecordRoundTrip:
+    def test_strategy_outcome_round_trips_exactly(self, result):
+        outcome = result.outcomes["ES"]
+        restored = strategy_outcome_from_dict(
+            json.loads(json.dumps(strategy_outcome_to_dict(outcome)))
+        )
+        assert restored == outcome  # dataclass equality: every float bit-exact
+
+    def test_experiment_result_round_trips_exactly(self, result):
+        restored = experiment_result_from_dict(
+            json.loads(json.dumps(experiment_result_to_dict(result)))
+        )
+        assert restored == result
+
+    def test_missing_field_raises(self, result):
+        payload = experiment_result_to_dict(result)
+        del payload["own_makespans"]
+        with pytest.raises(CampaignError):
+            experiment_result_from_dict(payload)
+
+
+class TestCampaignStore:
+    def test_append_and_reload(self, tmp_path, result, workload):
+        store = CampaignStore(tmp_path / "store")
+        store.append("shard-a", result, workload=workload)
+        assert "shard-a" in store
+        assert len(store) == 1
+        reloaded = store.results_by_key()["shard-a"]
+        assert reloaded == result
+
+    def test_workload_archive_round_trips(self, tmp_path, result, workload):
+        store = CampaignStore(tmp_path / "store")
+        store.append("shard-a", result, workload=workload)
+        restored = store.load_workload("shard-a")
+        assert [g.name for g in restored] == [g.name for g in workload]
+        assert [g.n_tasks for g in restored] == [g.n_tasks for g in workload]
+
+    def test_missing_workload_raises(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        with pytest.raises(CampaignError):
+            store.load_workload("absent")
+
+    def test_append_only_accumulates(self, tmp_path, result):
+        store = CampaignStore(tmp_path / "store")
+        store.append("a", result)
+        store.append("b", result)
+        assert store.completed_keys() == {"a", "b"}
+        assert [key for key, _ in store.iter_records()] == ["a", "b"]
+
+    def test_truncated_final_line_is_ignored(self, tmp_path, result):
+        """A crash mid-write must not poison the store: the shard re-runs."""
+        store = CampaignStore(tmp_path / "store")
+        store.append("a", result)
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"format_version": 1, "key": "b", "result"')
+        assert store.completed_keys() == {"a"}
+
+    def test_append_after_truncated_line_keeps_store_readable(self, tmp_path, result):
+        """Appending over a crash artefact must not corrupt later records."""
+        store = CampaignStore(tmp_path / "store")
+        store.append("a", result)
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"format_version": 1, "key": "b", "result"')
+        store.append("b", result)
+        store.append("c", result)
+        assert store.completed_keys() == {"a", "b", "c"}
+
+    def test_unsupported_format_version_raises(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        with open(store.results_path, "w", encoding="utf-8") as handle:
+            handle.write('{"format_version": 99, "key": "a", "result": {}}\n')
+        with pytest.raises(CampaignError):
+            store.completed_keys()
+
+    def test_meta_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        assert store.read_meta() is None
+        store.write_meta({"signature": "abc", "total_shards": 4})
+        assert store.read_meta() == {"signature": "abc", "total_shards": 4}
+
+    def test_cache_round_trip(self, tmp_path):
+        from repro.campaigns.cache import OwnMakespanCache
+
+        store = CampaignStore(tmp_path / "store")
+        assert len(store.load_cache()) == 0
+        store.save_cache(OwnMakespanCache({"fp:plat": 2.5}))
+        assert store.load_cache().entries == {"fp:plat": 2.5}
+
+    def test_store_keys_match_shard_keys(self, tmp_path, platform, result):
+        """The store accepts the content-derived keys produced by the shards."""
+        config = CampaignConfig(
+            family="random", ptg_counts=(2,), workloads_per_point=1,
+            platforms=(platform,), strategy_names=("S", "ES"), max_tasks=8,
+        )
+        shard = make_shards(config)[0]
+        store = CampaignStore(tmp_path / "store")
+        store.append(shard.key(), result)
+        assert shard.key() in store

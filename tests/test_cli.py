@@ -96,3 +96,54 @@ class TestFigureCommands:
         )
         assert code == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    CAMPAIGN_ARGS = [
+        "campaign",
+        "--family", "random",
+        "--workloads", "1",
+        "--ptg-counts", "2",
+        "--platforms", "lille",
+        "--max-tasks", "8",
+        "--seed", "1",
+        "--jobs", "1",
+        "--quiet",
+    ]
+
+    def test_campaign_runs_and_reports_shards(self, capsys):
+        assert main(self.CAMPAIGN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "shards: 1 total" in out
+        assert "cache hit rate" in out
+
+    def test_campaign_with_store_resumes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.CAMPAIGN_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(self.CAMPAIGN_ARGS + ["--store", store, "--resume"]) == 0
+        assert "1 resumed, 0 executed" in capsys.readouterr().out
+
+    def test_fig3_accepts_parallel_flags(self, capsys, tmp_path):
+        code = main(
+            [
+                "fig3",
+                "--workloads", "1",
+                "--ptg-counts", "2",
+                "--platforms", "lille",
+                "--max-tasks", "8",
+                "--seed", "1",
+                "--jobs", "1",
+                "--store", str(tmp_path / "fig3-store"),
+            ]
+        )
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_store_conflict_is_a_clean_error(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.CAMPAIGN_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(self.CAMPAIGN_ARGS + ["--store", store]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--resume" in err

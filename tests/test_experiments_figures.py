@@ -87,3 +87,9 @@ class TestMuSweep:
             run_mu_sweep(mu_values=(), platforms=[tiny_platform])
         with pytest.raises(ConfigurationError):
             run_mu_sweep(workloads_per_point=0, platforms=[tiny_platform])
+
+
+class TestFigureParallelPath:
+    def test_resume_without_store_is_refused(self):
+        with pytest.raises(ConfigurationError, match="store"):
+            run_figure(3, ptg_counts=(2,), workloads_per_point=1, resume=True)
