@@ -50,7 +50,8 @@ class NoConstraint(ConstraintCheck):
 
     stop_on_violation = True
 
-    def violated(self, allocation: Allocation, task: Task) -> bool:  # noqa: D102
+    def violated(self, allocation: Allocation, task: Task) -> bool:
+        """Never violated: CPA/HCPA only stop on the time/area balance criterion."""
         return False
 
 
@@ -73,7 +74,8 @@ class AreaConstraint(ConstraintCheck):
         self.beta = beta
         self.platform_power_gflops = platform_power_gflops
 
-    def violated(self, allocation: Allocation, task: Task) -> bool:  # noqa: D102
+    def violated(self, allocation: Allocation, task: Task) -> bool:
+        """Paper rule: average power over the critical path exceeds ``beta * P``."""
         return allocation.average_power() > self.beta * self.platform_power_gflops + 1e-12
 
 
@@ -97,7 +99,8 @@ class LevelConstraint(ConstraintCheck):
         self.beta = beta
         self.platform_power_gflops = platform_power_gflops
 
-    def violated(self, allocation: Allocation, task: Task) -> bool:  # noqa: D102
+    def violated(self, allocation: Allocation, task: Task) -> bool:
+        """Paper rule: the task's precedence level would exceed ``beta * P``."""
         level = allocation.ptg.precedence_level(task.task_id)
         return (
             allocation.level_power(level)

@@ -21,6 +21,13 @@ This package provides:
 * :class:`~repro.mapping.global_order.GlobalOrderMapper` -- the baseline
   that aggregates all applications and orders every task globally, which
   the paper shows can unfairly postpone small applications (Figure 1).
+
+The placement hot path (timelines, EFT sweep, ready queue, communication
+estimates) is optimized -- incrementally sorted free-time arrays, batched
+candidate evaluation, heap-based ready list, memoized transfers -- while
+emitting bit-identical schedules to the straightforward formulation kept
+in :mod:`repro.mapping._reference` (see ``tests/test_mapping_golden.py``
+and ``docs/architecture.md``).
 """
 
 from repro.mapping.schedule import Schedule, ScheduledTask

@@ -18,20 +18,58 @@ The estimate follows the platform topology:
   backplanes on the route.  Contention with other transfers is only
   modelled by the discrete-event simulator, not by this estimator --
   exactly like a static scheduler that cannot know the future traffic.
+
+Performance
+-----------
+The mappers evaluate the same edges against the same cluster pairs over
+and over (once per candidate cluster per ready task), so the estimator
+memoizes both the per-pair path parameters ``(latency, bottleneck
+bandwidth)`` -- which are constant for a given platform -- and the final
+transfer time per ``(edge data volume, source cluster, destination
+cluster)`` triple.  The cached arithmetic is the exact expression of the
+uncached version, so memoization never changes a schedule.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 from repro.exceptions import MappingError
 from repro.platform.multicluster import MultiClusterPlatform
 
 
 class CommunicationEstimator:
-    """Static estimate of inter-cluster data redistribution times."""
+    """Static estimate of inter-cluster data redistribution times.
+
+    Models the paper's data redistribution between the processor sets of
+    two dependent tasks; intra-cluster redistribution is free, an
+    inter-cluster one pays path latency plus volume over the bottleneck
+    bandwidth.
+    """
 
     def __init__(self, platform: MultiClusterPlatform) -> None:
         self.platform = platform
         self.topology = platform.topology
+        # (src, dst) -> (latency, bottleneck bandwidth); constant per platform
+        self._pair_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        # (data_bytes, src, dst) -> transfer time
+        self._time_cache: Dict[Tuple[float, str, str], float] = {}
+
+    def _pair_parameters(self, src_cluster: str, dst_cluster: str) -> Tuple[float, float]:
+        """Memoized ``(path latency, bottleneck bandwidth)`` of one pair."""
+        key = (src_cluster, dst_cluster)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            latency = self.topology.path_latency(src_cluster, dst_cluster)
+            bandwidth = self.topology.route_bandwidth(
+                src_cluster,
+                dst_cluster,
+                self.platform.cluster(src_cluster).num_processors,
+                self.platform.cluster(dst_cluster).num_processors,
+            )
+            cached = (latency, bandwidth)
+            self._pair_cache[key] = cached
+        return cached
 
     def transfer_time(
         self, data_bytes: float, src_cluster: str, dst_cluster: str
@@ -47,14 +85,13 @@ class CommunicationEstimator:
             return 0.0
         if src_cluster == dst_cluster:
             return 0.0
-        latency = self.topology.path_latency(src_cluster, dst_cluster)
-        bandwidth = self.topology.route_bandwidth(
-            src_cluster,
-            dst_cluster,
-            self.platform.cluster(src_cluster).num_processors,
-            self.platform.cluster(dst_cluster).num_processors,
-        )
-        return latency + data_bytes / bandwidth
+        key = (data_bytes, src_cluster, dst_cluster)
+        cached = self._time_cache.get(key)
+        if cached is None:
+            latency, bandwidth = self._pair_parameters(src_cluster, dst_cluster)
+            cached = latency + data_bytes / bandwidth
+            self._time_cache[key] = cached
+        return cached
 
     def worst_case_transfer_time(self, data_bytes: float) -> float:
         """Largest transfer estimate over all cluster pairs (used for bounds)."""

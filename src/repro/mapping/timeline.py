@@ -8,6 +8,18 @@ earlier idle holes -- the paper explicitly avoids conservative backfilling
 ("this method that is already complex in the case of independent tasks is
 even harder to implement in presence of dependencies") and instead relies
 on the ready-task ordering plus the allocation packing mechanism.
+
+Performance
+-----------
+A timeline maintains the free times twice: per processor (needed to pick
+concrete processor indices) and as an **incrementally sorted array**.
+Reserving ``p`` processors removes the ``p`` smallest entries from the
+sorted array and re-inserts ``p`` copies of the finish time at the
+position found by :func:`numpy.searchsorted`, so the array never needs a
+full sort or an :func:`numpy.partition` again.  ``earliest_start`` then
+becomes an O(1) lookup of the ``p``-th entry, and the EFT packing sweep in
+:mod:`repro.mapping.eft` reads the whole candidate range ``k = 1..p`` in
+one shot through :meth:`ClusterTimeline.kth_free_times`.
 """
 
 from __future__ import annotations
@@ -22,11 +34,30 @@ from repro.platform.multicluster import MultiClusterPlatform
 
 
 class ClusterTimeline:
-    """Tracks when each processor of one cluster becomes free."""
+    """Tracks when each processor of one cluster becomes free.
+
+    Implements the non-insertion availability model of the paper's mapping
+    step: a task needing ``p`` processors starts at the ``p``-th smallest
+    free time (no backfilling into idle holes).
+
+    Examples
+    --------
+    >>> from repro.platform.cluster import Cluster
+    >>> t = ClusterTimeline(Cluster("c", 4, 1e9))
+    >>> t.reserve(2, 0.0, 5.0)
+    ([0, 1], 0.0, 5.0)
+    >>> t.earliest_start(2, 0.0)   # two processors are still free
+    0.0
+    >>> t.earliest_start(3, 0.0)   # the third frees up at 5.0
+    5.0
+    """
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self._free_at = np.zeros(cluster.num_processors, dtype=float)
+        # Sorted copy of ``_free_at`` (values only), kept in sync by
+        # ``reserve`` with a searchsorted insert instead of re-sorting.
+        self._sorted_free = np.zeros(cluster.num_processors, dtype=float)
 
     @property
     def num_processors(self) -> int:
@@ -37,42 +68,73 @@ class ClusterTimeline:
         """A copy of the per-processor free times."""
         return self._free_at.copy()
 
+    def kth_free_times(self) -> np.ndarray:
+        """The sorted processor free times (ascending).
+
+        Entry ``k-1`` is the earliest time at which ``k`` processors are
+        simultaneously free under the non-insertion policy, so the EFT
+        engine can evaluate every candidate processor count of the
+        allocation packing rule against this single array instead of
+        issuing one :meth:`earliest_start` query per count.
+
+        The returned array is the timeline's internal state: callers must
+        not mutate it (take a ``.copy()`` to keep it across reservations).
+        """
+        return self._sorted_free
+
+    def _check_processors(self, processors: int) -> None:
+        """Validate a requested processor count (paper: ``1 <= p <= P``)."""
+        if processors < 1 or processors > self.num_processors:
+            raise MappingError(
+                f"cannot reserve {processors} processors on cluster "
+                f"{self.cluster.name!r} ({self.num_processors} available)"
+            )
+
     def earliest_start(self, processors: int, ready_time: float) -> float:
         """Earliest start time of a task needing *processors* processors.
 
         The task can start when its data is ready and *processors*
         processors are simultaneously free; with the non-insertion policy
-        this is the ``processors``-th smallest free time.
+        this is the ``processors``-th smallest free time.  O(1) thanks to
+        the incrementally maintained sorted array.
         """
-        if processors < 1 or processors > self.num_processors:
-            raise MappingError(
-                f"cannot reserve {processors} processors on cluster "
-                f"{self.cluster.name!r} ({self.num_processors} available)"
-            )
+        self._check_processors(processors)
         if ready_time < 0:
             raise MappingError(f"ready_time must be non-negative, got {ready_time}")
-        kth_free = float(np.partition(self._free_at, processors - 1)[processors - 1])
+        kth_free = float(self._sorted_free[processors - 1])
         return max(ready_time, kth_free)
 
     def select_processors(self, processors: int) -> List[int]:
         """Indices of the *processors* processors that free up first.
 
-        Ties are broken by processor index so the choice is deterministic.
+        Ties are broken by processor index so the choice is deterministic
+        (the returned list is ordered by increasing ``(free time, index)``,
+        matching the paper's deterministic earliest-available selection).
         """
-        if processors < 1 or processors > self.num_processors:
-            raise MappingError(
-                f"cannot reserve {processors} processors on cluster "
-                f"{self.cluster.name!r} ({self.num_processors} available)"
-            )
-        order = np.lexsort((np.arange(self.num_processors), self._free_at))
-        return [int(i) for i in order[:processors]]
+        self._check_processors(processors)
+        # The p-th smallest free time bounds the selection: everything
+        # strictly below it is taken, ties at the boundary are filled in
+        # index order.  This avoids a full lexsort of all P processors.
+        kth = self._sorted_free[processors - 1]
+        below = np.flatnonzero(self._free_at < kth)
+        if below.size < processors:
+            equal = np.flatnonzero(self._free_at == kth)
+            chosen = np.concatenate([below, equal[: processors - below.size]])
+        else:  # pragma: no cover - below.size is at most processors - 1
+            chosen = below[:processors]
+        # order by (free time, index) like the original lexsort did
+        order = np.lexsort((chosen, self._free_at[chosen]))
+        return [int(i) for i in chosen[order]]
 
     def reserve(
         self, processors: int, ready_time: float, duration: float
     ) -> Tuple[List[int], float, float]:
         """Reserve *processors* processors for *duration* seconds.
 
-        Returns ``(processor_indices, start, finish)``.
+        Returns ``(processor_indices, start, finish)``.  The reservation
+        commits the non-insertion rule: the selected processors are the
+        ones that free up first, and all of them become busy until
+        ``start + duration``.
         """
         if duration < 0:
             raise MappingError(f"duration must be non-negative, got {duration}")
@@ -80,6 +142,16 @@ class ClusterTimeline:
         indices = self.select_processors(processors)
         finish = start + duration
         self._free_at[indices] = finish
+        # Incremental sorted-array update: the removed values are exactly
+        # the ``processors`` smallest, and the inserted value is >= all of
+        # them, so one searchsorted over the remainder suffices.
+        remaining = self._sorted_free[processors:]
+        pos = int(np.searchsorted(remaining, finish, side="left"))
+        updated = np.empty_like(self._sorted_free)
+        updated[:pos] = remaining[:pos]
+        updated[pos : pos + processors] = finish
+        updated[pos + processors :] = remaining[pos:]
+        self._sorted_free = updated
         return indices, start, finish
 
     def utilisation(self, horizon: float) -> float:

@@ -26,6 +26,7 @@ baseline any re-scheduling policy should beat.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -157,15 +158,23 @@ class OnlineConcurrentScheduler:
         allocations: Dict[str, Allocation] = {}
         active_log: Dict[str, List[str]] = {}
         completion: Dict[str, float] = {}
+        # Min-heap of (completion time, name) of admitted applications,
+        # lazily invalidated: arrivals are processed in non-decreasing
+        # time order, so popping every entry whose completion is <= now
+        # (and deleting it from the insertion-ordered ``active_apps``
+        # dict) leaves exactly the applications still in the system -- no
+        # rescan of all previous arrivals per admission.
+        running: List[Tuple[float, str]] = []
+        active_apps: Dict[str, PTG] = {}
 
         for arrival in ordered:
             now = arrival.time
-            # applications still in the system at this instant
-            active = [
-                a.ptg
-                for a in ordered
-                if a.ptg.name in completion and completion[a.ptg.name] > now
-            ]
+            while running and running[0][0] <= now:
+                _, expired = heapq.heappop(running)
+                active_apps.pop(expired, None)
+            # applications still in the system at this instant, in
+            # arrival order (the order the constraint strategies see)
+            active = list(active_apps.values())
             concurrent = active + [arrival.ptg]
             strategy_betas = self.strategy.compute_betas(concurrent, platform)
             beta = strategy_betas[arrival.ptg.name]
@@ -177,7 +186,10 @@ class OnlineConcurrentScheduler:
             self._map_application(
                 engine, schedule, AllocatedPTG(arrival.ptg, allocation), now
             )
-            completion[arrival.ptg.name] = schedule.makespan(arrival.ptg.name)
+            done = schedule.makespan(arrival.ptg.name)
+            completion[arrival.ptg.name] = done
+            heapq.heappush(running, (done, arrival.ptg.name))
+            active_apps[arrival.ptg.name] = arrival.ptg
 
         return OnlineScheduleResult(
             platform=platform,

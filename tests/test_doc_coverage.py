@@ -1,0 +1,73 @@
+"""Docstring coverage of the paper-mechanism packages.
+
+The allocation and mapping packages implement the paper's mechanisms
+(constrained allocation, translation to concrete clusters, non-insertion
+placement, allocation packing); every public class, function, method and
+property there must carry a docstring explaining what it implements.
+This test enforces it so the documentation audit cannot rot.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.allocation
+import repro.mapping
+
+AUDITED_PACKAGES = (repro.allocation, repro.mapping)
+
+
+def audited_modules():
+    """All modules of the audited packages (private helpers included)."""
+    modules = []
+    for package in AUDITED_PACKAGES:
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__):
+            modules.append(importlib.import_module(f"{package.__name__}.{info.name}"))
+    return modules
+
+
+def public_members(module):
+    """(qualified name, object) pairs that must have docstrings."""
+    members = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; audited at its home
+        members.append((f"{module.__name__}.{name}", obj))
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                target = None
+                if inspect.isfunction(attr):
+                    target = attr
+                elif isinstance(attr, property):
+                    target = attr.fget
+                elif isinstance(attr, (staticmethod, classmethod)):
+                    target = attr.__func__
+                if target is not None:
+                    members.append((f"{module.__name__}.{name}.{attr_name}", target))
+    return members
+
+
+@pytest.mark.parametrize("module", audited_modules(), ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"module {module.__name__} has no docstring"
+    )
+
+
+@pytest.mark.parametrize("module", audited_modules(), ids=lambda m: m.__name__)
+def test_public_members_have_docstrings(module):
+    missing = [
+        qualified
+        for qualified, obj in public_members(module)
+        if not (obj.__doc__ and obj.__doc__.strip())
+    ]
+    assert not missing, f"missing docstrings: {missing}"

@@ -1,0 +1,23 @@
+"""The documentation tree must stay valid (see ``tools/lint_docs.py``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_tree_lints():
+    """tools/lint_docs.py passes: required pages, valid links/anchors."""
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lint_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_readme_points_at_docs():
+    """The README links to the documentation tree."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme

@@ -120,3 +120,44 @@ class TestPacking:
     def test_packing_counter(self, small_platform):
         engine = PlacementEngine(small_platform, enable_packing=True)
         assert engine.packed_tasks == 0
+
+
+class TestPackingDegeneratesToOneProcessor:
+    def test_packing_degenerates_to_single_processor(self, small_platform):
+        """A busy cluster plus a highly parallelizable probe can pack to p=1.
+
+        One processor of the fast cluster is left idle while all the
+        others are busy for a long time; the probe's requested allocation
+        would wait, but on a single processor it starts immediately and
+        (alpha=0) finishes no later -- the paper's packing rule therefore
+        shrinks the allocation all the way down to one processor.
+        """
+        engine = PlacementEngine(small_platform, enable_packing=True)
+        schedule = Schedule(small_platform.name)
+        fast = max(small_platform, key=lambda c: c.speed_gflops)
+        slow = min(small_platform, key=lambda c: c.speed_gflops)
+        # occupy all but one processor of the fast cluster, and the whole
+        # slow cluster even longer so it never wins the EFT comparison
+        engine.timelines.timeline(fast.name).reserve(
+            fast.num_processors - 1, 0.0, 1000.0
+        )
+        engine.timelines.timeline(slow.name).reserve(
+            slow.num_processors, 0.0, 10000.0
+        )
+
+        probe = make_chain_ptg("probe", n=1, flops=4e9, alpha=0.0)
+        alloc = allocation_for(probe, small_platform, procs_per_task=8)
+        entry = engine.place("probe", probe.task(0), alloc, [], schedule)
+        assert entry.cluster_name == fast.name
+        assert entry.num_processors == 1
+        assert entry.start == 0.0
+        assert engine.packed_tasks == 1
+
+    def test_negative_ready_time_rejected(self, small_platform, chain_ptg):
+        from repro.exceptions import MappingError
+
+        engine = PlacementEngine(small_platform)
+        schedule = Schedule(small_platform.name)
+        alloc = allocation_for(chain_ptg, small_platform)
+        with pytest.raises(MappingError, match="ready_time must be non-negative"):
+            engine.place("app", chain_ptg.task(0), alloc, [], schedule, not_before=-1.0)

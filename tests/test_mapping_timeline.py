@@ -89,3 +89,87 @@ class TestPlatformTimeline:
         pt.timeline(name).reserve(1, 0.0, 10.0)
         pt.reset()
         assert pt.timeline(name).earliest_start(1, 0.0) == 0.0
+
+
+class TestTimelineEdgeCases:
+    """Boundary behaviour of the incremental sorted-free-time timeline."""
+
+    def test_reserve_exactly_num_processors(self, timeline):
+        procs, start, finish = timeline.reserve(4, 0.0, 3.0)
+        assert sorted(procs) == [0, 1, 2, 3]
+        assert (start, finish) == (0.0, 3.0)
+        # the whole cluster frees up at once
+        assert timeline.earliest_start(1, 0.0) == 3.0
+        assert timeline.earliest_start(4, 0.0) == 3.0
+        # a second full-cluster reservation queues behind the first
+        procs, start, finish = timeline.reserve(4, 0.0, 2.0)
+        assert sorted(procs) == [0, 1, 2, 3]
+        assert (start, finish) == (3.0, 5.0)
+
+    def test_repeated_full_cluster_reservations(self, timeline):
+        for round_ in range(5):
+            _, start, finish = timeline.reserve(4, 0.0, 1.0)
+            assert start == float(round_)
+            assert finish == float(round_ + 1)
+
+    def test_sorted_view_matches_free_times(self, timeline):
+        import numpy as np
+
+        timeline.reserve(2, 0.0, 7.0)
+        timeline.reserve(1, 1.0, 2.5)
+        timeline.reserve(3, 0.0, 4.0)
+        assert np.array_equal(
+            timeline.kth_free_times(), np.sort(timeline.free_times())
+        )
+
+    def test_kth_free_times_view_not_mutated_by_reserve(self, timeline):
+        # reserve() replaces the sorted array instead of mutating it, so a
+        # view handed out before the reservation keeps its values -- the
+        # EFT engine relies on this while sweeping packing candidates
+        view = timeline.kth_free_times()
+        timeline.reserve(1, 0.0, 9.0)
+        assert list(view) == [0.0] * 4
+        assert list(timeline.kth_free_times()) == [0.0, 0.0, 0.0, 9.0]
+
+    def test_earliest_start_error_paths(self, timeline):
+        with pytest.raises(MappingError, match="cannot reserve 0 processors"):
+            timeline.earliest_start(0, 0.0)
+        with pytest.raises(MappingError, match="cannot reserve 5 processors"):
+            timeline.earliest_start(5, 0.0)
+        with pytest.raises(MappingError, match="ready_time must be non-negative"):
+            timeline.earliest_start(1, -0.5)
+
+    def test_select_processors_error_paths(self, timeline):
+        with pytest.raises(MappingError, match="cannot reserve 0 processors"):
+            timeline.select_processors(0)
+        with pytest.raises(MappingError, match="cannot reserve 5 processors"):
+            timeline.select_processors(5)
+
+    def test_select_processors_tie_break_by_index(self, timeline):
+        # processors 1 and 3 free at 2.0, processors 0 and 2 free at 5.0
+        timeline._free_at[:] = [5.0, 2.0, 5.0, 2.0]
+        timeline._sorted_free = timeline._free_at.copy()
+        timeline._sorted_free.sort()
+        assert timeline.select_processors(1) == [1]
+        assert timeline.select_processors(2) == [1, 3]
+        assert timeline.select_processors(3) == [1, 3, 0]
+        assert timeline.select_processors(4) == [1, 3, 0, 2]
+
+    def test_matches_reference_timeline_on_random_traffic(self):
+        import numpy as np
+
+        from repro.mapping._reference import ReferenceClusterTimeline
+
+        rng = np.random.default_rng(11)
+        fast = ClusterTimeline(Cluster("c", 16, 2.0))
+        slow = ReferenceClusterTimeline(Cluster("c", 16, 2.0))
+        for _ in range(200):
+            procs = int(rng.integers(1, 17))
+            ready = float(rng.uniform(0.0, 50.0))
+            duration = float(rng.uniform(0.0, 10.0))
+            assert fast.earliest_start(procs, ready) == slow.earliest_start(procs, ready)
+            assert fast.select_processors(procs) == slow.select_processors(procs)
+            assert fast.reserve(procs, ready, duration) == slow.reserve(
+                procs, ready, duration
+            )
+        assert np.array_equal(fast.free_times(), slow.free_times())

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Lint the documentation tree under ``docs/``.
+
+Stdlib-only checker run by CI (and by ``tests/test_docs.py``) so the
+documentation cannot silently rot:
+
+* the required pages exist (``index.md``, ``architecture.md``,
+  ``campaigns.md``, ``cli.md``),
+* every page starts with a level-1 heading and has balanced code fences,
+* every relative markdown link resolves to an existing file, and every
+  ``#anchor`` fragment matches a heading of the target page
+  (GitHub-style slugs),
+* every package named in the architecture page's mapping table exists in
+  the source tree.
+
+Exit code 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+REQUIRED_PAGES = ("index.md", "architecture.md", "campaigns.md", "cli.md")
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub-style anchor slug of one heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def page_anchors(path: Path) -> set:
+    """All heading anchors of one markdown page."""
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2)))
+    return anchors
+
+
+def lint_page(path: Path, problems: list) -> None:
+    """Check one page: heading, fences, links."""
+    rel = path.relative_to(REPO_ROOT)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    if not lines or not lines[0].startswith("# "):
+        problems.append(f"{rel}: first line must be a level-1 heading")
+    if text.count("```") % 2 != 0:
+        problems.append(f"{rel}: unbalanced code fences")
+
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in _LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in page_anchors(path):
+                    problems.append(f"{rel}:{lineno}: broken anchor {target!r}")
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}:{lineno}: broken link {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in page_anchors(resolved):
+                    problems.append(
+                        f"{rel}:{lineno}: broken anchor {target!r} "
+                        f"(no such heading in {file_part})"
+                    )
+
+
+def lint_architecture_packages(problems: list) -> None:
+    """Every ``repro.<pkg>`` named in architecture.md must exist."""
+    page = DOCS_DIR / "architecture.md"
+    if not page.exists():
+        return
+    src = REPO_ROOT / "src" / "repro"
+    for package in set(re.findall(r"`repro\.(\w+)`", page.read_text(encoding="utf-8"))):
+        if not (src / package).is_dir() and not (src / f"{package}.py").exists():
+            problems.append(f"docs/architecture.md: unknown package repro.{package}")
+
+
+def main() -> int:
+    problems: list = []
+    if not DOCS_DIR.is_dir():
+        print("docs/ directory is missing", file=sys.stderr)
+        return 1
+    for name in REQUIRED_PAGES:
+        if not (DOCS_DIR / name).exists():
+            problems.append(f"docs/{name}: required page is missing")
+    for path in sorted(DOCS_DIR.glob("**/*.md")):
+        lint_page(path, problems)
+    lint_architecture_packages(problems)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK ({len(list(DOCS_DIR.glob('**/*.md')))} pages linted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
