@@ -23,6 +23,7 @@ Provided procedures:
 
 from repro.allocation.reference import ReferenceCluster
 from repro.allocation.base import Allocation, AllocationProcedure
+from repro.allocation.state import AllocationState
 from repro.allocation.cpa import CPAAllocator
 from repro.allocation.hcpa import HCPAAllocator
 from repro.allocation.scrap import ScrapAllocator, ScrapMaxAllocator
@@ -31,6 +32,7 @@ __all__ = [
     "ReferenceCluster",
     "Allocation",
     "AllocationProcedure",
+    "AllocationState",
     "CPAAllocator",
     "HCPAAllocator",
     "ScrapAllocator",

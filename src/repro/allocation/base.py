@@ -175,7 +175,16 @@ class Allocation:
         return task.execution_time(procs, cluster.speed_flops)
 
     def copy(self) -> "Allocation":
-        """A deep copy of the allocation (same graph and reference objects)."""
+        """An independent copy of the per-task processor counts.
+
+        The processor mapping is copied, so mutating the clone (e.g.
+        :meth:`set_processors`) never affects the original.  The ``ptg``
+        and ``reference`` attributes are **shared**, not copied: the graph
+        is treated as immutable once allocated and the reference cluster
+        is a frozen dataclass, so sharing them is both safe and what the
+        ablation/campaign code relies on (allocations of the same PTG
+        compare by identity of their graph).
+        """
         clone = Allocation(self.ptg, self.reference, self.beta)
         clone._procs = dict(self._procs)
         return clone

@@ -16,13 +16,33 @@ by :class:`ConstraintCheck` implementations:
 * no check at all (CPA / HCPA, which rely only on the balance criterion),
 * a global area check (SCRAP),
 * a per-precedence-level power check (SCRAP-MAX).
+
+Performance
+-----------
+:func:`run_iterative_allocation` is the allocation hot path: it runs up
+to ``n_tasks * cap`` iterations, each of which needs the critical path
+under the current allocation, the total area, the per-candidate marginal
+gains and (for SCRAP / SCRAP-MAX) a constraint re-evaluation after the
+tentative increment.  The loop therefore works on an
+:class:`~repro.allocation.state.AllocationState`: durations, areas,
+marginal gains and the efficiency guard are precomputed table lookups,
+the critical-path DP is a vectorized pass over the shared
+:class:`~repro.dag.arrays.DagArrays` topology, the resource sums are
+incremental, and the best candidate is selected with a vectorized argmax
+that preserves the exact ``(gain, -task_id)`` tie-break.  The produced
+allocations and :class:`IterationStats` are **bit-identical** to the
+pre-refactor formulation kept in :mod:`repro.allocation._reference`
+(asserted by ``tests/test_allocation_golden.py``).  Custom
+:class:`ConstraintCheck` subclasses keep working: they are evaluated
+against a mirrored dict-based :class:`~repro.allocation.base.Allocation`,
+only the built-in checks take the array fast path.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Callable, Optional
 
 from repro.allocation.base import Allocation
 from repro.allocation.reference import ReferenceCluster
@@ -123,6 +143,30 @@ class IterationStats:
 DEFAULT_EFFICIENCY_THRESHOLD = 0.0
 
 
+def _fast_violation_check(
+    constraint: ConstraintCheck, state
+) -> Optional[Callable[[int], bool]]:
+    """Array-native violation test for the built-in constraint checks.
+
+    Returns ``None`` for custom :class:`ConstraintCheck` subclasses (the
+    loop then mirrors the allocation into a dict-based
+    :class:`~repro.allocation.base.Allocation` and calls
+    :meth:`ConstraintCheck.violated` on it, preserving semantics).  The
+    ``beta * P + 1e-12`` limits are precomputed with the same operation
+    order as the reference checks.
+    """
+    if type(constraint) is NoConstraint:
+        return lambda index: False
+    if type(constraint) is AreaConstraint:
+        area_limit = constraint.beta * constraint.platform_power_gflops + 1e-12
+        return lambda index: state.average_power() > area_limit
+    if type(constraint) is LevelConstraint:
+        level_limit = constraint.beta * constraint.platform_power_gflops + 1e-12
+        levels = state.arrays.levels
+        return lambda index: state.level_power(int(levels[index])) > level_limit
+    return None
+
+
 def run_iterative_allocation(
     ptg: PTG,
     platform: MultiClusterPlatform,
@@ -168,6 +212,8 @@ def run_iterative_allocation(
     -------
     (Allocation, IterationStats)
     """
+    from repro.allocation.state import AllocationState
+
     if not (0.0 < beta <= 1.0):
         raise AllocationError(f"beta must be in (0, 1], got {beta}")
     if not (0.0 <= efficiency_threshold <= 1.0):
@@ -175,57 +221,70 @@ def run_iterative_allocation(
             f"efficiency_threshold must be in [0, 1], got {efficiency_threshold}"
         )
     ptg.validate()
-    allocation = Allocation(ptg, reference, beta)
     stats = IterationStats()
     cap = reference.max_allocation(platform)
     effective_ref_size = max(1.0, beta * reference.size)
-    frozen: Set[int] = set()
     if max_iterations is None:
         max_iterations = ptg.n_tasks * cap + 1
 
-    def _may_grow(tid: int) -> bool:
-        task = ptg.task(tid)
-        if task.is_synthetic:
+    state = AllocationState(ptg, reference, cap=cap, beta=beta)
+    arrays = state.arrays
+    task_ids = arrays.task_ids_tuple
+    synthetic = arrays.synthetic_tuple
+    procs = state.procs  # Python list, mutated in place by the state
+    frozen: set = set()
+    efficiency_guard = efficiency_threshold - 1e-12
+    use_efficiency_guard = efficiency_threshold > 0.0
+
+    violated_fast = _fast_violation_check(constraint, state)
+    mirror: Optional[Allocation] = None
+    if violated_fast is None:
+        # custom ConstraintCheck subclass: keep a dict-based Allocation in
+        # sync and evaluate the check against it, like the reference loop
+        mirror = Allocation(ptg, reference, beta)
+
+    def _may_grow(index: int) -> bool:
+        if synthetic[index] or index in frozen or procs[index] >= cap:
             return False
-        if allocation.processors(tid) >= cap:
-            return False
-        if efficiency_threshold > 0.0:
-            model = task.model
-            if model is not None and model.efficiency(
-                allocation.processors(tid) + 1
-            ) < efficiency_threshold - 1e-12:
+        if use_efficiency_guard:
+            # efficiency at procs + 1 is column `procs` of the table; a
+            # task may only grow while it stays above threshold - 1e-12
+            if state.efficiency_row(index)[procs[index]] < efficiency_guard:
                 return False
         return True
 
+    def _benefit(index: int):
+        # reference selection key: max (marginal gain, -task id)
+        return (state.gain_row(index)[procs[index] - 1], -task_ids[index])
+
     while stats.iterations < max_iterations:
         stats.iterations += 1
-        t_cp = allocation.critical_path_length()
+        bl = state.bottom_levels()
+        t_cp = max(bl)
         if t_cp <= 0.0:
             # graph of only synthetic tasks: nothing to allocate
             break
         if use_balance_stop:
-            t_a = allocation.total_area() / effective_ref_size
+            t_a = state.total_area() / effective_ref_size
             if t_cp <= t_a:
                 stats.stopped_by_balance = True
                 break
-        path = allocation.critical_path()
-        candidates = [
-            tid for tid in path if tid not in frozen and _may_grow(tid)
-        ]
+        path = state.critical_path(bl)
+        candidates = [index for index in path if _may_grow(index)]
         if not candidates:
             stats.stopped_by_saturation = True
             break
-        best = max(
-            candidates,
-            key=lambda tid: (
-                reference.marginal_gain(ptg.task(tid), allocation.processors(tid)),
-                -tid,
-            ),
-        )
-        current = allocation.processors(best)
-        allocation.set_processors(best, current + 1)
-        if constraint.violated(allocation, ptg.task(best)):
-            allocation.set_processors(best, current)
+        best = max(candidates, key=_benefit)
+        state.increment(best)
+        if mirror is not None:
+            mirror.set_processors(task_ids[best], procs[best])
+            violated = constraint.violated(mirror, ptg.task(task_ids[best]))
+        else:
+            violated = violated_fast(best)
+        if violated:
+            state.decrement(best)
+            if mirror is not None:
+                mirror.set_processors(task_ids[best], procs[best])
             if constraint.stop_on_violation:
                 stats.stopped_by_constraint = True
                 break
@@ -234,4 +293,4 @@ def run_iterative_allocation(
             continue
         stats.increments += 1
 
-    return allocation, stats
+    return state.as_allocation(), stats

@@ -18,6 +18,11 @@ The campaign-style commands (``fig3``/``fig4``/``fig5``/``campaign``)
 accept ``--jobs`` (worker processes), ``--store`` (result directory) and
 ``--resume`` (continue an interrupted store); parallel and resumed runs
 reproduce the serial aggregates exactly.
+
+The global ``--profile`` flag wraps any subcommand in :mod:`cProfile`
+and prints the 25 most expensive entries by cumulative time to stderr,
+so new hot spots can be located without editing code
+(``repro-ptg --profile fig3 --workloads 1 --max-tasks 20``).
 """
 
 from __future__ import annotations
@@ -224,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the subcommand under cProfile and print the top 25 "
+             "cumulative entries to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the platform Table 1")
@@ -267,11 +277,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Number of profile entries ``--profile`` reports.
+PROFILE_TOP_ENTRIES = 25
+
+
+def _profiled(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Dispatch under :mod:`cProfile`, reporting the top cumulative entries."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(_dispatch, parser, args)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(PROFILE_TOP_ENTRIES)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-ptg`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.profile:
+            return _profiled(parser, args)
         return _dispatch(parser, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

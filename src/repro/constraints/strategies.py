@@ -26,6 +26,7 @@ class SelfishStrategy(ConstraintStrategy):
     def compute_betas(
         self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
     ) -> Dict[str, float]:
+        """``beta = 1`` for every application, regardless of the workload."""
         self._check_inputs(ptgs)
         return {ptg.name: 1.0 for ptg in ptgs}
 
@@ -38,6 +39,7 @@ class EqualShareStrategy(ConstraintStrategy):
     def compute_betas(
         self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
     ) -> Dict[str, float]:
+        """``beta = 1 / |A|`` for every application of the batch."""
         self._check_inputs(ptgs)
         share = 1.0 / len(ptgs)
         return {ptg.name: self._clamp(share) for ptg in ptgs}
@@ -59,6 +61,7 @@ class ProportionalShareStrategy(ConstraintStrategy):
     def compute_betas(
         self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
     ) -> Dict[str, float]:
+        """Equation 1: ``beta_i = gamma_i / sum_j gamma_j``."""
         self._check_inputs(ptgs)
         gammas = {ptg.name: self.characteristic(ptg, platform) for ptg in ptgs}
         total = sum(gammas.values())
@@ -89,6 +92,7 @@ class WeightedProportionalShareStrategy(ConstraintStrategy):
     def compute_betas(
         self, ptgs: Sequence[PTG], platform: MultiClusterPlatform
     ) -> Dict[str, float]:
+        """Equation 2: ``beta_i = mu/|A| + (1 - mu) * gamma_i / sum_j gamma_j``."""
         self._check_inputs(ptgs)
         n = len(ptgs)
         gammas = {ptg.name: self.characteristic(ptg, platform) for ptg in ptgs}

@@ -13,6 +13,9 @@ redistributed) between tasks.  This package provides:
 * :mod:`repro.dag.graph` -- the :class:`PTG` container with the graph
   algorithms used by the schedulers (topological order, precedence levels,
   bottom levels, critical path, width, work),
+* :mod:`repro.dag.arrays` -- the :class:`DagArrays` flat-array (CSR)
+  compilation of a PTG, cached on the graph and shared by the allocation
+  and mapping hot loops,
 * :mod:`repro.dag.generator` -- the random layered DAG generator
   (width / regularity / density / jump parameters, as in the authors' DAG
   generation program),
@@ -31,6 +34,7 @@ from repro.dag.cost_models import (
 )
 from repro.dag.task import Task
 from repro.dag.graph import PTG
+from repro.dag.arrays import DagArrays, compile_arrays
 from repro.dag.generator import RandomPTGConfig, generate_random_ptg
 from repro.dag.fft import generate_fft_ptg, fft_task_count
 from repro.dag.strassen import generate_strassen_ptg, STRASSEN_TASK_COUNT
@@ -45,6 +49,8 @@ __all__ = [
     "MAX_DATA_ELEMENTS",
     "Task",
     "PTG",
+    "DagArrays",
+    "compile_arrays",
     "RandomPTGConfig",
     "generate_random_ptg",
     "generate_fft_ptg",

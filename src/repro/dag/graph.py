@@ -477,6 +477,23 @@ class PTG:
                     f"PTG {self.name!r} has {len(exits)} exit tasks (expected 1)"
                 )
 
+    def arrays(self):
+        """The :class:`~repro.dag.arrays.DagArrays` compilation of this graph.
+
+        Compiled lazily and cached until the graph is mutated (the cache
+        is cleared by :meth:`add_task` / :meth:`add_edge`).  The compiled
+        arrays are shared by the allocation hot loop
+        (:class:`repro.allocation.state.AllocationState`) and the mapping
+        prioritisation (:meth:`repro.mapping.base.AllocatedPTG.bottom_levels`).
+        """
+        cached = self._cache.get("arrays")
+        if cached is None:
+            from repro.dag.arrays import compile_arrays
+
+            cached = compile_arrays(self)
+            self._cache["arrays"] = cached
+        return cached
+
     def copy(self, name: Optional[str] = None) -> "PTG":
         """A structural copy of the graph (tasks are shared, they are immutable)."""
         return PTG(name or self.name, tasks=self.tasks(), edges=self.edges())

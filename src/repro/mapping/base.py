@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.allocation.base import Allocation
 from repro.dag.graph import PTG
 from repro.exceptions import MappingError
@@ -41,8 +43,32 @@ class AllocatedPTG:
         level, i.e., the distance to the exit node of the PTG in terms of
         execution times"; the execution times are those of the allocation
         on the reference cluster.
+
+        Computed over the shared :class:`~repro.dag.arrays.DagArrays`
+        compilation of the graph (the same one the allocation hot loop
+        uses): the per-task reference durations are evaluated with the
+        vectorized Amdahl formula in the exact scalar operation order of
+        :meth:`~repro.dag.task.Task.execution_time`, and the DP runs over
+        the precompiled topology -- bit-identical to
+        ``ptg.bottom_levels(allocation.task_time)``, as the golden
+        schedule suite asserts.
         """
-        return self.ptg.bottom_levels(self.allocation.task_time)
+        arrays = self.ptg.arrays()
+        allocation = self.allocation
+        procs = np.array(
+            [allocation.processors(tid) for tid in arrays.task_ids_tuple],
+            dtype=np.float64,
+        )
+        # (alpha + (1 - alpha)/p) * w / s, the scalar Amdahl order; the
+        # zero sequential cost of synthetic tasks multiplies out to the
+        # exact 0.0 that Task.execution_time short-circuits to
+        durations = (
+            (arrays.alpha + (1.0 - arrays.alpha) / procs)
+            * arrays.flops
+            / allocation.reference.speed_flops
+        )
+        bl = arrays.bottom_levels(durations)
+        return dict(zip(arrays.task_ids_tuple, bl.tolist()))
 
 
 class Mapper(abc.ABC):

@@ -31,6 +31,19 @@ class TestTable1Command:
         assert "Table 1" in out and "grelon" in out
 
 
+class TestProfileFlag:
+    def test_profile_wraps_any_subcommand(self, capsys):
+        assert main(["--profile", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out  # the command still runs
+        assert "cumulative" in captured.err  # ...under cProfile
+        assert "function calls" in captured.err
+
+    def test_profile_defaults_off(self, capsys):
+        assert main(["table1"]) == 0
+        assert "cumulative" not in capsys.readouterr().err
+
+
 class TestGenerateCommand:
     def test_json_output(self, capsys):
         assert main(["generate", "--family", "random", "--tasks", "6", "--seed", "1"]) == 0

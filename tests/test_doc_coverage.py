@@ -1,10 +1,12 @@
 """Docstring coverage of the paper-mechanism packages.
 
-The allocation and mapping packages implement the paper's mechanisms
-(constrained allocation, translation to concrete clusters, non-insertion
-placement, allocation packing); every public class, function, method and
-property there must carry a docstring explaining what it implements.
-This test enforces it so the documentation audit cannot rot.
+The dag, allocation, constraints and mapping packages implement the
+paper's mechanisms (the PTG model and its array compilation, constrained
+allocation, the beta-distribution strategies, translation to concrete
+clusters, non-insertion placement, allocation packing); every public
+class, function, method and property there must carry a docstring
+explaining what it implements.  This test enforces it so the
+documentation audit cannot rot.
 """
 
 import importlib
@@ -14,9 +16,11 @@ import pkgutil
 import pytest
 
 import repro.allocation
+import repro.constraints
+import repro.dag
 import repro.mapping
 
-AUDITED_PACKAGES = (repro.allocation, repro.mapping)
+AUDITED_PACKAGES = (repro.dag, repro.allocation, repro.constraints, repro.mapping)
 
 
 def audited_modules():

@@ -5,7 +5,7 @@ Stdlib-only checker run by CI (and by ``tests/test_docs.py``) so the
 documentation cannot silently rot:
 
 * the required pages exist (``index.md``, ``architecture.md``,
-  ``campaigns.md``, ``cli.md``),
+  ``performance.md``, ``campaigns.md``, ``cli.md``),
 * every page starts with a level-1 heading and has balanced code fences,
 * every relative markdown link resolves to an existing file, and every
   ``#anchor`` fragment matches a heading of the target page
@@ -24,7 +24,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
-REQUIRED_PAGES = ("index.md", "architecture.md", "campaigns.md", "cli.md")
+REQUIRED_PAGES = (
+    "index.md",
+    "architecture.md",
+    "performance.md",
+    "campaigns.md",
+    "cli.md",
+)
 
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
