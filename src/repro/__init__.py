@@ -27,10 +27,35 @@ It provides:
   (:mod:`repro.experiments`),
 * a campaign orchestration subsystem -- shard fan-out across worker
   processes, append-only result persistence, own-makespan caching and
-  resume-after-interrupt (:mod:`repro.campaigns`).
+  resume-after-interrupt (:mod:`repro.campaigns`),
+* a declarative scenario layer -- serializable scenario specs selecting
+  every axis (allocator, strategy, mapper, packing, platform, workload
+  family) by plugin-registry name, a fluent builder with cross-product
+  sweeps, and spec-keyed execution with resume
+  (:mod:`repro.scenarios`).
 
 Quickstart
 ----------
+
+The scenario API is the front door: describe the experiment
+declaratively, run it, read the metrics.
+
+>>> from repro import Scenario, run_scenario
+>>> spec = (
+...     Scenario.on("rennes")
+...     .workload(family="fft", n_ptgs=2, seed=7)
+...     .pipeline(allocator="scrap-max", strategy=["ES", "WPS-width"], mapper="ready-list")
+...     .build()
+... )
+>>> result = run_scenario(spec)
+>>> sorted(result.experiment.outcomes)
+['ES', 'WPS-width']
+>>> 0.0 <= result.unfairness_of("ES")
+True
+>>> spec == type(spec).from_dict(spec.to_dict())  # specs round-trip through JSON
+True
+
+The scheduling machinery underneath stays directly scriptable:
 
 >>> from repro import grid5000, generate_random_ptg, RandomPTGConfig
 >>> from repro import ConcurrentScheduler, strategy
@@ -118,6 +143,22 @@ from repro.campaigns import (
     make_shards,
     run_campaign_parallel,
 )
+from repro.scenarios import (
+    ALLOCATORS,
+    FAMILIES,
+    MAPPERS,
+    PLATFORMS,
+    REGISTRIES,
+    STRATEGIES,
+    PipelineSpec,
+    Registry,
+    Scenario,
+    ScenarioResult,
+    ScenarioSpec,
+    WorkloadSpec2,
+    run_scenario,
+    run_scenarios,
+)
 
 __all__ = [
     "__version__",
@@ -183,4 +224,19 @@ __all__ = [
     "OwnMakespanCache",
     "make_shards",
     "run_campaign_parallel",
+    # scenarios
+    "Registry",
+    "ALLOCATORS",
+    "MAPPERS",
+    "STRATEGIES",
+    "PLATFORMS",
+    "FAMILIES",
+    "REGISTRIES",
+    "ScenarioSpec",
+    "PipelineSpec",
+    "WorkloadSpec2",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenarios",
 ]

@@ -22,7 +22,6 @@ producing the same graph under different names share cache entries).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from typing import Dict, Iterable, Mapping, Optional, Tuple
@@ -33,14 +32,13 @@ from repro.platform.multicluster import MultiClusterPlatform
 from repro.scheduler.single import SinglePTGScheduler
 from repro.simulate.executor import ScheduleExecutor
 
+# Re-exported here for backward compatibility: the digest helpers moved
+# to repro.utils.digest so the scenario spec layer can share the exact
+# key scheme without importing the campaign subsystem.
+from repro.utils.digest import content_digest, platform_fingerprint  # noqa: F401
+
 #: Version stamp of the cache file format and of the fingerprint scheme.
 CACHE_FORMAT_VERSION = 1
-
-
-def content_digest(payload: object) -> str:
-    """SHA-256 hex digest of the canonical JSON serialisation of *payload*."""
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def ptg_fingerprint(graph: PTG) -> str:
@@ -55,29 +53,6 @@ def ptg_fingerprint(graph: PTG) -> str:
     payload.pop("name", None)
     for task in payload["tasks"]:
         task.pop("name", None)
-    return content_digest(payload)
-
-
-def platform_fingerprint(platform: MultiClusterPlatform) -> str:
-    """Content fingerprint of a platform (clusters, speeds and network)."""
-    topology = platform.topology
-    payload = {
-        "clusters": [
-            {
-                "name": c.name,
-                "processors": c.num_processors,
-                "speed_gflops": c.speed_gflops,
-            }
-            for c in platform.clusters
-        ],
-        "switches": [
-            {"name": s.name, "bandwidth": s.bandwidth, "latency": s.latency}
-            for s in topology.switches
-        ],
-        "attachment": dict(topology.attachment),
-        "link_bandwidth": topology.link_bandwidth,
-        "link_latency": topology.link_latency,
-    }
     return content_digest(payload)
 
 

@@ -81,6 +81,7 @@ def _campaign_meta(config: CampaignConfig, shards: List[ExperimentShard]) -> Dic
         "max_tasks": config.max_tasks,
         "platforms": [p.name for p in config.resolved_platforms()],
         "strategies": [s.name for s in config.resolved_strategies()],
+        "pipeline": config.resolved_pipeline().to_dict(),
         "total_shards": len(shards),
     }
 

@@ -38,6 +38,7 @@ from repro.campaigns.shards import ExperimentShard
 from repro.constraints.registry import strategy
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.workload import make_workload
+from repro.scenarios.run import build_pipeline
 
 
 @dataclass
@@ -79,17 +80,20 @@ def execute_shard(
     """Execute one shard from its self-describing fields.
 
     This is the pure worker function of the subsystem: the workload is
-    regenerated from its seed, the strategies are rebuilt from their
-    registry names, and the result is a serialisable
-    :class:`ExperimentResult` -- nothing depends on process state, so
-    the same call runs inline, in a worker process, or on another host.
+    regenerated from its seed, the strategies and the pipeline
+    components are rebuilt from their registry names, and the result is
+    a serialisable :class:`ExperimentResult` -- nothing depends on
+    process state, so the same call runs inline, in a worker process,
+    or on another host.
     """
     start = time.perf_counter()
     try:
         ptgs = make_workload(shard.spec)
         strategies = [
-            strategy(name, family=shard.spec.family) for name in shard.strategy_names
+            strategy(name, family=shard.spec.family, mu=shard.pipeline.mu)
+            for name in shard.strategy_names
         ]
+        allocator, mapper = build_pipeline(shard.pipeline)
         cache = OwnMakespanCache(cache_entries)
         own = compute_own_makespans_cached(
             ptgs, shard.platform, cache,
@@ -101,6 +105,8 @@ def execute_shard(
             strategies,
             workload_label=shard.spec.label(),
             own_makespans=own,
+            allocator=allocator,
+            mapper=mapper,
         )
         return ShardOutcome(
             key=shard.key(),

@@ -3,6 +3,10 @@
 Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
 ``python -m repro``.  Sub-commands:
 
+* ``run``      -- run declarative scenario spec(s) from a JSON file
+  and/or ``--set`` overrides (the scenario API front door),
+* ``list``     -- list the entries of a scenario plugin registry
+  (allocators, mappers, strategies, platforms, families),
 * ``table1``   -- print the platform Table 1 and the per-site summary,
 * ``fig2``     -- run the mu sweep (Figure 2) at a configurable scale,
 * ``fig3`` / ``fig4`` / ``fig5`` -- run a comparison figure at a
@@ -28,8 +32,9 @@ so new hot spots can be located without editing code
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro._version import __version__
 from repro.constraints.registry import STRATEGY_NAMES, strategy
@@ -43,7 +48,7 @@ from repro.experiments.mu_sweep import run_mu_sweep
 from repro.experiments.reporting import render_figure, render_mu_sweep
 from repro.experiments.runner import run_experiment
 from repro.experiments.tables import table1_text
-from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.experiments.workload import APPLICATION_FAMILIES, WorkloadSpec, make_workload
 from repro.platform import grid5000
 from repro.utils.tables import format_table
 
@@ -205,6 +210,134 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_set_override(text: str):
+    """Parse one ``--set key=value`` into a (dotted key, parsed value) pair."""
+    key, sep, raw = text.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise ConfigurationError(
+            f"--set expects KEY=VALUE (e.g. pipeline.allocator=hcpa), got {text!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare words (hcpa, WPS-width, S,ES) stay strings
+    return key, value
+
+
+def _apply_set_override(payload: Dict, dotted_key: str, value) -> None:
+    """Apply one override to a spec dict, creating nested sections as needed."""
+    parts = dotted_key.split(".")
+    target = payload
+    for part in parts[:-1]:
+        node = target.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise ConfigurationError(
+                f"--set {dotted_key}: {part!r} is not a section"
+            )
+        target = node
+    target[parts[-1]] = value
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenarios.run import run_scenarios
+    from repro.scenarios.spec import load_specs
+
+    if args.resume and not args.store:
+        raise ConfigurationError("--resume requires --store")
+    if args.spec is not None:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read scenario file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{args.spec} is not valid JSON: {exc}")
+    else:
+        payload = {}  # the default scenario, customised via --set
+    documents = payload if isinstance(payload, list) else [payload]
+    for override in args.set or ():
+        key, value = _parse_set_override(override)
+        for document in documents:
+            _apply_set_override(document, key, value)
+    specs = load_specs(documents)
+
+    progress = None
+    if not args.quiet:
+        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    results = run_scenarios(
+        specs,
+        jobs=_resolve_jobs(args.jobs),
+        store=args.store,
+        resume=args.resume,
+        progress=progress,
+    )
+
+    if args.format == "json":
+        print(json.dumps([_scenario_result_dict(r) for r in results], indent=2))
+        return 0
+    for result in results:
+        rows = []
+        for name, outcome in result.experiment.outcomes.items():
+            rows.append(
+                [
+                    name,
+                    f"{outcome.unfairness:.3f}",
+                    f"{outcome.batch_makespan:.1f}",
+                    f"{outcome.mean_application_makespan:.1f}",
+                ]
+            )
+        spec = result.spec
+        print(
+            format_table(
+                ["strategy", "unfairness", "batch makespan", "mean app makespan"],
+                rows,
+                title=(
+                    f"{spec.label()} | {spec.pipeline.allocator} + "
+                    f"{spec.pipeline.mapper}"
+                    f"{'' if spec.pipeline.packing else ' (no packing)'}"
+                ),
+            )
+        )
+        print()
+    return 0
+
+
+def _scenario_result_dict(result) -> Dict:
+    """JSON document of one scenario result (``repro-ptg run --format json``)."""
+    return {
+        "spec": result.spec.to_dict(),
+        "key": result.key,
+        "outcomes": {
+            name: {
+                "unfairness": outcome.unfairness,
+                "batch_makespan": outcome.batch_makespan,
+                "mean_application_makespan": outcome.mean_application_makespan,
+            }
+            for name, outcome in result.experiment.outcomes.items()
+        },
+    }
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.scenarios.registry import REGISTRIES
+
+    kinds = [args.kind] if args.kind else sorted(REGISTRIES)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {kind: REGISTRIES[kind].describe() for kind in kinds}, indent=2
+            )
+        )
+        return 0
+    for kind in kinds:
+        registry = REGISTRIES[kind]
+        print(f"{kind}:")
+        for name, description in registry.describe().items():
+            print(f"  {name:<12} {description}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.family == "random":
         ptg = generate_random_ptg(args.seed, RandomPTGConfig(n_tasks=args.tasks))
@@ -236,11 +369,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run",
+        help="run declarative scenario spec(s) from a JSON file and/or --set overrides",
+    )
+    run.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json",
+        help="JSON file holding one scenario spec or a list of specs "
+             "(omitted: the default scenario, customised via --set)",
+    )
+    run.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field by dotted path, applied to every spec "
+             "(e.g. --set pipeline.allocator=hcpa --set workload.family=fft "
+             "--set strategies=S,ES)",
+    )
+    run.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format of the per-scenario outcome summaries",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress output")
+    _add_parallel_arguments(run)
+
+    lst = sub.add_parser(
+        "list", help="list the entries of the scenario plugin registries"
+    )
+    lst.add_argument(
+        "kind", nargs="?", default=None,
+        choices=["allocators", "mappers", "strategies", "platforms", "families"],
+        help="which registry to list (omitted: all of them)",
+    )
+    lst.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format",
+    )
+
     sub.add_parser("table1", help="print the platform Table 1")
 
     fig2 = sub.add_parser("fig2", help="run the mu sweep (Figure 2)")
     fig2.add_argument("--characteristic", default="work", choices=["work", "cp", "width"])
-    fig2.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
+    fig2.add_argument("--family", default="random", choices=list(APPLICATION_FAMILIES))
     _add_scale_arguments(fig2)
 
     for number in (3, 4, 5):
@@ -253,14 +421,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a campaign with parallel workers and a persistent result store",
     )
     camp.add_argument(
-        "--family", default="random", choices=["random", "fft", "strassen"]
+        "--family", default="random", choices=list(APPLICATION_FAMILIES)
     )
     camp.add_argument("--quiet", action="store_true", help="suppress progress output")
     _add_scale_arguments(camp)
     _add_parallel_arguments(camp)
 
     sched = sub.add_parser("schedule", help="schedule one workload with one strategy")
-    sched.add_argument("--family", default="random", choices=["random", "fft", "strassen"])
+    sched.add_argument("--family", default="random", choices=list(APPLICATION_FAMILIES))
     sched.add_argument("--n-ptgs", type=int, default=4)
     sched.add_argument("--platform", default="rennes", choices=grid5000.site_names())
     sched.add_argument("--strategy", default="WPS-width", choices=STRATEGY_NAMES)
@@ -308,6 +476,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
     if args.command == "table1":
         return _cmd_table1(args)
     if args.command == "fig2":

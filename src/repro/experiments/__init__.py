@@ -36,8 +36,14 @@ from repro.experiments.runner import (
     run_experiment,
     run_campaign,
 )
-from repro.experiments.mu_sweep import MuSweepResult, run_mu_sweep
-from repro.experiments.figures import FigureResult, run_figure, FIGURE_FAMILIES
+from repro.experiments.mu_sweep import MuSweepResult, mu_sweep_scenarios, run_mu_sweep
+from repro.experiments.figures import (
+    FigureResult,
+    figure_config,
+    figure_scenarios,
+    run_figure,
+    FIGURE_FAMILIES,
+)
 from repro.experiments.tables import table1_rows, table1_text
 from repro.experiments.reporting import render_figure, render_mu_sweep
 
@@ -53,8 +59,11 @@ __all__ = [
     "run_campaign",
     "MuSweepResult",
     "run_mu_sweep",
+    "mu_sweep_scenarios",
     "FigureResult",
     "run_figure",
+    "figure_config",
+    "figure_scenarios",
     "FIGURE_FAMILIES",
     "table1_rows",
     "table1_text",

@@ -57,6 +57,46 @@ class FigureResult:
         return sum(series) / len(series)
 
 
+def figure_config(
+    figure: int,
+    ptg_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    workloads_per_point: int = 25,
+    platforms: Optional[Sequence[MultiClusterPlatform]] = None,
+    base_seed: int = 0,
+    max_tasks: Optional[int] = None,
+    strategy_names: Optional[Sequence[str]] = None,
+    pipeline=None,
+) -> CampaignConfig:
+    """The campaign configuration of one of the paper's figures."""
+    if figure not in FIGURE_FAMILIES:
+        raise ConfigurationError(
+            f"unknown figure {figure}; reproducible figures: {sorted(FIGURE_FAMILIES)}"
+        )
+    return CampaignConfig(
+        family=FIGURE_FAMILIES[figure],
+        ptg_counts=tuple(ptg_counts),
+        workloads_per_point=workloads_per_point,
+        platforms=tuple(platforms) if platforms else None,
+        strategy_names=tuple(strategy_names) if strategy_names else None,
+        base_seed=base_seed,
+        max_tasks=max_tasks,
+        pipeline=pipeline,
+    )
+
+
+def figure_scenarios(figure: int, **kwargs) -> list:
+    """One of the paper's figures as a canned list of scenario specs.
+
+    The specs enumerate the figure's campaign grid in campaign order
+    (one :class:`repro.scenarios.spec.ScenarioSpec` per workload x
+    platform cell); running them with
+    :func:`repro.scenarios.run.run_scenarios` against a spec-keyed
+    store reproduces the figure's experiments.  *kwargs* are those of
+    :func:`figure_config`.
+    """
+    return figure_config(figure, **kwargs).scenario_specs()
+
+
 def run_figure(
     figure: int,
     ptg_counts: Sequence[int] = (2, 4, 6, 8, 10),
@@ -68,6 +108,7 @@ def run_figure(
     jobs: Optional[int] = None,
     store: Optional[str] = None,
     resume: bool = False,
+    pipeline=None,
 ) -> FigureResult:
     """Reproduce one of the paper's comparison figures (3, 4 or 5).
 
@@ -77,25 +118,27 @@ def run_figure(
     directory as they complete, and *resume* continues an interrupted
     store without re-running finished experiments.  Aggregates are
     bit-identical to the serial path either way.
+
+    *pipeline* optionally replaces the paper's SCRAP-MAX + ready-list
+    pipeline with any registered pairing (a
+    :class:`repro.scenarios.spec.PipelineSpec`), which turns the figure
+    into an ablation over the full scenario space.
     """
-    if figure not in FIGURE_FAMILIES:
-        raise ConfigurationError(
-            f"unknown figure {figure}; reproducible figures: {sorted(FIGURE_FAMILIES)}"
-        )
     if resume and store is None:
         raise ConfigurationError(
             "resume requires a result store (pass store=/--store)"
         )
-    family = FIGURE_FAMILIES[figure]
-    config = CampaignConfig(
-        family=family,
-        ptg_counts=tuple(ptg_counts),
+    config = figure_config(
+        figure,
+        ptg_counts=ptg_counts,
         workloads_per_point=workloads_per_point,
-        platforms=tuple(platforms) if platforms else None,
-        strategy_names=tuple(strategy_names) if strategy_names else None,
+        platforms=platforms,
         base_seed=base_seed,
         max_tasks=max_tasks,
+        strategy_names=strategy_names,
+        pipeline=pipeline,
     )
+    family = config.family
     if jobs is not None or store is not None:
         # Imported lazily: repro.campaigns itself imports the experiment
         # layer, so a top-level import here would be circular.

@@ -16,15 +16,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.constraints.strategies import WeightedProportionalShareStrategy
 from repro.exceptions import ConfigurationError
-from repro.experiments.runner import run_experiment
 from repro.experiments.workload import WorkloadSpec, make_workload
 from repro.platform.grid5000 import all_sites
 from repro.platform.multicluster import MultiClusterPlatform
 
 #: The mu values shown on the x axis of Figure 2.
 PAPER_MU_VALUES = (0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0)
+
+#: The characteristics a WPS strategy can proportion over.
+WPS_CHARACTERISTICS = ("work", "cp", "width")
+
+
+def _wps_strategy_name(characteristic: str) -> str:
+    """The registry name of the WPS strategy over *characteristic*."""
+    if characteristic not in WPS_CHARACTERISTICS:
+        raise ConfigurationError(
+            f"unknown characteristic {characteristic!r}; "
+            f"available: {list(WPS_CHARACTERISTICS)}"
+        )
+    return f"WPS-{characteristic}"
 
 
 @dataclass
@@ -75,7 +86,24 @@ def run_mu_sweep(
     base_seed: int = 0,
     max_tasks: Optional[int] = None,
 ) -> MuSweepResult:
-    """Reproduce Figure 2 for one characteristic and one application family."""
+    """Reproduce Figure 2 for one characteristic and one application family.
+
+    Each (workload, platform, mu) cell resolves through the scenario
+    plugin registries: the WPS strategy is selected by registry name,
+    the cell's ``mu`` rides on a
+    :class:`repro.scenarios.spec.PipelineSpec`, and the pipeline is
+    instantiated by :func:`repro.scenarios.run.build_pipeline`.  The
+    declarative counterpart (for registered platforms) is
+    :func:`mu_sweep_scenarios`.
+    """
+    # Imported lazily: repro.scenarios sits on the workload layer of
+    # this package, so a top-level import here would be circular.
+    from repro.experiments.runner import run_experiment
+    from repro.scenarios.registry import STRATEGIES
+    from repro.scenarios.run import build_pipeline
+    from repro.scenarios.spec import PipelineSpec
+
+    strategy_name = _wps_strategy_name(characteristic)
     if not mu_values:
         raise ConfigurationError("mu_values must not be empty")
     if workloads_per_point < 1:
@@ -104,12 +132,15 @@ def run_mu_sweep(
             for platform in platforms:
                 scenario.append((spec, ptgs, platform))
         for mu in mu_values:
-            strategy = WeightedProportionalShareStrategy(characteristic, mu=mu)
+            pipeline = PipelineSpec(mu=float(mu))
+            strategy = STRATEGIES.create(strategy_name, mu=pipeline.mu, family=family)
+            allocator, mapper = build_pipeline(pipeline)
             unfairness_values: List[float] = []
             makespan_values: List[float] = []
             for spec, ptgs, platform in scenario:
                 experiment = run_experiment(
-                    ptgs, platform, [strategy], workload_label=spec.label()
+                    ptgs, platform, [strategy], workload_label=spec.label(),
+                    allocator=allocator, mapper=mapper,
                 )
                 outcome = experiment.outcomes[strategy.name]
                 unfairness_values.append(outcome.unfairness)
@@ -119,3 +150,40 @@ def run_mu_sweep(
         result.unfairness[count] = unfairness_series
         result.average_makespan[count] = makespan_series
     return result
+
+
+def mu_sweep_scenarios(
+    characteristic: str = "work",
+    family: str = "random",
+    mu_values: Sequence[float] = PAPER_MU_VALUES,
+    ptg_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    workloads_per_point: int = 25,
+    platform_names: Sequence[str] = ("lille", "nancy", "rennes", "sophia"),
+    base_seed: int = 0,
+    max_tasks: Optional[int] = None,
+) -> List:
+    """The mu sweep as a canned list of declarative scenario specs.
+
+    One single-strategy :class:`repro.scenarios.spec.ScenarioSpec` per
+    (PTG count, workload index, platform, mu) cell, in sweep order --
+    the serialisable counterpart of :func:`run_mu_sweep` for
+    registry-addressable platforms.  Because each cell's ``mu`` is part
+    of its pipeline, every cell has a distinct content hash and a
+    spec-keyed store resumes the sweep mid-way.
+    """
+    from repro.scenarios.builder import Scenario
+
+    strategy_name = _wps_strategy_name(characteristic)
+    specs: List = []
+    for count in ptg_counts:
+        for index in range(workloads_per_point):
+            builder = Scenario.on("rennes").workload(
+                family=family,
+                n_ptgs=count,
+                seed=base_seed + 1000 * count + index,
+                max_tasks=max_tasks,
+            ).pipeline(strategy=strategy_name)
+            specs.extend(
+                builder.sweep(platform=list(platform_names), mu=list(mu_values))
+            )
+    return specs

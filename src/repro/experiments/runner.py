@@ -1,10 +1,13 @@
 """Experiment and campaign runners.
 
 One *experiment* is: one platform, one workload (a set of concurrent
-PTGs), and a set of constraint strategies.  For each strategy the runner
+PTGs), a set of constraint strategies, and one pipeline (an allocation
+procedure plus a concurrent mapper -- the paper's SCRAP-MAX + ready-list
+by default, or any pairing selected through a
+:class:`repro.scenarios.spec.PipelineSpec`).  For each strategy the
+runner
 
-1. schedules the workload with the concurrent scheduler (SCRAP-MAX
-   allocation + ready-list mapping),
+1. schedules the workload with the concurrent scheduler,
 2. executes the schedule on the discrete-event simulator,
 3. computes the per-application slowdowns against the single-application
    reference makespans ``M_own`` (also simulated), the resulting
@@ -99,8 +102,16 @@ def run_experiment(
     strategies: Sequence[ConstraintStrategy],
     workload_label: str = "",
     own_makespans: Optional[Mapping[str, float]] = None,
+    allocator=None,
+    mapper=None,
 ) -> ExperimentResult:
-    """Run one experiment: every strategy on one workload and one platform."""
+    """Run one experiment: every strategy on one workload and one platform.
+
+    *allocator* and *mapper* select the pipeline; ``None`` keeps the
+    paper's defaults (SCRAP-MAX allocation, ready-list mapping with
+    packing).  Instances are shared across the strategies of the
+    experiment -- the built-in procedures are stateless per call.
+    """
     if not ptgs:
         raise ConfigurationError("at least one PTG is required")
     if not strategies:
@@ -115,7 +126,7 @@ def run_experiment(
         own_makespans=own,
     )
     for strat in strategies:
-        scheduler = ConcurrentScheduler(strategy=strat)
+        scheduler = ConcurrentScheduler(strategy=strat, allocator=allocator, mapper=mapper)
         planned = scheduler.schedule(ptgs, platform)
         report = executor.execute(ptgs, planned.schedule)
         multi = report.makespans()
@@ -153,6 +164,10 @@ class CampaignConfig:
         Seed of the workload generation.
     max_tasks:
         Optional cap on random-PTG sizes (laptop-scale runs).
+    pipeline:
+        Optional :class:`repro.scenarios.spec.PipelineSpec` selecting
+        the allocator / mapper / packing / mu by registry name;
+        ``None`` keeps the paper's default pipeline.
     """
 
     family: str = "random"
@@ -162,6 +177,7 @@ class CampaignConfig:
     strategy_names: Optional[Tuple[str, ...]] = None
     base_seed: int = 0
     max_tasks: Optional[int] = None
+    pipeline: Optional["PipelineSpec"] = None  # noqa: F821 - imported lazily
 
     def resolved_platforms(self) -> List[MultiClusterPlatform]:
         """The platforms of the campaign (default: the four Grid'5000 subsets)."""
@@ -169,12 +185,71 @@ class CampaignConfig:
 
     def resolved_strategies(self) -> List[ConstraintStrategy]:
         """The strategy instances of the campaign."""
+        mu = self.pipeline.mu if self.pipeline is not None else None
         include_width = self.family != "strassen"
         if self.strategy_names is None:
-            return paper_strategies(self.family, include_width=include_width)
+            if mu is None:
+                return paper_strategies(self.family, include_width=include_width)
+            from repro.constraints.registry import STRATEGY_NAMES
+
+            names: Tuple[str, ...] = tuple(
+                n for n in STRATEGY_NAMES if include_width or "width" not in n
+            )
+        else:
+            names = self.strategy_names
         from repro.constraints.registry import strategy as make_strategy
 
-        return [make_strategy(name, family=self.family) for name in self.strategy_names]
+        return [make_strategy(name, family=self.family, mu=mu) for name in names]
+
+    def resolved_pipeline(self) -> "PipelineSpec":
+        """The pipeline of the campaign (default: the paper's)."""
+        if self.pipeline is not None:
+            return self.pipeline
+        # Imported lazily: repro.scenarios sits on the workload layer of
+        # this package, so a top-level import here would be circular.
+        from repro.scenarios.spec import PipelineSpec
+
+        return PipelineSpec()
+
+    def scenario_specs(self) -> List["ScenarioSpec"]:
+        """The campaign grid as declarative scenario specs, in campaign order.
+
+        One :class:`repro.scenarios.spec.ScenarioSpec` per (workload,
+        platform) cell.  Every platform of the campaign must be
+        addressable by name in the platform registry -- campaigns built
+        on ad-hoc platform objects cannot be expressed declaratively.
+        """
+        from repro.scenarios.registry import PLATFORMS
+        from repro.scenarios.spec import ScenarioSpec, WorkloadSpec2
+
+        platforms = self.resolved_platforms()
+        for platform in platforms:
+            if platform.name not in PLATFORMS:
+                raise ConfigurationError(
+                    f"platform {platform.name!r} is not registered; register it "
+                    f"in repro.scenarios.PLATFORMS to express this campaign as "
+                    f"scenario specs (available: {PLATFORMS.names()})"
+                )
+        strategy_names = tuple(s.name for s in self.resolved_strategies())
+        pipeline = self.resolved_pipeline()
+        specs: List["ScenarioSpec"] = []
+        for workload in paper_workload_specs(
+            self.family,
+            ptg_counts=self.ptg_counts,
+            workloads_per_point=self.workloads_per_point,
+            base_seed=self.base_seed,
+            max_tasks=self.max_tasks,
+        ):
+            for platform in platforms:
+                specs.append(
+                    ScenarioSpec(
+                        platform=platform.name,
+                        workload=WorkloadSpec2.from_workload_spec(workload),
+                        pipeline=pipeline,
+                        strategies=strategy_names,
+                    )
+                )
+        return specs
 
 
 @dataclass
@@ -250,6 +325,11 @@ def run_campaign(
     """
     platforms = config.resolved_platforms()
     strategies = config.resolved_strategies()
+    allocator = mapper = None
+    if config.pipeline is not None:
+        from repro.scenarios.run import build_pipeline
+
+        allocator, mapper = build_pipeline(config.pipeline)
     specs = paper_workload_specs(
         config.family,
         ptg_counts=config.ptg_counts,
@@ -262,7 +342,8 @@ def run_campaign(
         ptgs = make_workload(spec)
         for platform in platforms:
             experiment = run_experiment(
-                ptgs, platform, strategies, workload_label=spec.label()
+                ptgs, platform, strategies, workload_label=spec.label(),
+                allocator=allocator, mapper=mapper,
             )
             result.experiments.append(experiment)
             if progress is not None:

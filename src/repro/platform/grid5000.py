@@ -28,12 +28,12 @@ conditions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import InvalidPlatformError
 from repro.platform.cluster import Cluster
 from repro.platform.multicluster import MultiClusterPlatform
-from repro.platform.network import NetworkTopology
+from repro.platform.network import NetworkTopology, Switch
 
 #: Raw Table 1 data: site -> list of (cluster name, #processors, GFlop/s).
 TABLE_1: Dict[str, List[tuple]] = {
@@ -108,6 +108,59 @@ def site(name: str) -> MultiClusterPlatform:
             f"unknown Grid'5000 site {name!r}; available: {sorted(TABLE_1)}"
         )
     return _build(key)
+
+
+def composed(
+    site_names_seq: Optional[Sequence[str]] = None, name: str = "grid5000"
+) -> MultiClusterPlatform:
+    """A single platform composed of several Grid'5000 sites.
+
+    All clusters of the selected sites (default: all four, in the
+    paper's order) are combined into one multi-cluster platform.  Each
+    site keeps its own switch structure -- one shared switch for Lille
+    and Rennes, one switch per cluster for Nancy and Sophia -- and the
+    switches are connected through the topology's full-mesh backbone,
+    so inter-site transfers cross two switches just as inter-cluster
+    transfers do within a per-cluster-switch site.
+
+    This is the "whole testbed" scenario the paper's per-site
+    experiments stop short of: 11 clusters, 675 processors.
+
+    Examples
+    --------
+    >>> platform = composed()
+    >>> len(platform), platform.total_processors
+    (11, 675)
+    """
+    selected = list(site_names_seq) if site_names_seq else list(SITE_ORDER)
+    if not selected:
+        raise InvalidPlatformError("composed() needs at least one site")
+    clusters: List[Cluster] = []
+    switches: List[Switch] = []
+    attachment: Dict[str, str] = {}
+    for site_name in selected:
+        key = site_name.lower()
+        if key not in TABLE_1:
+            raise InvalidPlatformError(
+                f"unknown Grid'5000 site {site_name!r}; available: {sorted(TABLE_1)}"
+            )
+        site_clusters = [
+            Cluster(cname, procs, gflops, site=key)
+            for (cname, procs, gflops) in TABLE_1[key]
+        ]
+        clusters.extend(site_clusters)
+        if key in SHARED_SWITCH_SITES:
+            switch = Switch(f"{key}-switch")
+            switches.append(switch)
+            for cluster in site_clusters:
+                attachment[cluster.name] = switch.name
+        else:
+            for cluster in site_clusters:
+                switch = Switch(f"{cluster.name}-switch")
+                switches.append(switch)
+                attachment[cluster.name] = switch.name
+    topology = NetworkTopology(switches=switches, attachment=attachment)
+    return MultiClusterPlatform(name, clusters, topology)
 
 
 def all_sites() -> List[MultiClusterPlatform]:

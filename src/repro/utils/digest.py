@@ -1,0 +1,58 @@
+"""Canonical content digests shared by campaigns and scenarios.
+
+Both the campaign shard keys (:mod:`repro.campaigns.shards`) and the
+scenario content hashes (:mod:`repro.scenarios.spec`) are SHA-256
+digests of the canonical JSON serialisation of a payload describing the
+*content* of a computation.  The helpers live here, in the
+dependency-light :mod:`repro.utils` layer, so both subsystems derive
+their keys from exactly the same scheme without importing each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.platform.multicluster import MultiClusterPlatform
+
+
+def content_digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical JSON serialisation of *payload*.
+
+    Keys are sorted and separators fixed, so the digest is independent of
+    dict insertion order and of the process that computes it.
+
+    Examples
+    --------
+    >>> content_digest({"b": 1, "a": 2}) == content_digest({"a": 2, "b": 1})
+    True
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def platform_fingerprint(platform: MultiClusterPlatform) -> str:
+    """Content fingerprint of a platform (clusters, speeds and network).
+
+    Two platform objects share a fingerprint exactly when they describe
+    the same clusters and topology, independent of object identity.
+    """
+    topology = platform.topology
+    payload = {
+        "clusters": [
+            {
+                "name": c.name,
+                "processors": c.num_processors,
+                "speed_gflops": c.speed_gflops,
+            }
+            for c in platform.clusters
+        ],
+        "switches": [
+            {"name": s.name, "bandwidth": s.bandwidth, "latency": s.latency}
+            for s in topology.switches
+        ],
+        "attachment": dict(topology.attachment),
+        "link_bandwidth": topology.link_bandwidth,
+        "link_latency": topology.link_latency,
+    }
+    return content_digest(payload)

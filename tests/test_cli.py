@@ -19,9 +19,130 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("table1", "fig2", "fig3", "fig4", "fig5", "schedule", "generate"):
+        for command in ("run", "list", "table1", "fig2", "fig3", "fig4", "fig5",
+                        "schedule", "generate"):
             args = parser.parse_args([command] if command != "schedule" else ["schedule"])
             assert args.command == command
+
+
+class TestListCommand:
+    def test_lists_one_registry(self, capsys):
+        assert main(["list", "allocators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpa", "hcpa", "scrap", "scrap-max"):
+            assert name in out
+
+    def test_lists_every_registry_by_default(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("allocators", "mappers", "strategies", "platforms", "families"):
+            assert f"{kind}:" in out
+        assert "grid5000" in out and "mixed" in out
+
+    def test_json_format(self, capsys):
+        assert main(["list", "strategies", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == ["strategies"]
+        assert set(payload["strategies"]) == {
+            "S", "ES", "PS-cp", "PS-width", "PS-work",
+            "WPS-cp", "WPS-width", "WPS-work",
+        }
+        assert all(payload["strategies"].values())  # every entry is described
+
+    def test_unknown_kind_is_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["list", "gadgets"])
+
+
+class TestRunCommand:
+    SET_ARGS = [
+        "--set", "platform=lille",
+        "--set", "workload.family=random",
+        "--set", "workload.n_ptgs=2",
+        "--set", "workload.max_tasks=8",
+        "--set", "workload.seed=3",
+        "--set", "strategies=S,ES",
+        "--quiet", "--jobs", "1",
+    ]
+
+    def test_run_with_set_overrides_only(self, capsys):
+        assert main(["run"] + self.SET_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "random-x2-seed3 on lille" in out
+        assert "scrap-max + ready-list" in out
+        assert "S" in out and "ES" in out
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "platform": "lille",
+            "workload": {"family": "random", "n_ptgs": 2, "seed": 3, "max_tasks": 8},
+            "pipeline": {"allocator": "hcpa", "packing": False},
+            "strategies": ["ES"],
+        }))
+        assert main(["run", str(spec_file), "--quiet", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hcpa + ready-list (no packing)" in out
+
+    def test_run_spec_list_with_override_and_json_output(self, capsys, tmp_path):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps([
+            {"workload": {"family": "random", "n_ptgs": 2, "seed": 3, "max_tasks": 8},
+             "platform": "lille", "strategies": ["S"]},
+            {"workload": {"family": "random", "n_ptgs": 2, "seed": 4, "max_tasks": 8},
+             "platform": "lille", "strategies": ["S"]},
+        ]))
+        code = main([
+            "run", str(spec_file),
+            "--set", "pipeline.allocator=scrap",
+            "--format", "json", "--quiet", "--jobs", "1",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert all(doc["spec"]["pipeline"]["allocator"] == "scrap" for doc in payload)
+        assert all("S" in doc["outcomes"] for doc in payload)
+        assert payload[0]["key"] != payload[1]["key"]
+
+    def test_run_with_store_resumes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run"] + self.SET_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        code = main(["run"] + self.SET_ARGS + ["--store", store, "--resume"])
+        assert code == 0
+
+    def test_example_spec_file_runs(self, capsys):
+        """The checked-in example spec (also exercised by CI) stays valid."""
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "scenario_fft_sweep.json"
+        assert main(["run", str(example), "--quiet", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hcpa + ready-list" in out
+        assert "scrap-max + ready-list" in out
+
+    def test_bad_set_syntax_is_a_clean_error(self, capsys):
+        assert main(["run", "--set", "pipeline.allocator"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_invalid_json_is_a_clean_error(self, capsys, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert main(["run", str(broken)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_registry_name_is_a_clean_error(self, capsys):
+        assert main(["run", "--set", "pipeline.allocator=heft", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown allocator" in err and "scrap-max" in err
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["run", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
 
 
 class TestTable1Command:
@@ -78,6 +199,21 @@ class TestScheduleCommand:
         out = capsys.readouterr().out
         assert "unfairness" in out
         assert "M_own" in out and "M_multi" in out
+
+    def test_schedule_accepts_the_mixed_family(self, capsys):
+        code = main(
+            [
+                "schedule",
+                "--family", "mixed",
+                "--n-ptgs", "3",
+                "--platform", "lille",
+                "--strategy", "ES",
+                "--seed", "3",
+                "--max-tasks", "8",
+            ]
+        )
+        assert code == 0
+        assert "mixed-x3-seed3" in capsys.readouterr().out
 
 
 class TestFigureCommands:

@@ -1,9 +1,10 @@
-"""Docstring coverage of the paper-mechanism packages.
+"""Docstring coverage of the paper-mechanism and scenario packages.
 
 The dag, allocation, constraints and mapping packages implement the
 paper's mechanisms (the PTG model and its array compilation, constrained
 allocation, the beta-distribution strategies, translation to concrete
-clusters, non-insertion placement, allocation packing); every public
+clusters, non-insertion placement, allocation packing), and the
+scenarios package is the public front door on top of them; every public
 class, function, method and property there must carry a docstring
 explaining what it implements.  This test enforces it so the
 documentation audit cannot rot.
@@ -19,8 +20,15 @@ import repro.allocation
 import repro.constraints
 import repro.dag
 import repro.mapping
+import repro.scenarios
 
-AUDITED_PACKAGES = (repro.dag, repro.allocation, repro.constraints, repro.mapping)
+AUDITED_PACKAGES = (
+    repro.dag,
+    repro.allocation,
+    repro.constraints,
+    repro.mapping,
+    repro.scenarios,
+)
 
 
 def audited_modules():

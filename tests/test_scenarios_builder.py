@@ -1,0 +1,105 @@
+"""Tests for the fluent scenario builder and its sweep expansion."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.builder import SWEEP_AXES, Scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestBuild:
+    def test_issue_example_shape(self):
+        spec = (
+            Scenario.on("rennes")
+            .workload(family="fft", n_ptgs=8)
+            .pipeline(allocator="scrap", strategy="WPS-width", mapper="ready-list")
+            .build()
+        )
+        assert spec.platform == "rennes"
+        assert spec.workload.family == "fft"
+        assert spec.workload.n_ptgs == 8
+        assert spec.pipeline.allocator == "scrap"
+        assert spec.pipeline.mapper == "ready-list"
+        assert spec.strategies == ("WPS-width",)
+
+    def test_defaults(self):
+        assert Scenario.on("lille").build() == ScenarioSpec(platform="lille")
+
+    def test_strategies_method(self):
+        spec = Scenario.on("lille").strategies("S", "ES").build()
+        assert spec.strategies == ("S", "ES")
+
+    def test_build_validates(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.on("atlantis").build()
+
+    def test_setters_override_incrementally(self):
+        builder = Scenario.on("lille").workload(family="fft").workload(n_ptgs=6)
+        spec = builder.build()
+        assert (spec.workload.family, spec.workload.n_ptgs) == ("fft", 6)
+
+
+class TestSweep:
+    def test_cross_product_size_and_order(self):
+        specs = (
+            Scenario.on("lille")
+            .workload(family="fft", n_ptgs=2)
+            .sweep(allocator=["hcpa", "scrap"], packing=[True, False])
+        )
+        assert len(specs) == 4
+        assert [(s.pipeline.allocator, s.pipeline.packing) for s in specs] == [
+            ("hcpa", True), ("hcpa", False), ("scrap", True), ("scrap", False),
+        ]
+
+    def test_strategy_axis_expands_to_single_strategy_specs(self):
+        specs = Scenario.on("lille").sweep(strategy=["S", "ES", "WPS-work"])
+        assert [s.strategies for s in specs] == [("S",), ("ES",), ("WPS-work",)]
+
+    def test_strategy_axis_accepts_strategy_sets(self):
+        specs = Scenario.on("lille").sweep(strategy=[("S", "ES"), ("WPS-cp",)])
+        assert [s.strategies for s in specs] == [("S", "ES"), ("WPS-cp",)]
+
+    def test_scalar_axis_value_is_wrapped(self):
+        specs = Scenario.on("lille").sweep(allocator="hcpa", n_ptgs=[2, 4])
+        assert [(s.pipeline.allocator, s.workload.n_ptgs) for s in specs] == [
+            ("hcpa", 2), ("hcpa", 4),
+        ]
+
+    def test_axes_order_is_canonical(self):
+        """platform varies slowest regardless of keyword order."""
+        specs = Scenario.on("lille").sweep(
+            mapper=["ready-list", "global-order"], platform=["lille", "nancy"]
+        )
+        assert [(s.platform, s.pipeline.mapper) for s in specs] == [
+            ("lille", "ready-list"), ("lille", "global-order"),
+            ("nancy", "ready-list"), ("nancy", "global-order"),
+        ]
+
+    def test_full_scenario_space_axes(self):
+        """Every axis of the acceptance criteria is sweepable at once."""
+        specs = Scenario.on("lille").workload(seed=1).sweep(
+            platform=["lille", "nancy"],
+            family=["fft", "strassen"],
+            allocator=["hcpa", "scrap-max"],
+            strategy=["S", "ES"],
+            mapper=["ready-list", "global-order"],
+            packing=[True, False],
+        )
+        assert len(specs) == 2 ** 6
+        assert len({s.content_hash() for s in specs}) == len(specs)
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(ConfigurationError) as err:
+            Scenario.on("lille").sweep(scheduler=["x"])
+        assert str(list(SWEEP_AXES)) in str(err.value)
+
+    def test_empty_axis_raises(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.on("lille").sweep(allocator=[])
+
+    def test_sweep_does_not_mutate_the_builder(self):
+        builder = Scenario.on("lille").workload(family="fft")
+        builder.sweep(allocator=["hcpa", "scrap"])
+        spec = builder.build()
+        assert spec.pipeline.allocator == "scrap-max"
+        assert spec.workload.family == "fft"

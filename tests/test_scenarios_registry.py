@@ -1,0 +1,110 @@
+"""Tests for the scenario plugin registries."""
+
+import pytest
+
+from repro.allocation.scrap import ScrapMaxAllocator
+from repro.constraints.registry import STRATEGY_NAMES
+from repro.exceptions import ConfigurationError
+from repro.mapping.ready_list import ReadyListMapper
+from repro.scenarios.registry import (
+    ALLOCATORS,
+    FAMILIES,
+    MAPPERS,
+    PLATFORMS,
+    REGISTRIES,
+    STRATEGIES,
+    Registry,
+)
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry = Registry("thing")
+        registry.register("one", lambda: 1, description="the number one")
+        assert registry.create("one") == 1
+        assert registry.names() == ["one"]
+        assert registry.describe() == {"one": "the number one"}
+
+    def test_lookup_is_case_insensitive(self):
+        registry = Registry("thing")
+        registry.register("Mixed-Case", lambda: "x")
+        assert registry.canonical("mixed-case") == "Mixed-Case"
+        assert "MIXED-CASE" in registry
+
+    def test_unknown_name_lists_available_entries(self):
+        registry = Registry("gadget")
+        registry.register("a", lambda: None)
+        registry.register("b", lambda: None)
+        with pytest.raises(ConfigurationError) as err:
+            registry.create("c")
+        message = str(err.value)
+        assert "gadget" in message and "'c'" in message
+        assert "a" in message and "b" in message
+
+    def test_duplicate_registration_refused_unless_replace(self):
+        registry = Registry("thing")
+        registry.register("x", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            registry.register("x", lambda: 2)
+        registry.register("x", lambda: 2, replace=True)
+        assert registry.create("x") == 2
+
+    def test_decorator_registration(self):
+        registry = Registry("thing")
+
+        @registry.register("decorated", description="via decorator")
+        def make():
+            return "made"
+
+        assert registry.create("decorated") == "made"
+        assert make() == "made"  # the decorator returns the callable
+
+    def test_empty_name_refused(self):
+        with pytest.raises(ConfigurationError):
+            Registry("thing").register("  ", lambda: None)
+
+    def test_len_and_iter(self):
+        registry = Registry("thing")
+        registry.register("a", lambda: None)
+        registry.register("b", lambda: None)
+        assert len(registry) == 2
+        assert list(registry) == ["a", "b"]
+
+
+class TestBuiltinRegistries:
+    def test_allocator_entries(self):
+        assert ALLOCATORS.names() == ["cpa", "hcpa", "scrap", "scrap-max"]
+        assert isinstance(ALLOCATORS.create("scrap-max"), ScrapMaxAllocator)
+
+    def test_mapper_entries_accept_packing(self):
+        assert MAPPERS.names() == ["ready-list", "global-order"]
+        mapper = MAPPERS.create("ready-list", enable_packing=False)
+        assert isinstance(mapper, ReadyListMapper)
+        assert mapper.enable_packing is False
+
+    def test_strategies_fold_in_the_constraints_registry(self):
+        assert STRATEGIES.names() == STRATEGY_NAMES
+        strategy = STRATEGIES.create("WPS-width", family="fft")
+        assert strategy.name == "WPS-width"
+        assert strategy.mu == 0.3  # the paper's FFT value
+        assert STRATEGIES.create("WPS-width", mu=0.9).mu == 0.9
+
+    def test_platform_entries(self):
+        assert PLATFORMS.names() == ["lille", "nancy", "rennes", "sophia", "grid5000"]
+        lille = PLATFORMS.create("lille")
+        assert lille.total_processors == 99
+        composed = PLATFORMS.create("grid5000")
+        assert len(composed) == 11
+        assert composed.total_processors == 99 + 167 + 229 + 180
+
+    def test_family_entries_generate_workloads(self):
+        assert FAMILIES.names() == ["random", "fft", "strassen", "mixed"]
+        ptgs = FAMILIES.create("mixed", n_ptgs=3, seed=5, max_tasks=10)
+        assert len(ptgs) == 3
+        assert len({p.name for p in ptgs}) == 3
+
+    def test_registries_index(self):
+        assert sorted(REGISTRIES) == [
+            "allocators", "families", "mappers", "platforms", "strategies",
+        ]
+        assert REGISTRIES["allocators"] is ALLOCATORS

@@ -5,7 +5,7 @@ Stdlib-only checker run by CI (and by ``tests/test_docs.py``) so the
 documentation cannot silently rot:
 
 * the required pages exist (``index.md``, ``architecture.md``,
-  ``performance.md``, ``campaigns.md``, ``cli.md``),
+  ``scenarios.md``, ``performance.md``, ``campaigns.md``, ``cli.md``),
 * every page starts with a level-1 heading and has balanced code fences,
 * every relative markdown link resolves to an existing file, and every
   ``#anchor`` fragment matches a heading of the target page
@@ -27,6 +27,7 @@ DOCS_DIR = REPO_ROOT / "docs"
 REQUIRED_PAGES = (
     "index.md",
     "architecture.md",
+    "scenarios.md",
     "performance.md",
     "campaigns.md",
     "cli.md",
