@@ -32,7 +32,15 @@ It provides:
   every axis (allocator, strategy, mapper, packing, platform, workload
   family) by plugin-registry name, a fluent builder with cross-product
   sweeps, and spec-keyed execution with resume
-  (:mod:`repro.scenarios`).
+  (:mod:`repro.scenarios`),
+* a multi-tenant online workload engine -- seeded Poisson / bursty /
+  trace-driven arrival streams, an incremental event-driven streaming
+  scheduler, windowed fairness / utilisation / stall metrics, and
+  resumable streaming sweeps (:mod:`repro.streaming`,
+  :mod:`repro.metrics.windows`),
+* a schedule-invariant validator checking any produced schedule for
+  precedence, overlap, capacity, release and sane-time violations
+  (:mod:`repro.validate`).
 
 Quickstart
 ----------
@@ -145,6 +153,7 @@ from repro.campaigns import (
 )
 from repro.scenarios import (
     ALLOCATORS,
+    ARRIVALS,
     FAMILIES,
     MAPPERS,
     PLATFORMS,
@@ -159,6 +168,17 @@ from repro.scenarios import (
     run_scenario,
     run_scenarios,
 )
+from repro.streaming import (
+    Arrival,
+    ArrivalSpec,
+    StreamResult,
+    StreamSession,
+    generate_arrivals,
+    run_stream_scenario,
+    run_stream_scenarios,
+)
+from repro.metrics.windows import WindowedMetrics, windowed_metrics
+from repro.validate import ValidationReport, Violation, validate_result, validate_schedule
 
 __all__ = [
     "__version__",
@@ -227,6 +247,7 @@ __all__ = [
     # scenarios
     "Registry",
     "ALLOCATORS",
+    "ARRIVALS",
     "MAPPERS",
     "STRATEGIES",
     "PLATFORMS",
@@ -239,4 +260,20 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_scenarios",
+    # streaming
+    "Arrival",
+    "ArrivalSpec",
+    "StreamResult",
+    "StreamSession",
+    "generate_arrivals",
+    "run_stream_scenario",
+    "run_stream_scenarios",
+    # windowed metrics
+    "WindowedMetrics",
+    "windowed_metrics",
+    # validation
+    "ValidationReport",
+    "Violation",
+    "validate_schedule",
+    "validate_result",
 ]

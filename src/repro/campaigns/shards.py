@@ -117,7 +117,21 @@ class ExperimentShard:
 
     @classmethod
     def from_scenario(cls, scenario: ScenarioSpec, index: int = 0) -> "ExperimentShard":
-        """Expand one scenario spec into its (single) shard."""
+        """Expand one scenario spec into its (single) shard.
+
+        Streaming scenarios (an ``arrivals`` section) are rejected: they
+        shard as whole scenario specs through
+        :func:`repro.streaming.run.run_stream_scenarios`, not as batch
+        experiment shards.
+        """
+        if scenario.is_streaming:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"streaming scenario {scenario.label()!r} cannot become a "
+                f"batch experiment shard; run it with "
+                f"repro.streaming.run_stream_scenarios"
+            )
         return cls(
             index=index,
             spec=scenario.workload.to_workload_spec(),

@@ -5,6 +5,8 @@ Layout of a store directory::
     <root>/
         meta.json        -- campaign signature + config summary
         results.jsonl    -- one JSON record per completed experiment shard
+        stream.jsonl     -- one record per completed streaming scenario
+                            (any other channel name works the same way)
         cache.json       -- persisted own-makespan cache
         workloads/
             <shard key>.json  -- the generated PTGs of the shard
@@ -38,8 +40,15 @@ from repro.dag.io import load_workload, save_workload
 from repro.exceptions import CampaignError
 from repro.experiments.runner import ExperimentResult, StrategyOutcome
 
-#: Version stamp of the result-record format.
-STORE_FORMAT_VERSION = 1
+#: Version stamp of the result-record format.  Version 2 introduced the
+#: generic record channels: payloads live under ``payload`` instead of
+#: the batch-specific ``result`` key.
+STORE_FORMAT_VERSION = 2
+
+#: Versions this reader understands (version-1 stores resume cleanly;
+#: readers older than a record's version fail with the explicit
+#: unsupported-version error instead of a KeyError).
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
 
 RESULTS_FILENAME = "results.jsonl"
 CACHE_FILENAME = "cache.json"
@@ -142,6 +151,12 @@ class CampaignStore:
     def workload_path(self, key: str) -> Path:
         return self.workloads_dir / f"{key}.json"
 
+    def channel_path(self, channel: str) -> Path:
+        """Path of one record channel (``results`` is the batch channel)."""
+        if not channel or any(c in channel for c in "/\\."):
+            raise CampaignError(f"invalid store channel name {channel!r}")
+        return self.root / f"{channel}.jsonl"
+
     # -- results ------------------------------------------------------- #
     def append(
         self,
@@ -154,17 +169,31 @@ class CampaignStore:
         The record is written as one line and flushed before the call
         returns, so a crash can only ever lose the record being written.
         """
+        self.append_payload("results", key, experiment_result_to_dict(result))
+        if workload is not None:
+            self.workloads_dir.mkdir(parents=True, exist_ok=True)
+            save_workload(workload, str(self.workload_path(key)))
+
+    def append_payload(self, channel: str, key: str, payload: Dict) -> None:
+        """Append one keyed JSON payload to a record *channel*.
+
+        Channels are parallel append-only JSONL files inside the store
+        (the batch results live in the ``results`` channel, streaming
+        outcomes in the ``stream`` channel) sharing the same crash-safe
+        append discipline: one line per record, flushed and fsynced
+        before the call returns.
+        """
         record = {
             "format_version": STORE_FORMAT_VERSION,
             "key": key,
-            "result": experiment_result_to_dict(result),
+            "payload": payload,
         }
         line = json.dumps(record, sort_keys=True)
-        with open(self.results_path, "a+", encoding="utf-8") as handle:
+        with open(self.channel_path(channel), "a+", encoding="utf-8") as handle:
             # A crash can leave a partial record without a trailing newline;
             # terminate it so the new record starts on its own line (the
             # partial line is then skipped as corrupt-but-trailing on read
-            # until more records follow -- see iter_records).
+            # until more records follow -- see iter_payloads).
             handle.seek(0, os.SEEK_END)
             if handle.tell() > 0:
                 handle.seek(handle.tell() - 1)
@@ -173,23 +202,21 @@ class CampaignStore:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
-        if workload is not None:
-            self.workloads_dir.mkdir(parents=True, exist_ok=True)
-            save_workload(workload, str(self.workload_path(key)))
 
-    def iter_records(self) -> Iterator[Tuple[str, ExperimentResult]]:
-        """Yield ``(shard key, result)`` pairs, in append order.
+    def iter_payloads(self, channel: str) -> Iterator[Tuple[str, Dict]]:
+        """Yield ``(key, payload)`` pairs of one channel, in append order.
 
         Unparsable lines are skipped: they are truncated records left by
         interrupted writes (possibly newline-terminated by a later
-        :meth:`append`), and the orchestrator re-executes any shard whose
-        key is missing, so the store self-heals.  A *parsable* record
-        with an unsupported format version still raises -- that is a
-        versioning problem, not a crash artefact.
+        append), and the orchestrator re-executes any shard whose key is
+        missing, so the store self-heals.  A *parsable* record with an
+        unsupported format version still raises -- that is a versioning
+        problem, not a crash artefact.
         """
-        if not self.results_path.exists():
+        path = self.channel_path(channel)
+        if not path.exists():
             return
-        with open(self.results_path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
         for lineno, line in enumerate(lines):
             line = line.strip()
@@ -199,12 +226,32 @@ class CampaignStore:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue  # interrupted write: the shard re-runs
-            if record.get("format_version") != STORE_FORMAT_VERSION:
+            if record.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
                 raise CampaignError(
-                    f"{self.results_path}:{lineno + 1}: unsupported format "
+                    f"{path}:{lineno + 1}: unsupported format "
                     f"version {record.get('format_version')!r}"
                 )
-            yield str(record["key"]), experiment_result_from_dict(record["result"])
+            yield str(record["key"]), self._record_payload(record)
+
+    @staticmethod
+    def _record_payload(record: Dict) -> Dict:
+        """The payload of one parsed record line.
+
+        Batch records written before the channel API carried their
+        content under ``result``; both spellings read back identically.
+        """
+        if "payload" in record:
+            return record["payload"]
+        return record["result"]
+
+    def payloads_by_key(self, channel: str) -> Dict[str, Dict]:
+        """All payloads of one channel, keyed by record key (last wins)."""
+        return {key: payload for key, payload in self.iter_payloads(channel)}
+
+    def iter_records(self) -> Iterator[Tuple[str, ExperimentResult]]:
+        """Yield ``(shard key, batch result)`` pairs, in append order."""
+        for key, payload in self.iter_payloads("results"):
+            yield key, experiment_result_from_dict(payload)
 
     def results_by_key(self) -> Dict[str, ExperimentResult]:
         """All persisted results, keyed by shard key (last record wins)."""

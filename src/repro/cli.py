@@ -4,9 +4,15 @@ Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
 ``python -m repro``.  Sub-commands:
 
 * ``run``      -- run declarative scenario spec(s) from a JSON file
-  and/or ``--set`` overrides (the scenario API front door),
+  and/or ``--set`` overrides (the scenario API front door; specs with an
+  ``arrivals`` section route to the streaming engine automatically),
+* ``stream``   -- run an online arrival stream (Poisson / bursty MMPP /
+  trace-driven) through the event-driven streaming scheduler and print
+  the windowed metrics,
+* ``validate`` -- run the schedule-invariant validator over the records
+  of a campaign/scenario store directory,
 * ``list``     -- list the entries of a scenario plugin registry
-  (allocators, mappers, strategies, platforms, families),
+  (allocators, mappers, strategies, platforms, families, arrivals),
 * ``table1``   -- print the platform Table 1 and the per-site summary,
 * ``fig2``     -- run the mu sweep (Figure 2) at a configurable scale,
 * ``fig3`` / ``fig4`` / ``fig5`` -- run a comparison figure at a
@@ -265,17 +271,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     progress = None
     if not args.quiet:
         progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
-    results = run_scenarios(
-        specs,
-        jobs=_resolve_jobs(args.jobs),
-        store=args.store,
-        resume=args.resume,
-        progress=progress,
-    )
+
+    # streaming specs (an arrivals section) run on the streaming engine,
+    # batch specs on the classic harness; a file may mix both.
+    streaming = [s for s in specs if s.is_streaming]
+    batch = [s for s in specs if not s.is_streaming]
+    stream_results = []
+    if streaming:
+        from repro.streaming.run import run_stream_scenarios
+
+        stream_results = run_stream_scenarios(
+            streaming,
+            jobs=_resolve_jobs(args.jobs),
+            store=args.store,
+            resume=args.resume,
+            progress=progress,
+        )
+    results = []
+    if batch:
+        results = run_scenarios(
+            batch,
+            jobs=_resolve_jobs(args.jobs),
+            store=args.store,
+            resume=args.resume,
+            progress=progress,
+        )
 
     if args.format == "json":
-        print(json.dumps([_scenario_result_dict(r) for r in results], indent=2))
+        documents = [_scenario_result_dict(r) for r in results]
+        documents += [_stream_result_dict(r) for r in stream_results]
+        print(json.dumps(documents, indent=2))
         return 0
+    for stream_result in stream_results:
+        _print_stream_result(stream_result)
     for result in results:
         rows = []
         for name, outcome in result.experiment.outcomes.items():
@@ -317,6 +345,188 @@ def _scenario_result_dict(result) -> Dict:
             for name, outcome in result.experiment.outcomes.items()
         },
     }
+
+
+def _stream_result_dict(result) -> Dict:
+    """JSON document of one streaming result (without the schedule rows)."""
+    outcomes = {}
+    for name, outcome in result.outcomes.items():
+        payload = outcome.to_dict()
+        payload.pop("schedule_rows", None)
+        outcomes[name] = payload
+    return {"spec": result.spec.to_dict(), "key": result.key, "outcomes": outcomes}
+
+
+def _print_stream_result(result) -> None:
+    """Render the summary tables of one streaming scenario result."""
+    spec = result.spec
+    for name, outcome in result.outcomes.items():
+        rows = [
+            ["applications", outcome.n_arrivals],
+            ["horizon (s)", f"{outcome.horizon:.1f}"],
+            ["mean response (s)", f"{outcome.mean_response:.1f}"],
+            ["max response (s)", f"{outcome.max_response:.1f}"],
+            ["mean stall (s)", f"{outcome.mean_waiting:.1f}"],
+            ["utilisation", f"{outcome.utilisation:.3f}"],
+            ["packed tasks", outcome.packed_tasks],
+            [
+                "validator",
+                "skipped" if outcome.valid is None
+                else ("OK" if outcome.valid else "VIOLATIONS"),
+            ],
+        ]
+        for tenant in sorted(outcome.tenant_stall):
+            label = tenant or "(no tenant)"
+            rows.append(
+                [f"stall of {label} (s)", f"{outcome.tenant_stall[tenant]:.1f}"]
+            )
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=f"{spec.label()} | {name} | {spec.pipeline.allocator}"
+                      f"{'' if spec.pipeline.packing else ' (no packing)'}",
+            )
+        )
+        windowed = outcome.windowed
+        window_rows = [
+            [
+                f"{windowed.edges[i]:.0f}-{windowed.edges[i + 1]:.0f}",
+                windowed.arrivals[i],
+                windowed.completions[i],
+                f"{windowed.utilisation[i]:.3f}",
+                f"{windowed.fairness[i]:.3f}",
+                f"{windowed.mean_response[i]:.1f}",
+            ]
+            for i in range(windowed.n_windows)
+        ]
+        print(
+            format_table(
+                ["window (s)", "arrivals", "done", "util", "unfairness", "mean resp"],
+                window_rows,
+                title=f"windowed metrics (window = {windowed.window:.1f}s)",
+            )
+        )
+        print()
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.scenarios.spec import PipelineSpec, ScenarioSpec
+    from repro.streaming.arrivals import load_trace
+    from repro.streaming.run import run_stream_scenarios
+    from repro.streaming.spec import ArrivalSpec
+
+    if args.resume and not args.store:
+        raise ConfigurationError("--resume requires --store")
+    arrivals = ArrivalSpec(
+        process=args.process,
+        rate=args.rate,
+        n_arrivals=args.arrivals,
+        seed=args.seed,
+        family=args.family,
+        max_tasks=args.max_tasks,
+        tenants=args.tenants,
+        burst=args.burst,
+        dwell=args.dwell,
+        trace=tuple(load_trace(args.trace)) if args.trace else None,
+    )
+    spec = ScenarioSpec(
+        platform=args.platform,
+        pipeline=PipelineSpec(
+            allocator=args.allocator, packing=not args.no_packing, mu=args.mu
+        ),
+        strategies=[args.strategy],
+        arrivals=arrivals,
+    )
+    progress = None
+    if not args.quiet:
+        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    results = run_stream_scenarios(
+        [spec],
+        jobs=1,
+        store=args.store,
+        resume=args.resume,
+        progress=progress,
+    )
+    if args.format == "json":
+        print(json.dumps([_stream_result_dict(r) for r in results], indent=2))
+    else:
+        for result in results:
+            _print_stream_result(result)
+    if args.check:
+        bad = [
+            name
+            for result in results
+            for name, outcome in result.outcomes.items()
+            if outcome.valid is False
+        ]
+        if bad:
+            print(f"error: validator found violations in {bad}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.campaigns.store import CampaignStore
+    from repro.scenarios.registry import PLATFORMS
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.streaming.run import STREAM_CHANNEL, StreamScenarioResult
+    from repro.streaming.spec import generate_arrivals
+    from repro.validate import validate_experiment_metrics, validate_schedule
+
+    store = CampaignStore(args.store)
+    total = 0
+    failed = 0
+    lines: List[str] = []
+
+    for key, payload in store.iter_payloads(STREAM_CHANNEL):
+        record = StreamScenarioResult.from_record(payload)
+        spec: ScenarioSpec = record.spec
+        # regenerating the arrivals (potentially thousands of PTGs) is
+        # only worth it when some outcome actually archived its schedule
+        platform = arrivals = ptgs = releases = None
+        for name, outcome in record.outcomes.items():
+            total += 1
+            if not outcome.schedule_rows:
+                lines.append(
+                    f"SKIP   stream {key[:12]} {name}: stored without schedule"
+                )
+                continue
+            if arrivals is None:
+                platform = PLATFORMS.create(spec.platform)
+                arrivals = generate_arrivals(spec.arrivals)
+                ptgs = [a.ptg for a in arrivals]
+                releases = {a.ptg.name: a.time for a in arrivals}
+            report = validate_schedule(
+                outcome.schedule(platform.name), ptgs, platform, releases
+            )
+            status = "OK    " if report.ok else "FAIL  "
+            if not report.ok:
+                failed += 1
+            lines.append(f"{status} stream {key[:12]} {name}: {report.summary()}")
+            for violation in report.violations[: args.max_violations]:
+                lines.append(f"         {violation}")
+
+    for key, result in store.iter_records():
+        total += 1
+        report = validate_experiment_metrics(result)
+        status = "OK    " if report.ok else "FAIL  "
+        if not report.ok:
+            failed += 1
+        lines.append(
+            f"{status} batch  {key[:12]} {result.workload} on {result.platform}: "
+            f"{report.summary()}"
+        )
+        for violation in report.violations[: args.max_violations]:
+            lines.append(f"         {violation}")
+
+    for line in lines:
+        print(line)
+    if total == 0:
+        print(f"error: no validatable records in {store.root}", file=sys.stderr)
+        return 2
+    print(f"\nvalidated {total} record(s): {total - failed} OK, {failed} failed")
+    return 1 if failed else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -391,12 +601,90 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--quiet", action="store_true", help="suppress progress output")
     _add_parallel_arguments(run)
 
+    stream = sub.add_parser(
+        "stream",
+        help="run an online arrival stream through the event-driven scheduler",
+    )
+    stream.add_argument(
+        "--process", default="poisson", choices=["poisson", "mmpp", "trace"],
+        help="arrival process (see 'repro-ptg list arrivals')",
+    )
+    stream.add_argument(
+        "--rate", type=float, default=1.0,
+        help="mean arrival rate in applications per second",
+    )
+    stream.add_argument(
+        "--arrivals", type=int, default=None, metavar="N",
+        help="stream length (default: 16, or the trace length)",
+    )
+    stream.add_argument(
+        "--family", default="random", choices=list(APPLICATION_FAMILIES)
+    )
+    stream.add_argument(
+        "--platform", default="rennes",
+        choices=grid5000.site_names() + ["grid5000"],
+        help="target platform (grid5000 = all four sites composed)",
+    )
+    stream.add_argument("--strategy", default="ES", choices=STRATEGY_NAMES)
+    stream.add_argument(
+        "--allocator", default="scrap-max",
+        choices=["cpa", "hcpa", "scrap", "scrap-max"],
+    )
+    stream.add_argument(
+        "--no-packing", action="store_true", help="disable allocation packing"
+    )
+    stream.add_argument("--mu", type=float, default=None, help="WPS mu override")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--max-tasks", type=int, default=None)
+    stream.add_argument(
+        "--tenants", type=int, default=1,
+        help="number of tenants (round-robin labels for the stall metrics)",
+    )
+    stream.add_argument(
+        "--burst", type=float, default=4.0,
+        help="burst-phase rate multiplier of the mmpp process",
+    )
+    stream.add_argument(
+        "--dwell", type=float, default=None,
+        help="mean phase dwell time (s) of the mmpp process",
+    )
+    stream.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace file of submission instants (JSON array or one per line)",
+    )
+    stream.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the schedule-invariant validator fails",
+    )
+    stream.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format of the stream summary",
+    )
+    stream.add_argument("--quiet", action="store_true", help="suppress progress output")
+    _add_parallel_arguments(stream)
+
+    val = sub.add_parser(
+        "validate",
+        help="run the schedule-invariant validator over a result store",
+    )
+    val.add_argument(
+        "store", metavar="DIR",
+        help="campaign / scenario store directory to validate",
+    )
+    val.add_argument(
+        "--max-violations", type=int, default=5,
+        help="violations printed per record",
+    )
+
     lst = sub.add_parser(
         "list", help="list the entries of the scenario plugin registries"
     )
     lst.add_argument(
         "kind", nargs="?", default=None,
-        choices=["allocators", "mappers", "strategies", "platforms", "families"],
+        choices=[
+            "allocators", "mappers", "strategies", "platforms", "families",
+            "arrivals",
+        ],
         help="which registry to list (omitted: all of them)",
     )
     lst.add_argument(
@@ -478,6 +766,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "table1":

@@ -292,14 +292,16 @@ def reference_implementation():
     import repro.mapping.ready_list as ready_list_mod
     import repro.mapping.timeline as timeline_mod
     import repro.scheduler.concurrent as concurrent_mod
-    import repro.scheduler.online as online_mod
     import repro.scheduler.single as single_mod
+    import repro.scheduler._reference as online_reference_mod
+    import repro.streaming.engine as streaming_engine_mod
 
     patches = [
         (timeline_mod, "ClusterTimeline", ReferenceClusterTimeline),
         (ready_list_mod, "PlacementEngine", ReferencePlacementEngine),
         (global_order_mod, "PlacementEngine", ReferencePlacementEngine),
-        (online_mod, "PlacementEngine", ReferencePlacementEngine),
+        (streaming_engine_mod, "PlacementEngine", ReferencePlacementEngine),
+        (online_reference_mod, "PlacementEngine", ReferencePlacementEngine),
         (concurrent_mod, "ReadyListMapper", ReferenceReadyListMapper),
         (single_mod, "ReadyListMapper", ReferenceReadyListMapper),
         (heft_mod, "CommunicationEstimator", ReferenceCommunicationEstimator),

@@ -15,6 +15,9 @@
   extreme values are not smoothed away by averaging across experiments.
 * :mod:`repro.metrics.utilisation` -- platform usage diagnostics
   (parallel efficiency / resource waste) used by the ablation studies.
+* :mod:`repro.metrics.windows` -- windowed / time-sliding metrics for
+  online runs: rolling utilisation, per-window fairness and throughput,
+  per-tenant stall times.
 """
 
 from repro.metrics.fairness import slowdown, average_slowdown, unfairness, slowdowns
@@ -24,6 +27,14 @@ from repro.metrics.makespan import (
     best_makespan,
 )
 from repro.metrics.utilisation import schedule_utilisation, work_efficiency
+from repro.metrics.windows import (
+    WindowedMetrics,
+    rolling_utilisation,
+    tenant_stall_times,
+    window_edges,
+    window_fairness,
+    windowed_metrics,
+)
 
 __all__ = [
     "slowdown",
@@ -35,4 +46,10 @@ __all__ = [
     "best_makespan",
     "schedule_utilisation",
     "work_efficiency",
+    "WindowedMetrics",
+    "windowed_metrics",
+    "window_edges",
+    "window_fairness",
+    "rolling_utilisation",
+    "tenant_stall_times",
 ]

@@ -23,6 +23,7 @@ and runs on the existing scheduler / simulator / campaign machinery:
 from repro.scenarios.builder import Scenario, SWEEP_AXES
 from repro.scenarios.registry import (
     ALLOCATORS,
+    ARRIVALS,
     FAMILIES,
     MAPPERS,
     PLATFORMS,
@@ -53,6 +54,7 @@ __all__ = [
     "Registry",
     "RegistryEntry",
     "ALLOCATORS",
+    "ARRIVALS",
     "MAPPERS",
     "STRATEGIES",
     "PLATFORMS",

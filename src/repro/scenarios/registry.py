@@ -17,7 +17,9 @@ of them by string and third parties can plug in their own entries:
 * :data:`PLATFORMS` -- the four Grid'5000 sites plus the composed
   multi-site testbed,
 * :data:`FAMILIES` -- the ``random`` / ``fft`` / ``strassen`` / ``mixed``
-  workload families.
+  workload families,
+* :data:`ARRIVALS` -- the ``poisson`` / ``mmpp`` / ``trace`` arrival
+  processes of the online (streaming) scenarios.
 
 Lookups are case-insensitive and an unknown name always raises a
 :class:`~repro.exceptions.ConfigurationError` that lists the available
@@ -51,6 +53,7 @@ from repro.experiments.workload import (
 from repro.mapping.global_order import GlobalOrderMapper
 from repro.mapping.ready_list import ReadyListMapper
 from repro.platform import grid5000
+from repro.streaming.arrivals import mmpp_process, poisson_process, trace_process
 
 
 @dataclass(frozen=True)
@@ -294,6 +297,26 @@ def _register_families() -> None:
 
 _register_families()
 
+#: Arrival-time processes for online (streaming) scenarios.  Factories
+#: follow the uniform keyword contract of
+#: :mod:`repro.streaming.arrivals`: they accept ``rate`` / ``burst`` /
+#: ``dwell`` / ``trace`` keywords and ignore what they do not need, so
+#: an :class:`~repro.streaming.spec.ArrivalSpec` can instantiate any of
+#: them (built-in or third-party) the same way.
+ARRIVALS = Registry("arrival process")
+ARRIVALS.register(
+    "poisson", poisson_process,
+    description="memoryless arrivals at a constant rate",
+)
+ARRIVALS.register(
+    "mmpp", mmpp_process,
+    description="bursty two-phase Markov-modulated Poisson process",
+)
+ARRIVALS.register(
+    "trace", trace_process,
+    description="replay of explicit submission instants (trace-driven)",
+)
+
 #: All built-in registries, keyed by the plural nouns the CLI uses
 #: (``repro-ptg list allocators`` etc.).
 REGISTRIES: Dict[str, Registry] = {
@@ -302,4 +325,5 @@ REGISTRIES: Dict[str, Registry] = {
     "strategies": STRATEGIES,
     "platforms": PLATFORMS,
     "families": FAMILIES,
+    "arrivals": ARRIVALS,
 }

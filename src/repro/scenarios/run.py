@@ -114,6 +114,12 @@ def run_scenario(
         Optional precomputed single-application reference makespans,
         e.g. from the campaign cache.
     """
+    if spec.is_streaming:
+        raise ConfigurationError(
+            f"scenario {spec.label()!r} has an arrivals section: run it with "
+            f"repro.streaming.run_stream_scenario (CLI: repro-ptg stream / "
+            f"repro-ptg run routes it automatically)"
+        )
     target = platform if platform is not None else PLATFORMS.create(spec.platform)
     workload = list(ptgs) if ptgs is not None else scenario_workload(spec)
     strategies = build_strategies(spec)

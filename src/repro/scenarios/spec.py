@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.constraints.registry import STRATEGY_NAMES
 from repro.exceptions import ConfigurationError
 from repro.scenarios.registry import ALLOCATORS, FAMILIES, MAPPERS, PLATFORMS, STRATEGIES
+from repro.streaming.spec import ArrivalSpec
 from repro.utils.digest import content_digest, platform_fingerprint
 
 #: Version stamp of the spec serialisation format.
@@ -249,6 +250,7 @@ class ScenarioSpec:
     workload: WorkloadSpec2 = field(default_factory=WorkloadSpec2)
     pipeline: PipelineSpec = field(default_factory=PipelineSpec)
     strategies: Optional[Tuple[str, ...]] = None
+    arrivals: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         """Validate and canonicalise the field values."""
@@ -261,9 +263,25 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"pipeline must be a PipelineSpec, got {type(self.pipeline).__name__}"
             )
+        if self.arrivals is not None and not isinstance(self.arrivals, ArrivalSpec):
+            raise ConfigurationError(
+                f"arrivals must be an ArrivalSpec or None, got "
+                f"{type(self.arrivals).__name__}"
+            )
         object.__setattr__(
             self, "strategies", _normalise_strategies(self.strategies)
         )
+
+    @property
+    def is_streaming(self) -> bool:
+        """Whether the scenario describes an online arrival stream.
+
+        Streaming scenarios run through
+        :func:`repro.streaming.run.run_stream_scenario`; the ``workload``
+        section is unused for them (the arrivals spec carries its own
+        family / size / seed).
+        """
+        return self.arrivals is not None
 
     # ------------------------------------------------------------------ #
     # resolution helpers
@@ -280,12 +298,24 @@ class ScenarioSpec:
         if self.strategies is not None:
             return self.strategies
         names = STRATEGY_NAMES
-        if self.workload.family == "strassen":
+        if self.resolved_family() == "strassen":
             names = [n for n in names if "width" not in n]
         return tuple(names)
 
+    def resolved_family(self) -> str:
+        """The application family of the scenario's workload.
+
+        Streaming scenarios carry it in their arrivals section, batch
+        scenarios in their workload section.
+        """
+        if self.arrivals is not None:
+            return self.arrivals.family
+        return self.workload.family
+
     def label(self) -> str:
         """Readable identifier used in logs and progress reports."""
+        if self.arrivals is not None:
+            return f"{self.arrivals.label()} on {self.platform}"
         return f"{self.workload.label()} on {self.platform}"
 
     # ------------------------------------------------------------------ #
@@ -293,13 +323,16 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "format_version": SPEC_FORMAT_VERSION,
             "platform": self.platform,
             "workload": self.workload.to_dict(),
             "pipeline": self.pipeline.to_dict(),
             "strategies": list(self.strategies) if self.strategies else None,
         }
+        if self.arrivals is not None:
+            payload["arrivals"] = self.arrivals.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ScenarioSpec":
@@ -312,7 +345,14 @@ class ScenarioSpec:
         """
         _check_known_keys(
             payload,
-            ("format_version", "platform", "workload", "pipeline", "strategies"),
+            (
+                "format_version",
+                "platform",
+                "workload",
+                "pipeline",
+                "strategies",
+                "arrivals",
+            ),
             "scenario spec",
         )
         version = payload.get("format_version", SPEC_FORMAT_VERSION)
@@ -330,6 +370,8 @@ class ScenarioSpec:
             kwargs["pipeline"] = PipelineSpec.from_dict(payload["pipeline"] or {})
         if "strategies" in payload:
             kwargs["strategies"] = payload["strategies"]
+        if payload.get("arrivals") is not None:
+            kwargs["arrivals"] = ArrivalSpec.from_dict(payload["arrivals"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ #
@@ -356,6 +398,7 @@ class ScenarioSpec:
                 platform_fp=platform_fingerprint(platform_obj),
                 strategy_names=self.resolved_strategy_names(),
                 pipeline=self.pipeline,
+                arrivals=self.arrivals,
             )
         )
 
@@ -368,15 +411,19 @@ def scenario_hash_payload(
     platform_fp: str,
     strategy_names: Sequence[str],
     pipeline: PipelineSpec,
+    arrivals: Optional[ArrivalSpec] = None,
 ) -> Dict:
     """The canonical payload both spec hashes and shard keys digest.
 
     Kept as one shared function so
     :meth:`ScenarioSpec.content_hash` and
     :meth:`repro.campaigns.shards.ExperimentShard.key` can never drift
-    apart: equal content produces equal keys on both paths.
+    apart: equal content produces equal keys on both paths.  The
+    ``arrivals`` key is only present for streaming scenarios, so the
+    hashes of batch scenarios (and every pre-streaming store) are
+    unchanged.
     """
-    return {
+    payload = {
         "version": SPEC_HASH_VERSION,
         "workload": {
             "family": family,
@@ -393,6 +440,9 @@ def scenario_hash_payload(
             "mu": pipeline.mu,
         },
     }
+    if arrivals is not None:
+        payload["arrivals"] = arrivals.hash_payload()
+    return payload
 
 
 def load_specs(payload: Union[Dict, List]) -> List[ScenarioSpec]:

@@ -21,6 +21,7 @@ from repro.scheduler.online import (
     Arrival,
     OnlineConcurrentScheduler,
     OnlineScheduleResult,
+    StreamResult,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "Arrival",
     "OnlineConcurrentScheduler",
     "OnlineScheduleResult",
+    "StreamResult",
 ]

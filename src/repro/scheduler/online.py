@@ -3,92 +3,64 @@
 The paper's future-work section sketches the harder problem where the
 concurrent applications do *not* arrive together: "this implies that the
 resource constraints have to be modified on the arrival of a new
-application in the system".  This module implements the simplest point of
-that design space as an extension of the reproduced system:
+application in the system".  This module is the batch front door of that
+design point: :class:`OnlineConcurrentScheduler` replays a fixed arrival
+list through the event-driven
+:class:`~repro.streaming.engine.StreamSession`, which
 
-* applications are admitted in arrival order;
-* at each arrival the resource constraint of the *new* application is
-  computed by the chosen strategy over the set of applications still
-  present in the system at that instant (arrived and not yet completed
-  according to the schedule built so far) plus the new one;
-* the new application is allocated with SCRAP-MAX under that constraint
-  and mapped -- without disturbing the reservations of the applications
-  already scheduled -- using earliest-finish-time placement with
-  allocation packing, its tasks ordered by bottom level and released no
-  earlier than the submission time.
+* admits applications in arrival order,
+* recomputes the resource constraint of each newcomer with the chosen
+  strategy over the applications still present at that instant,
+* allocates it (SCRAP-MAX by default) under that constraint and maps it
+  -- without disturbing existing reservations -- with earliest-finish-
+  time placement and allocation packing, released no earlier than its
+  submission time.
 
-Already-running applications are neither re-allocated nor re-mapped; the
-paper's full proposal (dynamically recomputing every constraint and
-re-scheduling) is left as further work here too, but this extension makes
-the system usable for trace-driven arrival studies and provides the
-baseline any re-scheduling policy should beat.
+The session keeps the per-application completion bookkeeping incremental
+(see :mod:`repro.streaming.engine`), so long streams no longer pay the
+quadratic schedule re-scans of the original replay -- which is preserved
+verbatim in :mod:`repro.scheduler._reference` and pinned bit-identical by
+``tests/test_scheduler_online_golden.py``.  For live / chunked streams
+and windowed metrics, use :class:`~repro.streaming.engine.StreamSession`
+and :mod:`repro.streaming` directly.
+
+:class:`Arrival` and :class:`OnlineScheduleResult` are defined in
+:mod:`repro.streaming.engine` and re-exported here, their historical
+home.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.allocation.base import Allocation, AllocationProcedure
-from repro.allocation.scrap import ScrapMaxAllocator
+from repro.allocation.base import AllocationProcedure
 from repro.constraints.base import ConstraintStrategy
-from repro.constraints.strategies import EqualShareStrategy
-from repro.dag.graph import PTG
 from repro.exceptions import ConfigurationError
-from repro.mapping.base import AllocatedPTG
-from repro.mapping.eft import PlacementEngine
-from repro.mapping.schedule import Schedule
 from repro.platform.multicluster import MultiClusterPlatform
+from repro.streaming.engine import (
+    Arrival,
+    OnlineScheduleResult,
+    StreamResult,
+    StreamSession,
+)
 
-
-@dataclass(frozen=True)
-class Arrival:
-    """One application submission: the graph and its submission time."""
-
-    ptg: PTG
-    time: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.time < 0:
-            raise ConfigurationError(
-                f"submission time must be non-negative, got {self.time}"
-            )
-
-
-@dataclass
-class OnlineScheduleResult:
-    """Outcome of an online scheduling run."""
-
-    platform: MultiClusterPlatform
-    arrivals: Sequence[Arrival]
-    betas: Dict[str, float]
-    active_at_admission: Dict[str, List[str]]
-    allocations: Dict[str, Allocation]
-    schedule: Schedule
-    strategy_name: str = ""
-
-    @property
-    def application_names(self) -> List[str]:
-        """Names of the applications, in arrival order."""
-        return [a.ptg.name for a in self.arrivals]
-
-    def completion_time(self, name: str) -> float:
-        """Absolute completion time of one application."""
-        return self.schedule.makespan(name)
-
-    def makespan(self, name: str) -> float:
-        """Makespan measured from the application's own submission time."""
-        arrival = next(a for a in self.arrivals if a.ptg.name == name)
-        return self.completion_time(name) - arrival.time
-
-    def makespans(self) -> Dict[str, float]:
-        """Per-application makespans measured from their submission times."""
-        return {name: self.makespan(name) for name in self.application_names}
+__all__ = [
+    "Arrival",
+    "OnlineConcurrentScheduler",
+    "OnlineScheduleResult",
+    "StreamResult",
+]
 
 
 class OnlineConcurrentScheduler:
-    """First-come-first-served scheduler for staggered submissions."""
+    """First-come-first-served scheduler for staggered submissions.
+
+    A thin batch wrapper over :class:`~repro.streaming.engine.StreamSession`:
+    the arrival list is validated, globally sorted by ``(time, name)``
+    and fed through a fresh session.  The returned
+    :class:`~repro.streaming.engine.StreamResult` is a drop-in
+    :class:`OnlineScheduleResult` with O(1) per-application accessors.
+    """
 
     def __init__(
         self,
@@ -96,15 +68,14 @@ class OnlineConcurrentScheduler:
         allocator: Optional[AllocationProcedure] = None,
         enable_packing: bool = True,
     ) -> None:
-        self.strategy = strategy or EqualShareStrategy()
-        self.allocator = allocator or ScrapMaxAllocator()
+        """Configure the pipeline (defaults: equal share + SCRAP-MAX + packing)."""
+        self.strategy = strategy
+        self.allocator = allocator
         self.enable_packing = enable_packing
 
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
     @staticmethod
     def _check_arrivals(arrivals: Sequence[Arrival]) -> List[Arrival]:
+        """Validate a batch and return it sorted by ``(time, name)``."""
         if not arrivals:
             raise ConfigurationError("at least one arrival is required")
         names = [a.ptg.name for a in arrivals]
@@ -112,91 +83,19 @@ class OnlineConcurrentScheduler:
             raise ConfigurationError(
                 f"submitted applications must have unique names, got {names}"
             )
-        for arrival in arrivals:
-            arrival.ptg.validate()
         return sorted(arrivals, key=lambda a: (a.time, a.ptg.name))
 
-    def _map_application(
-        self,
-        engine: PlacementEngine,
-        schedule: Schedule,
-        allocated: AllocatedPTG,
-        release_time: float,
-    ) -> None:
-        """Place one application's tasks (bottom-level order, FCFS)."""
-        ptg = allocated.ptg
-        levels = allocated.bottom_levels()
-        topo_index = {tid: i for i, tid in enumerate(ptg.topological_order())}
-        order = sorted(
-            ptg.task_ids(), key=lambda tid: (-levels[tid], topo_index[tid])
-        )
-        for tid in order:
-            predecessors = [
-                (pred, ptg.edge_data(pred, tid)) for pred in ptg.predecessors(tid)
-            ]
-            engine.place(
-                ptg_name=ptg.name,
-                task=ptg.task(tid),
-                allocation=allocated.allocation,
-                predecessors=predecessors,
-                schedule=schedule,
-                not_before=release_time,
-            )
-
-    # ------------------------------------------------------------------ #
-    # public API
-    # ------------------------------------------------------------------ #
     def schedule(
         self, arrivals: Sequence[Arrival], platform: MultiClusterPlatform
-    ) -> OnlineScheduleResult:
+    ) -> StreamResult:
         """Schedule all submissions in arrival order."""
         ordered = self._check_arrivals(arrivals)
-        engine = PlacementEngine(platform, enable_packing=self.enable_packing)
-        schedule = Schedule(platform.name)
-
-        betas: Dict[str, float] = {}
-        allocations: Dict[str, Allocation] = {}
-        active_log: Dict[str, List[str]] = {}
-        completion: Dict[str, float] = {}
-        # Min-heap of (completion time, name) of admitted applications,
-        # lazily invalidated: arrivals are processed in non-decreasing
-        # time order, so popping every entry whose completion is <= now
-        # (and deleting it from the insertion-ordered ``active_apps``
-        # dict) leaves exactly the applications still in the system -- no
-        # rescan of all previous arrivals per admission.
-        running: List[Tuple[float, str]] = []
-        active_apps: Dict[str, PTG] = {}
-
-        for arrival in ordered:
-            now = arrival.time
-            while running and running[0][0] <= now:
-                _, expired = heapq.heappop(running)
-                active_apps.pop(expired, None)
-            # applications still in the system at this instant, in
-            # arrival order (the order the constraint strategies see)
-            active = list(active_apps.values())
-            concurrent = active + [arrival.ptg]
-            strategy_betas = self.strategy.compute_betas(concurrent, platform)
-            beta = strategy_betas[arrival.ptg.name]
-            betas[arrival.ptg.name] = beta
-            active_log[arrival.ptg.name] = [p.name for p in active]
-
-            allocation = self.allocator.allocate(arrival.ptg, platform, beta=beta)
-            allocations[arrival.ptg.name] = allocation
-            self._map_application(
-                engine, schedule, AllocatedPTG(arrival.ptg, allocation), now
-            )
-            done = schedule.makespan(arrival.ptg.name)
-            completion[arrival.ptg.name] = done
-            heapq.heappush(running, (done, arrival.ptg.name))
-            active_apps[arrival.ptg.name] = arrival.ptg
-
-        return OnlineScheduleResult(
-            platform=platform,
-            arrivals=ordered,
-            betas=betas,
-            active_at_admission=active_log,
-            allocations=allocations,
-            schedule=schedule,
-            strategy_name=self.strategy.name,
+        session = StreamSession(
+            platform,
+            strategy=self.strategy,
+            allocator=self.allocator,
+            enable_packing=self.enable_packing,
         )
+        for arrival in ordered:
+            session.admit(arrival)
+        return session.result()

@@ -49,16 +49,40 @@ class _TaskState:
 
 
 class ScheduleExecutor:
-    """Execute a planned schedule and measure the resulting makespans."""
+    """Execute a planned schedule and measure the resulting makespans.
 
-    def __init__(self, platform: MultiClusterPlatform) -> None:
+    Parameters
+    ----------
+    platform:
+        The platform model to replay against.
+    network_factory:
+        Callable building the network model from ``(platform, engine)``.
+        Defaults to the contention-aware
+        :class:`~repro.simulate.network.FairShareNetwork`; the
+        differential tests pass
+        :class:`~repro.simulate.network.EstimatorNetwork` to replay a
+        plan under the mapper's own transfer assumptions.
+    """
+
+    def __init__(self, platform: MultiClusterPlatform, network_factory=None) -> None:
         self.platform = platform
+        self.network_factory = network_factory or FairShareNetwork
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def execute(self, ptgs: Sequence[PTG], schedule: Schedule) -> SimulationReport:
-        """Simulate the execution of *schedule* for the applications *ptgs*."""
+    def execute(
+        self,
+        ptgs: Sequence[PTG],
+        schedule: Schedule,
+        releases: Optional[Dict[str, float]] = None,
+    ) -> SimulationReport:
+        """Simulate the execution of *schedule* for the applications *ptgs*.
+
+        *releases* maps application names to submission instants: no
+        task of an application starts before its release (the online
+        setting).  Applications without an entry release at t=0.
+        """
         if not ptgs:
             raise SimulationError("at least one PTG is required")
         graphs: Dict[str, PTG] = {p.name: p for p in ptgs}
@@ -66,7 +90,8 @@ class ScheduleExecutor:
             raise SimulationError("concurrent PTGs must have unique names")
 
         engine = SimulationEngine()
-        network = FairShareNetwork(self.platform, engine)
+        network = self.network_factory(self.platform, engine)
+        releases = dict(releases) if releases else {}
 
         # ---------------- state construction ----------------
         states: Dict[TaskKey, _TaskState] = {}
@@ -119,6 +144,12 @@ class ScheduleExecutor:
             if state.started or state.finished:
                 return
             if state.remaining_inputs > 0:
+                return
+            release = releases.get(key[0], 0.0)
+            if engine.now < release:
+                # submitted later: re-check at the release instant (the
+                # retry is idempotent, duplicates are harmless)
+                engine.schedule(release, try_start, key)
                 return
             for proc, position in queue_position[key].items():
                 if frontier[proc] != position:
@@ -179,7 +210,7 @@ class ScheduleExecutor:
         # ---------------- kick-off and run ----------------
         for key, state in states.items():
             if state.remaining_inputs == 0:
-                engine.schedule(0.0, try_start, key)
+                engine.schedule(releases.get(key[0], 0.0), try_start, key)
         engine.run()
 
         unfinished = [key for key, state in states.items() if not state.finished]

@@ -18,6 +18,13 @@ private switches).
 Rates are recomputed whenever a flow starts or completes; pending
 completion events are rescheduled accordingly.  Each flow additionally
 pays the path latency once, before data starts flowing.
+
+:class:`EstimatorNetwork` is the contention-free counterpart: every
+transfer takes exactly the time the mappers'
+:class:`~repro.mapping.comm.CommunicationEstimator` predicted for it.
+Replaying a schedule against it must reproduce the mapper's planned
+start and finish times -- the differential invariant
+``tests/test_differential_simulation.py`` checks.
 """
 
 from __future__ import annotations
@@ -195,3 +202,54 @@ class FairShareNetwork:
         self.total_bytes_transferred += flow.total_bytes
         self._recompute_rates()
         flow.on_complete()
+
+
+class EstimatorNetwork:
+    """Contention-free network reproducing the mapper's transfer estimates.
+
+    Every transfer completes after exactly the time the memoized
+    :class:`~repro.mapping.comm.CommunicationEstimator` predicts
+    (latency plus volume over the path's bottleneck bandwidth), with no
+    interaction between concurrent flows.  It exposes the same interface
+    as :class:`FairShareNetwork`, so the schedule executor can swap the
+    two: the fair-share model measures what contention does to a plan,
+    this model verifies the plan against its own assumptions.
+    """
+
+    def __init__(self, platform: MultiClusterPlatform, engine: SimulationEngine) -> None:
+        # Imported here: repro.mapping imports repro.platform like this
+        # module does, but keeping the top level free of mapping imports
+        # preserves the layering for the common fair-share path.
+        from repro.mapping.comm import CommunicationEstimator
+
+        self.platform = platform
+        self.engine = engine
+        self.estimator = CommunicationEstimator(platform)
+        self.completed_flows = 0
+        self.total_bytes_transferred = 0.0
+        self._ids = itertools.count()
+
+    def start_transfer(
+        self,
+        data_bytes: float,
+        src_cluster: str,
+        dst_cluster: str,
+        on_complete: Callable[[], None],
+    ) -> int:
+        """Start a transfer completing after the estimator's predicted time."""
+        if data_bytes < 0:
+            raise SimulationError(f"data_bytes must be non-negative, got {data_bytes}")
+        delay = self.estimator.transfer_time(data_bytes, src_cluster, dst_cluster)
+
+        def _complete() -> None:
+            self.completed_flows += 1
+            self.total_bytes_transferred += data_bytes
+            on_complete()
+
+        self.engine.schedule_after(delay, _complete)
+        return next(self._ids)
+
+    @property
+    def active_flows(self) -> int:
+        """Always zero: transfers are instantaneous bookkeeping-wise."""
+        return 0

@@ -1,0 +1,87 @@
+"""Multi-tenant online workload engine: arrival streams + event-driven scheduling.
+
+This package opens the workload dimension the ROADMAP calls "heavy
+traffic": instead of replaying a fixed, hand-written arrival list, a
+seeded arrival process generates a reproducible stream of submissions
+that an incremental, event-driven scheduler consumes -- thousands of PTG
+submissions without quadratic re-scans.
+
+* :mod:`repro.streaming.arrivals` -- Poisson, bursty (MMPP) and
+  trace-driven arrival-time processes, pluggable through the
+  :data:`repro.scenarios.ARRIVALS` registry axis;
+* :mod:`repro.streaming.engine` -- :class:`StreamSession`, the
+  incremental scheduler interleaving arrivals and completions on the
+  placement core of :mod:`repro.mapping` (also the implementation
+  behind :class:`repro.scheduler.OnlineConcurrentScheduler`);
+* :mod:`repro.streaming.spec` -- the declarative, serialisable
+  :class:`ArrivalSpec` wired into
+  :class:`repro.scenarios.ScenarioSpec` (optional ``arrivals``
+  section, JSON round-trip, content hash);
+* :mod:`repro.streaming.run` -- scenario execution with windowed
+  metrics, schedule validation, campaign-store persistence and
+  resume (``repro-ptg stream``).
+
+``spec`` and ``run`` are imported lazily (they sit on top of the
+scenario layer, which itself registers the arrival processes of this
+package), so ``import repro.streaming`` stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.arrivals import (
+    ArrivalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    TraceProcess,
+    load_trace,
+)
+from repro.streaming.engine import (
+    Arrival,
+    OnlineScheduleResult,
+    StreamEvent,
+    StreamResult,
+    StreamSession,
+)
+
+#: Names resolved lazily from the spec / run layers (PEP 562): importing
+#: them eagerly would cycle through repro.scenarios, which imports this
+#: package's arrival processes while building its registries.
+_LAZY = {
+    "ArrivalSpec": "repro.streaming.spec",
+    "generate_arrivals": "repro.streaming.spec",
+    "build_process": "repro.streaming.spec",
+    "StreamOutcome": "repro.streaming.run",
+    "StreamScenarioResult": "repro.streaming.run",
+    "run_stream_scenario": "repro.streaming.run",
+    "run_stream_scenarios": "repro.streaming.run",
+}
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPPProcess",
+    "TraceProcess",
+    "load_trace",
+    "Arrival",
+    "OnlineScheduleResult",
+    "StreamEvent",
+    "StreamResult",
+    "StreamSession",
+    "ArrivalSpec",
+    "generate_arrivals",
+    "build_process",
+    "StreamOutcome",
+    "StreamScenarioResult",
+    "run_stream_scenario",
+    "run_stream_scenarios",
+]
+
+
+def __getattr__(name: str):
+    """Resolve the lazily exported spec / run names (PEP 562)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

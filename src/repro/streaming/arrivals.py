@@ -1,0 +1,215 @@
+"""Arrival-process generators for online workload streams.
+
+The streaming engine consumes a sequence of submission instants.  Three
+process families generate them, all reproducible from a seeded
+:class:`numpy.random.Generator`:
+
+* :class:`PoissonProcess` -- memoryless arrivals at a constant rate,
+  the standard open-system workload model;
+* :class:`MMPPProcess` -- a two-phase Markov-modulated Poisson process:
+  the stream alternates between a *quiet* phase at the base rate and a
+  *burst* phase at ``burst`` times the base rate, with exponentially
+  distributed phase dwell times.  This models the flash crowds a
+  multi-tenant platform must absorb;
+* :class:`TraceProcess` -- replay of explicit submission instants, e.g.
+  read from a production trace file with :func:`load_trace`.
+
+Each process is registered under the :data:`repro.scenarios.ARRIVALS`
+plugin axis, so a serialisable
+:class:`~repro.streaming.spec.ArrivalSpec` selects it by name.  The
+registered factories all accept the same keyword set (``rate``,
+``burst``, ``dwell``, ``trace``) and ignore what they do not need,
+which is the contract third-party processes must follow too.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class ArrivalProcess(abc.ABC):
+    """Interface of the arrival-time generators."""
+
+    #: Process name used in labels and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def times(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """*n* non-decreasing, non-negative submission instants (seconds)."""
+
+    @staticmethod
+    def _check_count(n: int) -> None:
+        """Reject non-positive stream lengths."""
+        if n < 1:
+            raise ConfigurationError(f"at least one arrival is required, got {n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at a constant *rate* (arrivals per second)."""
+
+    name = "poisson"
+
+    def __init__(self, rate: float = 1.0) -> None:
+        """Create the process; *rate* must be positive."""
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def times(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Cumulative sums of exponential inter-arrival gaps."""
+        self._check_count(n)
+        generator = ensure_rng(rng)
+        return np.cumsum(generator.exponential(1.0 / self.rate, size=n))
+
+
+class MMPPProcess(ArrivalProcess):
+    """Two-phase Markov-modulated Poisson process (bursty arrivals).
+
+    The stream alternates between a quiet phase at the base *rate* and a
+    burst phase at ``rate * burst``; the dwell time in each phase is
+    exponential with mean *dwell* seconds (default: ten mean quiet
+    inter-arrival times, so a typical burst delivers a handful of
+    back-to-back submissions).
+    """
+
+    name = "mmpp"
+
+    def __init__(
+        self, rate: float = 1.0, burst: float = 4.0, dwell: Optional[float] = None
+    ) -> None:
+        """Create the process; *rate* and *dwell* positive, *burst* >= 1."""
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        if burst < 1:
+            raise ConfigurationError(
+                f"burst factor must be at least 1, got {burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.dwell = 10.0 / self.rate if dwell is None else float(dwell)
+        if self.dwell <= 0:
+            raise ConfigurationError(f"dwell must be positive, got {dwell}")
+
+    def times(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Simulate the modulated process until *n* arrivals accumulated."""
+        self._check_count(n)
+        generator = ensure_rng(rng)
+        rates = (self.rate, self.rate * self.burst)
+        phase = 0
+        now = 0.0
+        phase_end = generator.exponential(self.dwell)
+        out: List[float] = []
+        while len(out) < n:
+            gap = generator.exponential(1.0 / rates[phase])
+            if now + gap < phase_end:
+                now += gap
+                out.append(now)
+            else:
+                # no arrival before the phase flips: restart the
+                # memoryless draw at the boundary under the other rate
+                now = phase_end
+                phase = 1 - phase
+                phase_end = now + generator.exponential(self.dwell)
+        return np.asarray(out, dtype=float)
+
+
+class TraceProcess(ArrivalProcess):
+    """Replay of explicit submission instants (e.g. a production trace)."""
+
+    name = "trace"
+
+    def __init__(self, trace: Optional[Sequence[float]] = None, **_ignored) -> None:
+        """Create the process from non-decreasing, non-negative instants."""
+        if not trace:
+            raise ConfigurationError(
+                "a trace process needs at least one submission instant"
+            )
+        values = [float(t) for t in trace]
+        if any(t < 0 for t in values):
+            raise ConfigurationError("trace instants must be non-negative")
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise ConfigurationError("trace instants must be non-decreasing")
+        self.trace = tuple(values)
+
+    def times(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """The first *n* instants of the trace (the RNG is unused)."""
+        self._check_count(n)
+        if n > len(self.trace):
+            raise ConfigurationError(
+                f"trace holds {len(self.trace)} instants but {n} arrivals "
+                f"were requested"
+            )
+        return np.asarray(self.trace[:n], dtype=float)
+
+
+# ---------------------------------------------------------------------- #
+# registry factories (uniform keyword contract)
+# ---------------------------------------------------------------------- #
+def poisson_process(
+    rate: float = 1.0, **_ignored
+) -> PoissonProcess:
+    """Factory for :data:`~repro.scenarios.ARRIVALS`: constant-rate Poisson."""
+    return PoissonProcess(rate=rate)
+
+
+def mmpp_process(
+    rate: float = 1.0,
+    burst: float = 4.0,
+    dwell: Optional[float] = None,
+    **_ignored,
+) -> MMPPProcess:
+    """Factory for :data:`~repro.scenarios.ARRIVALS`: bursty two-phase MMPP."""
+    return MMPPProcess(rate=rate, burst=burst, dwell=dwell)
+
+
+def trace_process(
+    trace: Optional[Sequence[float]] = None, **_ignored
+) -> TraceProcess:
+    """Factory for :data:`~repro.scenarios.ARRIVALS`: trace replay."""
+    return TraceProcess(trace=trace)
+
+
+def load_trace(path: str) -> List[float]:
+    """Read submission instants from a trace file.
+
+    Two formats are accepted: a JSON array of numbers, or plain text
+    with one instant per line (blank lines and ``#`` comments ignored).
+    The instants are validated by :class:`TraceProcess` when the spec is
+    built, not here.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file: {exc}") from None
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path} is not valid JSON: {exc}") from None
+        if not isinstance(payload, list):
+            raise ConfigurationError(f"{path}: a JSON trace must be an array")
+        return [float(t) for t in payload]
+    values: List[float] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            values.append(float(line))
+        except ValueError:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not a number: {line!r}"
+            ) from None
+    return values

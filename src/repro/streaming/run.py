@@ -1,0 +1,442 @@
+"""Execute streaming scenarios: windowed metrics, persistence, resume.
+
+:func:`run_stream_scenario` turns one streaming
+:class:`~repro.scenarios.spec.ScenarioSpec` (a spec with an ``arrivals``
+section) into a :class:`StreamScenarioResult`: the arrival stream is
+regenerated from its seed, every component is instantiated from its
+registry name, and each strategy of the scenario drives one
+:class:`~repro.streaming.engine.StreamSession` over the stream.  Each
+run is summarised as a :class:`StreamOutcome` -- per-application
+response / waiting times, windowed metrics, per-tenant stalls, overall
+utilisation -- validated with the schedule-invariant validator, and
+serialised *including the full schedule*, so a stored streaming record
+can be re-validated later (``repro-ptg validate``) against arrivals
+regenerated from the stored spec.
+
+:func:`run_stream_scenarios` runs many streaming specs with the campaign
+machinery: one scenario is one shard, keyed by its
+:meth:`~repro.scenarios.spec.ScenarioSpec.content_hash`, fanned out over
+worker processes and persisted to the ``stream`` channel of a
+:class:`~repro.campaigns.store.CampaignStore` -- so an interrupted
+online sweep resumes exactly like a batch campaign does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError, ConfigurationError
+from repro.experiments.runner import ProgressCallback
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.metrics.utilisation import schedule_utilisation
+from repro.metrics.windows import WindowedMetrics, tenant_stall_times, windowed_metrics
+from repro.scenarios.registry import ALLOCATORS, PLATFORMS, STRATEGIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.streaming.engine import Arrival, StreamResult, StreamSession
+from repro.streaming.spec import generate_arrivals
+from repro.validate import validate_schedule
+
+#: Store channel holding streaming scenario records.
+STREAM_CHANNEL = "stream"
+
+
+# ---------------------------------------------------------------------- #
+# schedule (de)serialisation
+# ---------------------------------------------------------------------- #
+def schedule_to_rows(schedule: Schedule) -> List[List]:
+    """Compact row form of a schedule (one list per placed task)."""
+    return [
+        [
+            entry.ptg_name,
+            entry.task_id,
+            entry.cluster_name,
+            list(entry.processors),
+            entry.start,
+            entry.finish,
+            entry.reference_processors,
+        ]
+        for entry in schedule
+    ]
+
+
+def schedule_from_rows(rows: Sequence[Sequence], platform_name: str = "") -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_rows` output."""
+    schedule = Schedule(platform_name)
+    for name, task_id, cluster, procs, start, finish, reference in rows:
+        schedule.add(
+            ScheduledTask(
+                ptg_name=str(name),
+                task_id=int(task_id),
+                cluster_name=str(cluster),
+                processors=tuple(int(p) for p in procs),
+                start=float(start),
+                finish=float(finish),
+                reference_processors=int(reference),
+            )
+        )
+    return schedule
+
+
+# ---------------------------------------------------------------------- #
+# outcomes
+# ---------------------------------------------------------------------- #
+@dataclass
+class StreamOutcome:
+    """Measured outcome of one strategy over one arrival stream.
+
+    Everything is plain JSON-serialisable: the per-application series,
+    the windowed metrics, the validator verdict, and (by default) the
+    full schedule in row form so stored records stay re-validatable.
+    """
+
+    strategy: str
+    n_arrivals: int
+    horizon: float
+    utilisation: float
+    mean_response: float
+    max_response: float
+    mean_waiting: float
+    betas: Dict[str, float]
+    response_times: Dict[str, float]
+    waiting_times: Dict[str, float]
+    completion_times: Dict[str, float]
+    arrival_times: Dict[str, float]
+    tenant_stall: Dict[str, float]
+    windowed: WindowedMetrics
+    packed_tasks: int = 0
+    valid: Optional[bool] = None
+    schedule_rows: List[List] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "strategy": self.strategy,
+            "n_arrivals": self.n_arrivals,
+            "horizon": self.horizon,
+            "utilisation": self.utilisation,
+            "mean_response": self.mean_response,
+            "max_response": self.max_response,
+            "mean_waiting": self.mean_waiting,
+            "betas": dict(self.betas),
+            "response_times": dict(self.response_times),
+            "waiting_times": dict(self.waiting_times),
+            "completion_times": dict(self.completion_times),
+            "arrival_times": dict(self.arrival_times),
+            "tenant_stall": dict(self.tenant_stall),
+            "windowed": self.windowed.to_dict(),
+            "packed_tasks": self.packed_tasks,
+            "valid": self.valid,
+            "schedule_rows": self.schedule_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StreamOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        try:
+            return cls(
+                strategy=str(payload["strategy"]),
+                n_arrivals=int(payload["n_arrivals"]),
+                horizon=float(payload["horizon"]),
+                utilisation=float(payload["utilisation"]),
+                mean_response=float(payload["mean_response"]),
+                max_response=float(payload["max_response"]),
+                mean_waiting=float(payload["mean_waiting"]),
+                betas={str(k): float(v) for k, v in payload["betas"].items()},
+                response_times={
+                    str(k): float(v) for k, v in payload["response_times"].items()
+                },
+                waiting_times={
+                    str(k): float(v) for k, v in payload["waiting_times"].items()
+                },
+                completion_times={
+                    str(k): float(v) for k, v in payload["completion_times"].items()
+                },
+                arrival_times={
+                    str(k): float(v) for k, v in payload["arrival_times"].items()
+                },
+                tenant_stall={
+                    str(k): float(v) for k, v in payload["tenant_stall"].items()
+                },
+                windowed=WindowedMetrics.from_dict(payload["windowed"]),
+                packed_tasks=int(payload.get("packed_tasks", 0)),
+                valid=payload.get("valid"),
+                schedule_rows=payload.get("schedule_rows") or [],
+            )
+        except KeyError as exc:
+            raise CampaignError(f"stream outcome record misses field {exc}") from None
+
+    def schedule(self, platform_name: str = "") -> Schedule:
+        """The stored schedule, rebuilt from its row form."""
+        if not self.schedule_rows:
+            raise CampaignError(
+                f"outcome of {self.strategy!r} was stored without its schedule"
+            )
+        return schedule_from_rows(self.schedule_rows, platform_name)
+
+
+@dataclass
+class StreamScenarioResult:
+    """Outcome of one streaming scenario: the spec plus one outcome per strategy."""
+
+    spec: ScenarioSpec
+    outcomes: Dict[str, StreamOutcome] = field(default_factory=dict)
+    #: Live results of a fresh in-process run (empty when reloaded from a
+    #: store): strategy name -> :class:`StreamResult` with the schedule
+    #: object and the arrival list.
+    results: Dict[str, StreamResult] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """The scenario's content hash (the store/shard key)."""
+        return self.spec.content_hash()
+
+    def to_record(self) -> Dict:
+        """The JSON record persisted in the store's stream channel."""
+        return {
+            "spec": self.spec.to_dict(),
+            "outcomes": {
+                name: outcome.to_dict() for name, outcome in self.outcomes.items()
+            },
+        }
+
+    @classmethod
+    def from_record(cls, payload: Dict) -> "StreamScenarioResult":
+        """Rebuild a (schedule-rows-only) result from a stored record."""
+        try:
+            spec = ScenarioSpec.from_dict(payload["spec"])
+            outcomes = {
+                str(name): StreamOutcome.from_dict(out)
+                for name, out in payload["outcomes"].items()
+            }
+        except KeyError as exc:
+            raise CampaignError(f"stream record misses field {exc}") from None
+        return cls(spec=spec, outcomes=outcomes)
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+def _summarise(
+    strategy_name: str,
+    result: StreamResult,
+    packed_tasks: int,
+    window: Optional[float],
+    validate: bool,
+    keep_schedule: bool,
+) -> StreamOutcome:
+    """Condense one finished stream run into its serialisable outcome."""
+    responses = result.makespans()
+    waits = result.waiting_times()
+    platform = result.platform
+    report = None
+    if validate:
+        report = validate_schedule(
+            result.schedule,
+            ptgs=[arrival.ptg for arrival in result.arrivals],
+            platform=platform,
+            releases=dict(result.arrival_times),
+        )
+    return StreamOutcome(
+        strategy=strategy_name,
+        n_arrivals=len(result.arrivals),
+        horizon=result.horizon(),
+        utilisation=schedule_utilisation(result.schedule, platform),
+        mean_response=sum(responses.values()) / len(responses),
+        max_response=max(responses.values()),
+        mean_waiting=sum(waits.values()) / len(waits),
+        betas=dict(result.betas),
+        response_times=responses,
+        waiting_times=waits,
+        completion_times=dict(result.completion_times),
+        arrival_times=dict(result.arrival_times),
+        tenant_stall=tenant_stall_times(
+            result.arrival_times, result.first_starts, result.tenants
+        ),
+        windowed=windowed_metrics(result, platform, window=window),
+        packed_tasks=packed_tasks,
+        valid=None if report is None else report.ok,
+        schedule_rows=schedule_to_rows(result.schedule) if keep_schedule else [],
+    )
+
+
+def run_stream_scenario(
+    spec: ScenarioSpec,
+    platform=None,
+    arrivals: Optional[Sequence[Arrival]] = None,
+    window: Optional[float] = None,
+    validate: bool = True,
+    keep_schedule: bool = True,
+) -> StreamScenarioResult:
+    """Run one streaming scenario and return its result.
+
+    Parameters
+    ----------
+    spec:
+        A scenario spec with an ``arrivals`` section.
+    platform:
+        Optional platform object overriding the spec's registry name
+        (the escape hatch unit tests use for synthetic platforms).
+    arrivals:
+        Optional pre-generated arrival stream (must match the spec's
+        seed to keep results reproducible).
+    window:
+        Window width of the windowed metrics (``None``: the horizon is
+        split into 20 equal windows).
+    validate:
+        Whether to run the schedule-invariant validator on every
+        produced schedule (recorded in
+        :attr:`StreamOutcome.valid`).
+    keep_schedule:
+        Whether outcomes carry the schedule in row form (needed for
+        later ``repro-ptg validate`` runs on the store).
+    """
+    if not spec.is_streaming:
+        raise ConfigurationError(
+            f"scenario {spec.label()!r} has no arrivals section: run it with "
+            f"repro.scenarios.run_scenario instead"
+        )
+    if spec.pipeline.mapper != "ready-list":
+        # the online engine places tasks with EFT in bottom-level order
+        # per admitted application (the ready-list discipline); silently
+        # running another mapper name would store a second, bit-identical
+        # result under a different content hash.
+        raise ConfigurationError(
+            f"streaming scenarios always map with the ready-list discipline; "
+            f"got pipeline.mapper={spec.pipeline.mapper!r}"
+        )
+    target = platform if platform is not None else PLATFORMS.create(spec.platform)
+    stream = list(arrivals) if arrivals is not None else generate_arrivals(spec.arrivals)
+    scenario = StreamScenarioResult(spec=spec)
+    for name in spec.resolved_strategy_names():
+        strategy = STRATEGIES.create(
+            name, mu=spec.pipeline.mu, family=spec.arrivals.family
+        )
+        allocator = ALLOCATORS.create(spec.pipeline.allocator)
+        session = StreamSession(
+            target,
+            strategy=strategy,
+            allocator=allocator,
+            enable_packing=spec.pipeline.packing,
+        )
+        session.feed(stream)
+        result = session.result()
+        scenario.results[name] = result
+        scenario.outcomes[name] = _summarise(
+            name,
+            result,
+            packed_tasks=session.engine.packed_tasks,
+            window=window,
+            validate=validate,
+            keep_schedule=keep_schedule,
+        )
+    return scenario
+
+
+# ---------------------------------------------------------------------- #
+# fan-out with persistence and resume
+# ---------------------------------------------------------------------- #
+def _stream_worker(payload: Tuple[int, Dict]) -> Tuple[int, str, Optional[Dict], Optional[str]]:
+    """Pool entry point: run one streaming spec from its dict form.
+
+    Returns ``(index, key, record, error)``; exactly one of *record*
+    and *error* is set.  Module-level so it pickles.
+    """
+    index, spec_dict = payload
+    try:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        key = spec.content_hash()
+        scenario = run_stream_scenario(spec)
+        return index, key, scenario.to_record(), None
+    except Exception:
+        return index, spec_dict.get("platform", "?"), None, traceback.format_exc()
+
+
+def run_stream_scenarios(
+    specs: Sequence[ScenarioSpec],
+    jobs: Optional[int] = None,
+    store: Optional[Union[str, CampaignStore]] = None,
+    resume: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> List[StreamScenarioResult]:
+    """Run many streaming scenarios with fan-out, persistence and resume.
+
+    One scenario is one shard: its content hash is the record key in the
+    store's ``stream`` channel, completed scenarios are skipped on
+    resume, and every new record is appended (crash-safe) as it
+    arrives.  Results come back in input order; scenarios reloaded from
+    the store carry their stored outcomes but no live
+    :class:`StreamResult` objects.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ConfigurationError("at least one streaming scenario is required")
+    for spec in specs:
+        if not spec.is_streaming:
+            raise ConfigurationError(
+                f"scenario {spec.label()!r} has no arrivals section; mixed "
+                f"sweeps route batch specs through run_scenarios"
+            )
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = CampaignStore(store)
+
+    keys = [spec.content_hash() for spec in specs]
+    stored: Dict[str, Dict] = {}
+    if store is not None:
+        stored = store.payloads_by_key(STREAM_CHANNEL)
+        if stored and not resume:
+            raise CampaignError(
+                f"store {store.root} already holds {len(stored)} streaming "
+                f"record(s); pass resume=True (--resume) to continue it or "
+                f"point at a fresh directory"
+            )
+
+    seen = set(stored)
+    pending: List[Tuple[int, Dict]] = []
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if key not in seen:
+            seen.add(key)
+            pending.append((index, spec.to_dict()))
+    if progress is not None and len(specs) != len(pending):
+        progress(f"resuming: {len(specs) - len(pending)}/{len(specs)} already done")
+
+    records: Dict[str, Dict] = dict(stored)
+    failures: List[Tuple[str, str]] = []
+
+    def _consume(index: int, key: str, record: Optional[Dict], error: Optional[str]):
+        if error is not None:
+            failures.append((specs[index].label(), error))
+            if progress is not None:
+                progress(f"FAILED {specs[index].label()}")
+            return
+        records[key] = record
+        if store is not None:
+            store.append_payload(STREAM_CHANNEL, key, record)
+        if progress is not None:
+            progress(specs[index].label())
+
+    if jobs is None:
+        from repro.campaigns.pool import default_jobs
+
+        jobs = default_jobs()
+    if jobs <= 1 or len(pending) <= 1:
+        for item in pending:
+            _consume(*_stream_worker(item))
+    else:
+        with multiprocessing.Pool(processes=max(1, int(jobs))) as pool:
+            for outcome in pool.imap(_stream_worker, pending, chunksize=1):
+                _consume(*outcome)
+
+    if failures:
+        label, error = failures[0]
+        raise CampaignError(
+            f"{len(failures)} streaming scenario(s) failed; first failure on "
+            f"{label}:\n{error}"
+        )
+    return [
+        StreamScenarioResult.from_record(records[key])
+        for key in keys
+    ]

@@ -1,0 +1,399 @@
+"""Schedule-invariant validator.
+
+Every schedule the system emits -- offline batches, online streams,
+baselines -- must satisfy the same physical invariants regardless of
+which pipeline produced it:
+
+* **sane times**: starts and finishes are finite, non-negative and
+  ordered (``start <= finish``);
+* **precedence**: no task starts before all of its predecessors have
+  finished (when the graphs are available);
+* **completeness**: every task of every submitted application is placed
+  exactly once, and no entry refers to an unknown task;
+* **no overlap**: no processor executes two tasks at the same time
+  (reservations may share an endpoint);
+* **capacity**: every entry names a cluster of the platform, uses valid
+  processor indices and never more processors than the cluster has
+  (when the platform is available);
+* **release**: no task starts before its application's submission time
+  (when the submission times are available -- the online invariant).
+
+:func:`validate_schedule` runs every check the provided context allows
+and returns a :class:`ValidationReport` listing each
+:class:`Violation`; it never raises on invalid schedules (callers decide
+-- tests assert ``report.ok``, the CLI prints the violations and exits
+non-zero, :meth:`ValidationReport.raise_if_invalid` converts to an
+exception).  :func:`validate_result` dispatches any scheduler result
+object to the right check set, and
+:func:`validate_experiment_metrics` re-derives the metric arithmetic of
+a stored :class:`~repro.experiments.runner.ExperimentResult` record
+(slowdowns and unfairness must match their definitions), which is what
+``repro-ptg validate`` applies to batch campaign stores whose schedules
+were not archived.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import MappingError
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.platform.multicluster import MultiClusterPlatform
+
+#: Tolerance of the time comparisons (seconds); matches the epsilon the
+#: mapper uses when snapping reservations together.
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant of a schedule.
+
+    ``kind`` is a stable machine-readable tag (``times``,
+    ``precedence``, ``completeness``, ``overlap``, ``capacity``,
+    ``release``, ``metrics``); ``message`` the human-readable detail.
+    """
+
+    kind: str
+    message: str
+    ptg_name: str = ""
+    task_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = self.ptg_name
+        if self.task_id is not None:
+            where = f"{where}/task {self.task_id}" if where else f"task {self.task_id}"
+        prefix = f"[{self.kind}] "
+        return prefix + (f"{where}: {self.message}" if where else self.message)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one schedule (or one stored record)."""
+
+    violations: List[Violation] = field(default_factory=list)
+    entries_checked: int = 0
+    applications_checked: int = 0
+    checks: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every performed check passed."""
+        return not self.violations
+
+    def add(
+        self,
+        kind: str,
+        message: str,
+        ptg_name: str = "",
+        task_id: Optional[int] = None,
+    ) -> None:
+        """Record one violation."""
+        self.violations.append(
+            Violation(kind=kind, message=message, ptg_name=ptg_name, task_id=task_id)
+        )
+
+    def merge(self, other: "ValidationReport") -> None:
+        """Fold another report into this one."""
+        self.violations.extend(other.violations)
+        self.entries_checked += other.entries_checked
+        self.applications_checked += other.applications_checked
+        self.checks = tuple(dict.fromkeys(self.checks + other.checks))
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{status}: {self.entries_checked} entries, "
+            f"{self.applications_checked} application(s), "
+            f"checks: {', '.join(self.checks) if self.checks else 'none'}"
+        )
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.exceptions.MappingError` on any violation."""
+        if not self.ok:
+            lines = "\n".join(str(v) for v in self.violations[:10])
+            more = len(self.violations) - 10
+            if more > 0:
+                lines += f"\n... and {more} more"
+            raise MappingError(
+                f"schedule violates {len(self.violations)} invariant(s):\n{lines}"
+            )
+
+
+def _check_times(entry: ScheduledTask, report: ValidationReport) -> bool:
+    """Sane-times check of one entry; False when its times are unusable."""
+    values = (entry.start, entry.finish)
+    if any(not math.isfinite(v) for v in values):
+        report.add(
+            "times",
+            f"non-finite time window [{entry.start}, {entry.finish}]",
+            entry.ptg_name,
+            entry.task_id,
+        )
+        return False
+    if entry.start < 0:
+        report.add(
+            "times", f"negative start {entry.start}", entry.ptg_name, entry.task_id
+        )
+        return False
+    if entry.finish < entry.start - TIME_EPS:
+        report.add(
+            "times",
+            f"finish {entry.finish} precedes start {entry.start}",
+            entry.ptg_name,
+            entry.task_id,
+        )
+        return False
+    return True
+
+
+def _check_capacity(
+    entry: ScheduledTask,
+    platform: MultiClusterPlatform,
+    report: ValidationReport,
+) -> None:
+    """Cluster-capacity check of one entry."""
+    if entry.cluster_name not in platform:
+        report.add(
+            "capacity",
+            f"unknown cluster {entry.cluster_name!r}",
+            entry.ptg_name,
+            entry.task_id,
+        )
+        return
+    cluster = platform.cluster(entry.cluster_name)
+    if entry.num_processors > cluster.num_processors:
+        report.add(
+            "capacity",
+            f"uses {entry.num_processors} processors on cluster "
+            f"{entry.cluster_name!r} ({cluster.num_processors} available)",
+            entry.ptg_name,
+            entry.task_id,
+        )
+    bad = [p for p in entry.processors if p < 0 or p >= cluster.num_processors]
+    if bad:
+        report.add(
+            "capacity",
+            f"invalid processor indices {bad} on cluster "
+            f"{entry.cluster_name!r} (0..{cluster.num_processors - 1})",
+            entry.ptg_name,
+            entry.task_id,
+        )
+
+
+def _check_overlaps(entries: Sequence[ScheduledTask], report: ValidationReport) -> None:
+    """No processor may execute two reservations at once."""
+    by_proc: Dict[Tuple[str, int], List[ScheduledTask]] = {}
+    for entry in entries:
+        for proc in entry.processors:
+            by_proc.setdefault((entry.cluster_name, proc), []).append(entry)
+    for (cluster, proc), rows in by_proc.items():
+        rows.sort(key=lambda e: (e.start, e.finish, e.ptg_name, e.task_id))
+        for first, second in zip(rows, rows[1:]):
+            if second.start < first.finish - TIME_EPS:
+                report.add(
+                    "overlap",
+                    f"processor {proc} of cluster {cluster!r} runs task "
+                    f"{first.task_id} of {first.ptg_name!r} until "
+                    f"{first.finish:.6f} and task {second.task_id} of "
+                    f"{second.ptg_name!r} from {second.start:.6f}",
+                    second.ptg_name,
+                    second.task_id,
+                )
+
+
+def _check_applications(
+    schedule: Schedule,
+    ptgs: Sequence,
+    report: ValidationReport,
+) -> None:
+    """Completeness + precedence checks against the submitted graphs."""
+    known = set()
+    for ptg in ptgs:
+        report.applications_checked += 1
+        for task in ptg.tasks():
+            known.add((ptg.name, task.task_id))
+            if not schedule.has_entry(ptg.name, task.task_id):
+                report.add(
+                    "completeness",
+                    "task is not in the schedule",
+                    ptg.name,
+                    task.task_id,
+                )
+                continue
+            entry = schedule.entry(ptg.name, task.task_id)
+            for pred in ptg.predecessors(task.task_id):
+                if not schedule.has_entry(ptg.name, pred):
+                    continue  # already reported as missing
+                pred_entry = schedule.entry(ptg.name, pred)
+                if entry.start < pred_entry.finish - TIME_EPS:
+                    report.add(
+                        "precedence",
+                        f"starts at {entry.start:.6f} before predecessor "
+                        f"{pred} finishes at {pred_entry.finish:.6f}",
+                        ptg.name,
+                        task.task_id,
+                    )
+    for entry in schedule:
+        key = (entry.ptg_name, entry.task_id)
+        if key not in known:
+            report.add(
+                "completeness",
+                "schedule entry does not match any submitted task",
+                entry.ptg_name,
+                entry.task_id,
+            )
+
+
+def _check_releases(
+    schedule: Schedule,
+    releases: Mapping[str, float],
+    report: ValidationReport,
+) -> None:
+    """No task may start before its application's submission instant."""
+    for entry in schedule:
+        release = releases.get(entry.ptg_name)
+        if release is None:
+            continue
+        if entry.start < release - TIME_EPS:
+            report.add(
+                "release",
+                f"starts at {entry.start:.6f} before the application's "
+                f"submission at {release:.6f}",
+                entry.ptg_name,
+                entry.task_id,
+            )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    ptgs: Optional[Sequence] = None,
+    platform: Optional[MultiClusterPlatform] = None,
+    releases: Optional[Mapping[str, float]] = None,
+) -> ValidationReport:
+    """Check every schedule invariant the provided context allows.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to validate.
+    ptgs:
+        The submitted applications; enables the completeness and
+        precedence checks.
+    platform:
+        The target platform; enables the cluster-capacity checks.
+    releases:
+        Per-application submission instants (``name -> seconds``);
+        enables the online release check.
+
+    Returns
+    -------
+    ValidationReport
+        Every violation found; ``report.ok`` is the overall verdict.
+    """
+    report = ValidationReport(checks=("times", "overlap"))
+    entries = list(schedule)
+    report.entries_checked = len(entries)
+    sane = [entry for entry in entries if _check_times(entry, report)]
+    _check_overlaps(sane, report)
+    if platform is not None:
+        report.checks += ("capacity",)
+        for entry in entries:
+            _check_capacity(entry, platform, report)
+    if ptgs is not None:
+        report.checks += ("completeness", "precedence")
+        _check_applications(schedule, ptgs, report)
+    else:
+        report.applications_checked = len(schedule.application_names())
+    if releases is not None:
+        report.checks += ("release",)
+        _check_releases(schedule, releases, report)
+    return report
+
+
+def validate_result(result) -> ValidationReport:
+    """Validate any scheduler result object with its full context.
+
+    Dispatches on shape: single results
+    (:class:`~repro.scheduler.result.SingleScheduleResult`), batch
+    results (:class:`~repro.scheduler.result.ConcurrentScheduleResult`)
+    and online results
+    (:class:`~repro.streaming.engine.OnlineScheduleResult` /
+    :class:`~repro.streaming.engine.StreamResult`, whose submission
+    times enable the release check).
+    """
+    schedule = getattr(result, "schedule", None)
+    if schedule is None:
+        raise MappingError(
+            f"{type(result).__name__} carries no schedule to validate"
+        )
+    platform = getattr(result, "platform", None)
+    arrivals = getattr(result, "arrivals", None)
+    if arrivals is not None:
+        ptgs = [arrival.ptg for arrival in arrivals]
+        releases = {arrival.ptg.name: arrival.time for arrival in arrivals}
+        return validate_schedule(schedule, ptgs, platform, releases)
+    ptgs = getattr(result, "ptgs", None)
+    if ptgs is None:
+        single = getattr(result, "ptg", None)
+        ptgs = [single] if single is not None else None
+    return validate_schedule(schedule, ptgs, platform)
+
+
+def validate_experiment_metrics(result) -> ValidationReport:
+    """Re-derive the metric arithmetic of a stored experiment record.
+
+    Stored batch campaign records hold metrics, not schedules; what can
+    still be checked is that the record is *internally consistent*:
+    every makespan is finite and positive, every slowdown equals
+    ``M_own / M_multi`` and every unfairness equals the paper's Eq. 5
+    over the recorded slowdowns.
+    """
+    from repro.metrics.fairness import unfairness as compute_unfairness
+
+    report = ValidationReport(checks=("metrics",))
+    report.applications_checked = len(result.own_makespans)
+    for name, value in result.own_makespans.items():
+        if not math.isfinite(value) or value <= 0:
+            report.add("metrics", f"own makespan of {name!r} is {value}")
+    for strategy_name, outcome in result.outcomes.items():
+        for name, value in outcome.makespans.items():
+            report.entries_checked += 1
+            if not math.isfinite(value) or value <= 0:
+                report.add(
+                    "metrics",
+                    f"{strategy_name}: makespan of {name!r} is {value}",
+                )
+                continue
+            own = result.own_makespans.get(name)
+            if own is None:
+                report.add(
+                    "metrics",
+                    f"{strategy_name}: {name!r} has no own-makespan reference",
+                )
+                continue
+            expected = own / value
+            recorded = outcome.slowdowns.get(name)
+            if recorded is None or abs(recorded - expected) > 1e-9 * max(
+                1.0, abs(expected)
+            ):
+                report.add(
+                    "metrics",
+                    f"{strategy_name}: slowdown of {name!r} is {recorded}, "
+                    f"expected M_own/M_multi = {expected}",
+                )
+        if outcome.slowdowns:
+            expected_unfairness = compute_unfairness(outcome.slowdowns)
+            if abs(outcome.unfairness - expected_unfairness) > 1e-9 * max(
+                1.0, expected_unfairness
+            ):
+                report.add(
+                    "metrics",
+                    f"{strategy_name}: unfairness is {outcome.unfairness}, "
+                    f"Eq. 5 over the recorded slowdowns gives "
+                    f"{expected_unfairness}",
+                )
+    return report

@@ -19,10 +19,11 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("run", "list", "table1", "fig2", "fig3", "fig4", "fig5",
-                        "schedule", "generate"):
+        for command in ("run", "stream", "list", "table1", "fig2", "fig3", "fig4",
+                        "fig5", "schedule", "generate"):
             args = parser.parse_args([command] if command != "schedule" else ["schedule"])
             assert args.command == command
+        assert parser.parse_args(["validate", "some-dir"]).command == "validate"
 
 
 class TestListCommand:
@@ -296,3 +297,97 @@ class TestCampaignCommand:
         assert main(self.CAMPAIGN_ARGS + ["--store", store]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "--resume" in err
+
+
+class TestStreamCommand:
+    STREAM_ARGS = [
+        "stream", "--rate", "0.05", "--arrivals", "4", "--family", "random",
+        "--max-tasks", "8", "--platform", "lille", "--tenants", "2", "--quiet",
+    ]
+
+    def test_stream_prints_summary_and_windows(self, capsys):
+        assert main(self.STREAM_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "windowed metrics" in out
+        assert "validator" in out and "OK" in out
+        assert "stall of tenant-0" in out
+
+    def test_stream_json_output(self, capsys):
+        assert main(self.STREAM_ARGS + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        outcome = payload[0]["outcomes"]["ES"]
+        assert outcome["n_arrivals"] == 4
+        assert outcome["valid"] is True
+        assert "schedule_rows" not in outcome  # stripped from CLI JSON
+
+    def test_stream_store_resume_and_check(self, capsys, tmp_path):
+        store = str(tmp_path / "stream-store")
+        assert main(self.STREAM_ARGS + ["--store", store, "--check"]) == 0
+        capsys.readouterr()
+        args = self.STREAM_ARGS + ["--store", store, "--resume", "--check"]
+        assert main(args) == 0
+        # without --resume a populated store is a clean error
+        assert main(self.STREAM_ARGS + ["--store", store]) == 2
+
+    def test_stream_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0.0\n30.0\n60.0\n")
+        code = main(
+            [
+                "stream", "--process", "trace", "--trace", str(trace),
+                "--family", "random", "--max-tasks", "8",
+                "--platform", "lille", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applications" in out and "3" in out
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["stream", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_run_routes_streaming_specs(self, capsys, tmp_path):
+        spec_file = tmp_path / "stream.json"
+        spec_file.write_text(json.dumps({
+            "platform": "lille",
+            "strategies": ["ES"],
+            "arrivals": {
+                "process": "poisson", "rate": 0.05, "n_arrivals": 3,
+                "family": "random", "max_tasks": 8,
+            },
+        }))
+        assert main(["run", str(spec_file), "--quiet"]) == 0
+        assert "windowed metrics" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_validate_stream_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(TestStreamCommand.STREAM_ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(["validate", store]) == 0
+        out = capsys.readouterr().out
+        assert "stream" in out and "OK" in out
+        assert "1 OK, 0 failed" in out
+
+    def test_validate_detects_tampered_schedule(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(TestStreamCommand.STREAM_ARGS + ["--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        # corrupt the stored schedule: shift one start before its release
+        from repro.campaigns.store import CampaignStore
+
+        store = CampaignStore(store_dir)
+        ((key, payload),) = store.iter_payloads("stream")
+        rows = payload["outcomes"]["ES"]["schedule_rows"]
+        victim = max(rows, key=lambda r: r[4])
+        victim[4] = 0.0  # start
+        victim[5] = 0.0  # finish
+        store.append_payload("stream", key, payload)  # last record wins
+        assert main(["validate", str(store_dir)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_empty_store_is_an_error(self, capsys, tmp_path):
+        assert main(["validate", str(tmp_path / "empty")]) == 2
+        assert "no validatable records" in capsys.readouterr().err

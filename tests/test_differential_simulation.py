@@ -1,0 +1,133 @@
+"""Differential test: replaying a plan reproduces the mapper's predictions.
+
+The mappers plan start / finish times from three ingredients: the
+predecessors' planned finishes, the communication estimator's transfer
+times and the non-insertion processor availability.  Replaying the
+schedule through the discrete-event engine with the **same** transfer
+model (:class:`~repro.simulate.network.EstimatorNetwork`, contention
+free) must therefore reproduce every planned start and finish to within
+float tolerance -- for offline batches, for the baselines' schedules and
+for streaming runs (where the release times gate the replay).
+
+A drift here means the mapper and the simulator disagree about the
+platform model, which is exactly the class of bug a reproduction cannot
+afford.  The contention-aware fair-share replay is *expected* to drift
+(that is its purpose); the last test pins the direction of that drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints.strategies import EqualShareStrategy
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.platform import grid5000
+from repro.platform.builder import heterogeneous_platform
+from repro.scenarios.spec import ScenarioSpec
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.scheduler.online import Arrival, OnlineConcurrentScheduler
+from repro.simulate.executor import ScheduleExecutor
+from repro.simulate.network import EstimatorNetwork
+from repro.streaming.spec import ArrivalSpec, generate_arrivals
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+
+def assert_replay_matches_plan(report, schedule):
+    """Every measured record must equal its planned entry."""
+    assert len(report.records) == len(schedule)
+    for record in report.records:
+        entry = schedule.entry(record.ptg_name, record.task_id)
+        scale = max(1.0, abs(entry.start), abs(entry.finish))
+        assert record.start == pytest.approx(
+            entry.start, rel=REL_TOL, abs=ABS_TOL * scale
+        ), (record, entry)
+        assert record.finish == pytest.approx(
+            entry.finish, rel=REL_TOL, abs=ABS_TOL * scale
+        ), (record, entry)
+
+
+class TestOfflineDifferential:
+    @pytest.mark.parametrize("site", ["lille", "rennes"])
+    def test_concurrent_schedule_replays_exactly(self, site):
+        platform = grid5000.site(site)
+        workload = make_workload(
+            WorkloadSpec(family="random", n_ptgs=4, seed=11, max_tasks=20)
+        )
+        planned = ConcurrentScheduler(EqualShareStrategy()).schedule(
+            workload, platform
+        )
+        executor = ScheduleExecutor(platform, network_factory=EstimatorNetwork)
+        report = executor.execute(workload, planned.schedule)
+        assert_replay_matches_plan(report, planned.schedule)
+        # the per-application makespans follow
+        for name, makespan in report.makespans().items():
+            assert makespan == pytest.approx(
+                planned.schedule.makespan(name), rel=REL_TOL, abs=ABS_TOL
+            )
+
+    def test_fft_workload_replays_exactly(self):
+        platform = grid5000.site("nancy")
+        workload = make_workload(WorkloadSpec(family="fft", n_ptgs=3, seed=5))
+        planned = ConcurrentScheduler(EqualShareStrategy()).schedule(
+            workload, platform
+        )
+        executor = ScheduleExecutor(platform, network_factory=EstimatorNetwork)
+        report = executor.execute(workload, planned.schedule)
+        assert_replay_matches_plan(report, planned.schedule)
+
+
+class TestStreamingDifferential:
+    def test_online_schedule_replays_exactly_with_releases(self):
+        platform = heterogeneous_platform((10, 16), (2.5, 4.0), name="diff-online")
+        spec = ArrivalSpec(
+            process="poisson", rate=0.02, n_arrivals=8, seed=3,
+            family="random", max_tasks=12,
+        )
+        arrivals = generate_arrivals(spec)
+        result = OnlineConcurrentScheduler(EqualShareStrategy()).schedule(
+            arrivals, platform
+        )
+        releases = {a.ptg.name: a.time for a in arrivals}
+        executor = ScheduleExecutor(platform, network_factory=EstimatorNetwork)
+        report = executor.execute(
+            [a.ptg for a in arrivals], result.schedule, releases=releases
+        )
+        assert_replay_matches_plan(report, result.schedule)
+        # measured completions equal the engine's incremental bookkeeping
+        for name, completion in result.completion_times.items():
+            assert report.makespan(name) == pytest.approx(
+                completion, rel=REL_TOL, abs=ABS_TOL
+            )
+
+    def test_release_times_gate_the_replay(self):
+        """Without the release map, late applications would start early."""
+        platform = heterogeneous_platform((6, 8), (2.0, 3.0), name="diff-release")
+        ptgs = make_workload(
+            WorkloadSpec(family="random", n_ptgs=2, seed=9, max_tasks=10)
+        )
+        arrivals = [Arrival(ptgs[0], 0.0), Arrival(ptgs[1], 500.0)]
+        result = OnlineConcurrentScheduler(EqualShareStrategy()).schedule(
+            arrivals, platform
+        )
+        executor = ScheduleExecutor(platform, network_factory=EstimatorNetwork)
+        releases = {a.ptg.name: a.time for a in arrivals}
+        report = executor.execute(ptgs, result.schedule, releases=releases)
+        assert_replay_matches_plan(report, result.schedule)
+        late = [r for r in report.records if r.ptg_name == ptgs[1].name]
+        assert min(r.start for r in late) >= 500.0 - 1e-9
+
+
+class TestFairShareDrift:
+    def test_contention_only_delays(self):
+        """The fair-share replay never finishes a task before its plan."""
+        platform = grid5000.site("lille")
+        workload = make_workload(
+            WorkloadSpec(family="random", n_ptgs=4, seed=2, max_tasks=20)
+        )
+        planned = ConcurrentScheduler(EqualShareStrategy()).schedule(
+            workload, platform
+        )
+        report = ScheduleExecutor(platform).execute(workload, planned.schedule)
+        for record in report.records:
+            assert record.finish >= record.planned_start - 1e-9

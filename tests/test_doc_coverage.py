@@ -3,11 +3,13 @@
 The dag, allocation, constraints and mapping packages implement the
 paper's mechanisms (the PTG model and its array compilation, constrained
 allocation, the beta-distribution strategies, translation to concrete
-clusters, non-insertion placement, allocation packing), and the
-scenarios package is the public front door on top of them; every public
-class, function, method and property there must carry a docstring
-explaining what it implements.  This test enforces it so the
-documentation audit cannot rot.
+clusters, non-insertion placement, allocation packing); the scenarios
+package is the public front door on top of them; the streaming package
+is the online workload engine and ``repro.validate`` the invariant
+checker guarding every schedule.  Every public class, function, method
+and property there must carry a docstring explaining what it
+implements.  This test enforces it so the documentation audit cannot
+rot.
 """
 
 import importlib
@@ -21,6 +23,8 @@ import repro.constraints
 import repro.dag
 import repro.mapping
 import repro.scenarios
+import repro.streaming
+import repro.validate
 
 AUDITED_PACKAGES = (
     repro.dag,
@@ -28,15 +32,21 @@ AUDITED_PACKAGES = (
     repro.constraints,
     repro.mapping,
     repro.scenarios,
+    repro.streaming,
+    repro.validate,
 )
 
 
 def audited_modules():
-    """All modules of the audited packages (private helpers included)."""
+    """All modules of the audited packages (private helpers included).
+
+    Plain audited modules (no ``__path__``, e.g. ``repro.validate``)
+    contribute just themselves.
+    """
     modules = []
     for package in AUDITED_PACKAGES:
         modules.append(package)
-        for info in pkgutil.iter_modules(package.__path__):
+        for info in pkgutil.iter_modules(getattr(package, "__path__", [])):
             modules.append(importlib.import_module(f"{package.__name__}.{info.name}"))
     return modules
 

@@ -1,0 +1,155 @@
+"""Tests of the windowed / time-sliding streaming metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.metrics.windows import (
+    WindowedMetrics,
+    rolling_utilisation,
+    tenant_stall_times,
+    window_edges,
+    window_fairness,
+    windowed_metrics,
+)
+from repro.platform.builder import single_cluster_platform
+from repro.streaming.engine import Arrival, StreamSession
+
+from tests.conftest import make_chain_ptg
+
+PLATFORM = single_cluster_platform(num_processors=4, speed_gflops=2.0)
+
+
+def entry(task, procs, start, finish):
+    return ScheduledTask(
+        ptg_name="app",
+        task_id=task,
+        cluster_name=PLATFORM.cluster_names()[0],
+        processors=tuple(procs),
+        start=start,
+        finish=finish,
+    )
+
+
+class TestWindowEdges:
+    def test_covers_horizon_with_equal_windows(self):
+        edges = window_edges(10.0, 4.0)
+        assert edges.tolist() == [0.0, 4.0, 8.0, 12.0]
+
+    def test_exact_multiple_keeps_plain_grid(self):
+        assert window_edges(8.0, 4.0).tolist() == [0.0, 4.0, 8.0]
+
+    def test_zero_horizon_yields_one_window(self):
+        assert window_edges(0.0, 5.0).tolist() == [0.0, 5.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_edges(10.0, 0.0)
+
+
+class TestRollingUtilisation:
+    def test_exact_overlap_accounting(self):
+        schedule = Schedule("p")
+        # 2 processors busy over [0, 10): half the 4-processor platform
+        schedule.add(entry(0, (0, 1), 0.0, 10.0))
+        # 4 processors busy over [10, 15)
+        schedule.add(entry(1, (0, 1, 2, 3), 10.0, 15.0))
+        values = rolling_utilisation(schedule, PLATFORM, [0.0, 10.0, 20.0])
+        assert values[0] == pytest.approx(0.5)
+        assert values[1] == pytest.approx(0.5)  # 4 procs for half the window
+
+    def test_reservation_spanning_windows_split_correctly(self):
+        schedule = Schedule("p")
+        schedule.add(entry(0, (0,), 5.0, 15.0))
+        values = rolling_utilisation(schedule, PLATFORM, [0.0, 10.0, 20.0])
+        assert values[0] == pytest.approx(5.0 / 40.0)
+        assert values[1] == pytest.approx(5.0 / 40.0)
+
+    def test_empty_schedule_is_idle(self):
+        assert rolling_utilisation(Schedule("p"), PLATFORM, [0.0, 1.0]) == [0.0]
+
+    def test_degenerate_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rolling_utilisation(Schedule("p"), PLATFORM, [0.0])
+
+
+class TestWindowFairness:
+    def test_equal_proxies_are_perfectly_fair(self):
+        arrivals = {"a": 0.0, "b": 0.0}
+        starts = {"a": 5.0, "b": 5.0}
+        completions = {"a": 10.0, "b": 10.0}
+        fairness, mean_response = window_fairness(
+            arrivals, starts, completions, [0.0, 20.0]
+        )
+        assert fairness == [pytest.approx(0.0)]
+        assert mean_response == [pytest.approx(10.0)]
+
+    def test_unequal_stalls_raise_window_unfairness(self):
+        arrivals = {"a": 0.0, "b": 0.0}
+        starts = {"a": 0.0, "b": 8.0}  # b stalls 80% of its response
+        completions = {"a": 10.0, "b": 10.0}
+        fairness, _ = window_fairness(arrivals, starts, completions, [0.0, 20.0])
+        assert fairness[0] > 0.5
+
+    def test_completions_attributed_to_their_window(self):
+        arrivals = {"a": 0.0, "b": 0.0}
+        starts = {"a": 0.0, "b": 0.0}
+        completions = {"a": 5.0, "b": 15.0}
+        fairness, mean_response = window_fairness(
+            arrivals, starts, completions, [0.0, 10.0, 20.0]
+        )
+        assert mean_response == [pytest.approx(5.0), pytest.approx(15.0)]
+        assert fairness == [pytest.approx(0.0), pytest.approx(0.0)]
+
+    def test_empty_window_scores_zero(self):
+        fairness, mean_response = window_fairness({}, {}, {}, [0.0, 1.0])
+        assert fairness == [0.0] and mean_response == [0.0]
+
+
+class TestTenantStalls:
+    def test_stalls_summed_per_tenant(self):
+        arrivals = {"a": 0.0, "b": 10.0, "c": 20.0}
+        starts = {"a": 2.0, "b": 15.0, "c": 20.0}
+        tenants = {"a": "t0", "b": "t1", "c": "t0"}
+        stalls = tenant_stall_times(arrivals, starts, tenants)
+        assert stalls == {"t0": pytest.approx(2.0), "t1": pytest.approx(5.0)}
+
+    def test_unlabelled_applications_grouped_together(self):
+        stalls = tenant_stall_times({"a": 0.0}, {"a": 3.0}, {})
+        assert stalls == {"": pytest.approx(3.0)}
+
+
+class TestWindowedMetrics:
+    def _result(self):
+        session = StreamSession(PLATFORM)
+        session.feed(
+            [
+                Arrival(make_chain_ptg("a", n=3, flops=20e9), 0.0, tenant="t0"),
+                Arrival(make_chain_ptg("b", n=3, flops=20e9), 5.0, tenant="t1"),
+            ]
+        )
+        return session.result()
+
+    def test_series_are_consistent(self):
+        result = self._result()
+        metrics = windowed_metrics(result, PLATFORM, window=10.0)
+        assert metrics.n_windows == len(metrics.utilisation)
+        assert metrics.n_windows == len(metrics.fairness)
+        assert sum(metrics.arrivals) == 2
+        assert sum(metrics.completions) == 2
+        assert metrics.edges[-1] >= result.horizon() - 1e-9
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in metrics.utilisation)
+
+    def test_default_window_splits_horizon_in_twenty(self):
+        result = self._result()
+        metrics = windowed_metrics(result, PLATFORM)
+        assert metrics.window == pytest.approx(result.horizon() / 20.0)
+        assert metrics.n_windows == 20
+
+    def test_round_trips_through_json(self):
+        import json
+
+        metrics = windowed_metrics(self._result(), PLATFORM, window=7.0)
+        clone = WindowedMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert clone == metrics

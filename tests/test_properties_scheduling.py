@@ -5,11 +5,28 @@ For arbitrary workloads and constraints the pipeline must always produce
 precedence constraints, and (4) SCRAP-MAX allocations that never exceed
 the per-level power budget (when the one-processor-per-task baseline
 fits).
+
+The validator layer broadens this: random PTGs x all eight constraint
+strategies x both mappers x packing on/off must always produce schedules
+the :mod:`repro.validate` invariant checker accepts, and so must random
+online arrival streams.  Cases that once shrank to failures are checked
+in as regression fixtures (``tests/fixtures/property_regressions.json``)
+and replayed both as plain parametrized tests and as hypothesis
+``@example`` seeds.
+
+CI runs this module under a derandomized profile
+(``HYPOTHESIS_PROFILE=ci`` plus ``--hypothesis-seed=0``, see
+``tests/conftest.py``), so the examples drawn are stable across runs.
 """
 
-from hypothesis import given, settings, strategies as st
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
 
 from repro.allocation.scrap import ScrapMaxAllocator
+from repro.constraints.registry import STRATEGY_NAMES
 from repro.constraints.strategies import (
     EqualShareStrategy,
     WeightedProportionalShareStrategy,
@@ -18,10 +35,18 @@ from repro.dag.generator import RandomPTGConfig, generate_random_ptg
 from repro.mapping.base import AllocatedPTG
 from repro.mapping.ready_list import ReadyListMapper
 from repro.platform.builder import heterogeneous_platform
+from repro.scenarios.registry import MAPPERS, STRATEGIES
 from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.scheduler.online import OnlineConcurrentScheduler
 from repro.simulate.executor import ScheduleExecutor
+from repro.streaming.spec import ArrivalSpec, generate_arrivals
+from repro.validate import validate_result, validate_schedule
 
 PLATFORM = heterogeneous_platform((6, 10), (2.0, 4.0), name="prop-platform")
+
+REGRESSION_FIXTURES = json.loads(
+    (Path(__file__).parent / "fixtures" / "property_regressions.json").read_text()
+)
 
 
 def build_workload(seed, n_apps, n_tasks):
@@ -31,6 +56,16 @@ def build_workload(seed, n_apps, n_tasks):
         )
         for i in range(n_apps)
     ]
+
+
+def run_pipeline_case(seed, n_apps, n_tasks, strategy, mapper, packing):
+    """Schedule one drawn case and return (workload, result)."""
+    workload = build_workload(seed, n_apps, n_tasks)
+    scheduler = ConcurrentScheduler(
+        STRATEGIES.create(strategy),
+        mapper=MAPPERS.create(mapper, enable_packing=packing),
+    )
+    return workload, scheduler.schedule(workload, PLATFORM)
 
 
 @settings(max_examples=15, deadline=None)
@@ -106,6 +141,72 @@ def test_simulated_execution_invariants(seed, n_apps, n_tasks):
         assert record.finish >= record.planned_start - 1e-9
     # measured makespans are positive
     assert all(v > 0 for v in report.makespans().values())
+
+
+@settings(max_examples=24, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_apps=st.integers(min_value=1, max_value=3),
+    n_tasks=st.integers(min_value=2, max_value=12),
+    strategy=st.sampled_from(STRATEGY_NAMES),
+    mapper=st.sampled_from(["ready-list", "global-order"]),
+    packing=st.booleans(),
+)
+@example(seed=0, n_apps=1, n_tasks=2, strategy="S", mapper="ready-list", packing=True)
+@example(
+    seed=1187, n_apps=3, n_tasks=9, strategy="PS-width", mapper="ready-list",
+    packing=False,
+)
+@example(
+    seed=4242, n_apps=2, n_tasks=12, strategy="WPS-cp", mapper="global-order",
+    packing=True,
+)
+def test_every_pipeline_is_validator_clean(
+    seed, n_apps, n_tasks, strategy, mapper, packing
+):
+    """Any strategy x mapper x packing combination satisfies every invariant."""
+    workload, result = run_pipeline_case(
+        seed, n_apps, n_tasks, strategy, mapper, packing
+    )
+    report = validate_schedule(result.schedule, workload, PLATFORM)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+@pytest.mark.parametrize(
+    "case",
+    REGRESSION_FIXTURES,
+    ids=lambda c: f"{c['strategy']}-{c['mapper']}-seed{c['seed']}"
+                  f"{'' if c['packing'] else '-nopack'}",
+)
+def test_regression_fixtures_are_validator_clean(case):
+    """Replay of the checked-in shrunk cases, independent of hypothesis."""
+    workload, result = run_pipeline_case(
+        case["seed"], case["n_apps"], case["n_tasks"],
+        case["strategy"], case["mapper"], case["packing"],
+    )
+    report = validate_schedule(result.schedule, workload, PLATFORM)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_arrivals=st.integers(min_value=1, max_value=6),
+    rate=st.floats(min_value=0.005, max_value=0.5),
+    process=st.sampled_from(["poisson", "mmpp"]),
+)
+@example(seed=0, n_arrivals=1, rate=0.005, process="poisson")
+def test_online_streams_are_validator_clean(seed, n_arrivals, rate, process):
+    """Random arrival streams keep every invariant, release times included."""
+    spec = ArrivalSpec(
+        process=process, rate=rate, n_arrivals=n_arrivals, seed=seed,
+        family="random", max_tasks=8,
+    )
+    arrivals = generate_arrivals(spec)
+    result = OnlineConcurrentScheduler().schedule(arrivals, PLATFORM)
+    report = validate_result(result)
+    assert report.ok, [str(v) for v in report.violations]
+    assert "release" in report.checks
 
 
 @settings(max_examples=10, deadline=None)

@@ -105,6 +105,7 @@ class TestBuiltinRegistries:
 
     def test_registries_index(self):
         assert sorted(REGISTRIES) == [
-            "allocators", "families", "mappers", "platforms", "strategies",
+            "allocators", "arrivals", "families", "mappers", "platforms",
+            "strategies",
         ]
         assert REGISTRIES["allocators"] is ALLOCATORS

@@ -1,0 +1,113 @@
+"""Tests of the arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.registry import ARRIVALS
+from repro.streaming.arrivals import (
+    MMPPProcess,
+    PoissonProcess,
+    TraceProcess,
+    load_trace,
+)
+
+
+class TestPoisson:
+    def test_times_are_sorted_positive_and_reproducible(self):
+        process = PoissonProcess(rate=0.5)
+        a = process.times(200, rng=42)
+        b = process.times(200, rng=42)
+        assert np.array_equal(a, b)
+        assert (a > 0).all()
+        assert (np.diff(a) >= 0).all()
+
+    def test_rate_controls_density(self):
+        slow = PoissonProcess(rate=0.1).times(500, rng=1)
+        fast = PoissonProcess(rate=10.0).times(500, rng=1)
+        assert slow[-1] > fast[-1]
+        # mean gap approximates 1/rate
+        assert np.mean(np.diff(slow)) == pytest.approx(10.0, rel=0.25)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=1.0).times(0)
+
+
+class TestMMPP:
+    def test_times_are_sorted_and_reproducible(self):
+        process = MMPPProcess(rate=0.2, burst=8.0, dwell=50.0)
+        a = process.times(300, rng=7)
+        b = process.times(300, rng=7)
+        assert np.array_equal(a, b)
+        assert (np.diff(a) >= 0).all()
+        assert (a >= 0).all()
+
+    def test_burstier_process_has_heavier_gap_tail_mix(self):
+        """A strong burst phase yields a higher gap variance than Poisson."""
+        calm = PoissonProcess(rate=0.2).times(2000, rng=3)
+        bursty = MMPPProcess(rate=0.2, burst=20.0, dwell=100.0).times(2000, rng=3)
+        cv = lambda gaps: np.std(gaps) / np.mean(gaps)  # noqa: E731
+        assert cv(np.diff(bursty)) > cv(np.diff(calm))
+
+    def test_default_dwell_derived_from_rate(self):
+        assert MMPPProcess(rate=0.5).dwell == pytest.approx(20.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(burst=0.5)
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(dwell=0.0)
+
+
+class TestTrace:
+    def test_replays_given_instants(self):
+        process = TraceProcess([0.0, 1.0, 1.0, 5.5])
+        assert process.times(3).tolist() == [0.0, 1.0, 1.0]
+
+    def test_exhausted_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceProcess([1.0]).times(2)
+
+    def test_unsorted_or_negative_traces_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceProcess([2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            TraceProcess([-1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            TraceProcess([])
+
+
+class TestLoadTrace:
+    def test_json_and_text_formats(self, tmp_path):
+        json_file = tmp_path / "trace.json"
+        json_file.write_text("[0.0, 2.5, 7]")
+        assert load_trace(str(json_file)) == [0.0, 2.5, 7.0]
+        text_file = tmp_path / "trace.txt"
+        text_file.write_text("0.0\n# comment\n2.5\n\n7 # inline\n")
+        assert load_trace(str(text_file)) == [0.0, 2.5, 7.0]
+
+    def test_errors_are_configuration_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trace(str(tmp_path / "missing.txt"))
+        bad = tmp_path / "bad.txt"
+        bad.write_text("zero\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(str(bad))
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("[1, 2")
+        with pytest.raises(ConfigurationError):
+            load_trace(str(bad_json))
+
+
+class TestRegistry:
+    def test_processes_registered_with_uniform_kwargs(self):
+        assert ARRIVALS.names() == ["poisson", "mmpp", "trace"]
+        poisson = ARRIVALS.create("poisson", rate=2.0, burst=9.0, dwell=None, trace=None)
+        assert isinstance(poisson, PoissonProcess) and poisson.rate == 2.0
+        mmpp = ARRIVALS.create("MMPP", rate=1.0, burst=9.0, dwell=3.0, trace=None)
+        assert isinstance(mmpp, MMPPProcess) and mmpp.burst == 9.0
+        trace = ARRIVALS.create("trace", rate=1.0, burst=1.0, dwell=None, trace=(0.0, 1.0))
+        assert isinstance(trace, TraceProcess)

@@ -1,0 +1,186 @@
+"""Tests of the streaming spec layer, scenario execution and persistence."""
+
+import json
+
+import pytest
+
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError, ConfigurationError
+from repro.scenarios.run import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.streaming.run import (
+    STREAM_CHANNEL,
+    StreamOutcome,
+    StreamScenarioResult,
+    run_stream_scenario,
+    run_stream_scenarios,
+    schedule_from_rows,
+    schedule_to_rows,
+)
+from repro.streaming.spec import ArrivalSpec, generate_arrivals
+
+
+def stream_spec(**arrival_overrides) -> ScenarioSpec:
+    arrivals = {
+        "process": "poisson",
+        "rate": 0.05,
+        "n_arrivals": 5,
+        "family": "random",
+        "max_tasks": 10,
+        "tenants": 2,
+    }
+    arrivals.update(arrival_overrides)
+    return ScenarioSpec.from_dict(
+        {
+            "platform": "lille",
+            "arrivals": arrivals,
+            "strategies": ["ES"],
+        }
+    )
+
+
+class TestArrivalSpec:
+    def test_round_trips_through_json(self):
+        spec = ArrivalSpec(process="mmpp", rate=0.2, n_arrivals=7, burst=6.0, dwell=9.0)
+        clone = ArrivalSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_unknown_keys_and_processes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec.from_dict({"proces": "poisson"})
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(process="lognormal")
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(tenants=0)
+
+    def test_trace_process_requires_trace(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(process="trace")
+        spec = ArrivalSpec(process="trace", trace=(0.0, 3.0, 9.0))
+        assert spec.n_arrivals == 3  # defaults to the trace length
+
+    def test_generate_arrivals_is_deterministic_and_labelled(self):
+        spec = ArrivalSpec(rate=0.1, n_arrivals=6, tenants=3, seed=5)
+        first = generate_arrivals(spec)
+        second = generate_arrivals(spec)
+        assert [a.time for a in first] == [a.time for a in second]
+        assert [a.ptg.name for a in first] == [a.ptg.name for a in second]
+        assert [a.tenant for a in first] == [
+            "tenant-0", "tenant-1", "tenant-2", "tenant-0", "tenant-1", "tenant-2",
+        ]
+
+    def test_streaming_changes_the_scenario_hash(self):
+        streaming = stream_spec()
+        batch = ScenarioSpec.from_dict({"platform": "lille", "strategies": ["ES"]})
+        assert streaming.content_hash() != batch.content_hash()
+        assert stream_spec(seed=1).content_hash() != streaming.content_hash()
+        assert stream_spec().content_hash() == streaming.content_hash()
+
+
+class TestRunStreamScenario:
+    def test_produces_validated_outcomes(self):
+        result = run_stream_scenario(stream_spec())
+        outcome = result.outcomes["ES"]
+        assert outcome.valid is True
+        assert outcome.n_arrivals == 5
+        assert outcome.horizon > 0
+        assert 0 < outcome.utilisation <= 1
+        assert set(outcome.tenant_stall) == {"tenant-0", "tenant-1"}
+        assert outcome.windowed.n_windows >= 1
+        assert sum(outcome.windowed.completions) == 5
+        # live results carry the schedule object
+        assert len(result.results["ES"].schedule) == len(outcome.schedule_rows)
+
+    def test_batch_spec_rejected(self):
+        batch = ScenarioSpec.from_dict({"platform": "lille"})
+        with pytest.raises(ConfigurationError):
+            run_stream_scenario(batch)
+
+    def test_non_ready_list_mapper_rejected(self):
+        """The online engine always maps ready-list style; a spec naming
+        another mapper would store a bit-identical duplicate result."""
+        spec = stream_spec()
+        payload = spec.to_dict()
+        payload["pipeline"]["mapper"] = "global-order"
+        with pytest.raises(ConfigurationError, match="ready-list"):
+            run_stream_scenario(ScenarioSpec.from_dict(payload))
+
+    def test_streaming_spec_rejected_by_batch_runner(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(stream_spec())
+
+    def test_record_round_trip(self):
+        result = run_stream_scenario(stream_spec())
+        record = json.loads(json.dumps(result.to_record()))
+        clone = StreamScenarioResult.from_record(record)
+        assert clone.spec == result.spec
+        original = result.outcomes["ES"]
+        restored = clone.outcomes["ES"]
+        assert restored.completion_times == original.completion_times
+        assert restored.windowed.utilisation == original.windowed.utilisation
+        schedule = restored.schedule("lille")
+        assert len(schedule) == len(original.schedule_rows)
+
+    def test_schedule_rows_round_trip(self):
+        result = run_stream_scenario(stream_spec())
+        schedule = result.results["ES"].schedule
+        rebuilt = schedule_from_rows(schedule_to_rows(schedule), "lille")
+        assert len(rebuilt) == len(schedule)
+        for entry in schedule:
+            other = rebuilt.entry(entry.ptg_name, entry.task_id)
+            assert (entry.start, entry.finish, entry.processors) == (
+                other.start, other.finish, other.processors,
+            )
+
+    def test_outcome_without_schedule_cannot_rebuild_it(self):
+        result = run_stream_scenario(stream_spec(), keep_schedule=False)
+        outcome = result.outcomes["ES"]
+        assert outcome.schedule_rows == []
+        with pytest.raises(CampaignError):
+            outcome.schedule()
+
+
+class TestRunStreamScenarios:
+    def test_store_resume_skips_completed_scenarios(self, tmp_path):
+        spec = stream_spec()
+        messages = []
+        first = run_stream_scenarios(
+            [spec], jobs=1, store=str(tmp_path), progress=messages.append
+        )
+        store = CampaignStore(tmp_path)
+        assert len(store.payloads_by_key(STREAM_CHANNEL)) == 1
+        second = run_stream_scenarios(
+            [spec], jobs=1, store=str(tmp_path), resume=True, progress=messages.append
+        )
+        assert any("resuming" in m for m in messages)
+        assert (
+            second[0].outcomes["ES"].completion_times
+            == first[0].outcomes["ES"].completion_times
+        )
+
+    def test_populated_store_without_resume_rejected(self, tmp_path):
+        spec = stream_spec()
+        run_stream_scenarios([spec], jobs=1, store=str(tmp_path))
+        with pytest.raises(CampaignError):
+            run_stream_scenarios([spec], jobs=1, store=str(tmp_path), resume=False)
+
+    def test_duplicate_specs_run_once(self, tmp_path):
+        spec = stream_spec()
+        results = run_stream_scenarios([spec, spec], jobs=1, store=str(tmp_path))
+        assert len(results) == 2
+        assert len(CampaignStore(tmp_path).payloads_by_key(STREAM_CHANNEL)) == 1
+
+    def test_parallel_run_matches_inline(self, tmp_path):
+        specs = [stream_spec(), stream_spec(seed=1)]
+        inline = run_stream_scenarios(specs, jobs=1)
+        parallel = run_stream_scenarios(specs, jobs=2)
+        for one, two in zip(inline, parallel):
+            assert one.outcomes["ES"].completion_times == two.outcomes["ES"].completion_times
+
+    def test_batch_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_stream_scenarios([ScenarioSpec.from_dict({"platform": "lille"})])
+        with pytest.raises(ConfigurationError):
+            run_stream_scenarios([])

@@ -1,0 +1,172 @@
+"""Tests of the schedule-invariant validator."""
+
+import math
+
+import pytest
+
+from repro.constraints.strategies import EqualShareStrategy
+from repro.exceptions import MappingError
+from repro.experiments.runner import run_experiment
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.platform.builder import heterogeneous_platform
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.scheduler.online import Arrival, OnlineConcurrentScheduler
+from repro.validate import (
+    ValidationReport,
+    Violation,
+    validate_experiment_metrics,
+    validate_result,
+    validate_schedule,
+)
+
+from tests.conftest import make_chain_ptg
+
+PLATFORM = heterogeneous_platform((6, 10), (2.0, 4.0), name="validate-platform")
+
+
+def entry(ptg="app", task=0, cluster=None, procs=(0,), start=0.0, finish=1.0):
+    return ScheduledTask(
+        ptg_name=ptg,
+        task_id=task,
+        cluster_name=cluster or PLATFORM.cluster_names()[0],
+        processors=tuple(procs),
+        start=start,
+        finish=finish,
+    )
+
+
+class TestCleanSchedules:
+    def test_valid_concurrent_schedule_passes_every_check(self):
+        workload = make_workload(
+            WorkloadSpec(family="random", n_ptgs=3, seed=1, max_tasks=12)
+        )
+        result = ConcurrentScheduler(EqualShareStrategy()).schedule(
+            workload, PLATFORM
+        )
+        report = validate_schedule(result.schedule, workload, PLATFORM)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.entries_checked == len(result.schedule)
+        assert report.applications_checked == 3
+        assert set(report.checks) == {
+            "times", "overlap", "capacity", "completeness", "precedence",
+        }
+        report.raise_if_invalid()  # no-op on clean schedules
+
+    def test_online_result_validates_with_releases(self):
+        a = make_chain_ptg("a", n=3, flops=30e9)
+        b = make_chain_ptg("b", n=3, flops=30e9)
+        result = OnlineConcurrentScheduler(EqualShareStrategy()).schedule(
+            [Arrival(a, 0.0), Arrival(b, 25.0)], PLATFORM
+        )
+        report = validate_result(result)
+        assert report.ok
+        assert "release" in report.checks
+
+    def test_summary_mentions_status(self):
+        report = validate_schedule(Schedule("p"))
+        assert report.ok
+        assert "OK" in report.summary()
+
+
+class TestViolations:
+    def test_overlap_detected(self):
+        schedule = Schedule("p")
+        schedule.add(entry(task=0, procs=(0, 1), start=0.0, finish=10.0))
+        schedule.add(entry(task=1, procs=(1,), start=5.0, finish=12.0))
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert [v.kind for v in report.violations] == ["overlap"]
+        with pytest.raises(MappingError):
+            report.raise_if_invalid()
+
+    def test_shared_endpoint_is_not_an_overlap(self):
+        schedule = Schedule("p")
+        schedule.add(entry(task=0, procs=(0,), start=0.0, finish=10.0))
+        schedule.add(entry(task=1, procs=(0,), start=10.0, finish=12.0))
+        assert validate_schedule(schedule).ok
+
+    def test_nan_and_inf_times_detected(self):
+        schedule = Schedule("p")
+        schedule.add(entry(task=0, start=float("nan"), finish=float("nan")))
+        schedule.add(entry(task=1, start=1.0, finish=float("inf")))
+        report = validate_schedule(schedule)
+        kinds = [v.kind for v in report.violations]
+        assert kinds.count("times") == 2
+
+    def test_capacity_violations_detected(self):
+        schedule = Schedule("p")
+        # more processors than the 6-processor cluster has
+        schedule.add(entry(task=0, procs=tuple(range(8)), finish=1.0))
+        # unknown cluster
+        schedule.add(entry(task=1, cluster="nowhere"))
+        report = validate_schedule(schedule, platform=PLATFORM)
+        kinds = sorted(v.kind for v in report.violations)
+        assert kinds == ["capacity", "capacity", "capacity"]  # count + indices + unknown
+
+    def test_precedence_and_completeness_detected(self):
+        ptg = make_chain_ptg("chain", n=3, flops=10e9)
+        ids = ptg.task_ids()
+        schedule = Schedule("p")
+        # second task starts before the first finishes; third is missing
+        schedule.add(entry(ptg="chain", task=ids[0], start=0.0, finish=10.0))
+        schedule.add(entry(ptg="chain", task=ids[1], procs=(1,), start=5.0, finish=15.0))
+        # and one entry no submitted task matches
+        schedule.add(entry(ptg="ghost", task=99, procs=(2,)))
+        report = validate_schedule(schedule, ptgs=[ptg])
+        kinds = sorted(v.kind for v in report.violations)
+        assert "precedence" in kinds
+        assert kinds.count("completeness") >= 2  # missing task + ghost entry
+
+    def test_release_violation_detected(self):
+        schedule = Schedule("p")
+        schedule.add(entry(task=0, start=1.0, finish=2.0))
+        report = validate_schedule(schedule, releases={"app": 5.0})
+        assert [v.kind for v in report.violations] == ["release"]
+
+    def test_violation_str_is_informative(self):
+        violation = Violation("overlap", "boom", ptg_name="app", task_id=3)
+        text = str(violation)
+        assert "overlap" in text and "app" in text and "3" in text
+
+
+class TestResultDispatch:
+    def test_result_without_schedule_rejected(self):
+        with pytest.raises(MappingError):
+            validate_result(object())
+
+    def test_merge_accumulates(self):
+        first = validate_schedule(Schedule("p"))
+        second = ValidationReport()
+        second.add("times", "bad")
+        first.merge(second)
+        assert not first.ok
+
+
+class TestExperimentMetrics:
+    def _experiment(self):
+        workload = make_workload(
+            WorkloadSpec(family="random", n_ptgs=2, seed=3, max_tasks=10)
+        )
+        return run_experiment(workload, PLATFORM, [EqualShareStrategy()])
+
+    def test_stored_metrics_are_consistent(self):
+        report = validate_experiment_metrics(self._experiment())
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_tampered_slowdown_detected(self):
+        result = self._experiment()
+        outcome = result.outcomes["ES"]
+        victim = next(iter(outcome.slowdowns))
+        outcome.slowdowns[victim] *= 1.5
+        report = validate_experiment_metrics(result)
+        assert not report.ok
+        assert any(v.kind == "metrics" for v in report.violations)
+
+    def test_non_finite_makespan_detected(self):
+        result = self._experiment()
+        outcome = result.outcomes["ES"]
+        victim = next(iter(outcome.makespans))
+        outcome.makespans[victim] = math.nan
+        report = validate_experiment_metrics(result)
+        assert not report.ok

@@ -5,7 +5,8 @@ Stdlib-only checker run by CI (and by ``tests/test_docs.py``) so the
 documentation cannot silently rot:
 
 * the required pages exist (``index.md``, ``architecture.md``,
-  ``scenarios.md``, ``performance.md``, ``campaigns.md``, ``cli.md``),
+  ``scenarios.md``, ``performance.md``, ``campaigns.md``,
+  ``streaming.md``, ``testing.md``, ``cli.md``),
 * every page starts with a level-1 heading and has balanced code fences,
 * every relative markdown link resolves to an existing file, and every
   ``#anchor`` fragment matches a heading of the target page
@@ -30,6 +31,8 @@ REQUIRED_PAGES = (
     "scenarios.md",
     "performance.md",
     "campaigns.md",
+    "streaming.md",
+    "testing.md",
     "cli.md",
 )
 
