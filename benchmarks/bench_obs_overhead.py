@@ -1,0 +1,153 @@
+"""Benchmark O1 -- telemetry overhead on the pipeline-core workload.
+
+``repro.obs`` promises *zero overhead when disabled*: every hot-path
+instrumentation site either returns the shared ``NOOP_SPAN`` singleton
+or bails out on a single ``meters.active() is None`` check.  This
+benchmark quantifies that promise on the same Fig3-scale workload as
+:mod:`benchmarks.bench_pipeline_core`:
+
+1. time the optimized allocation + mapping pipeline with telemetry
+   disabled (the default state -- this is what campaigns pay),
+2. run the same pipeline once under :func:`repro.obs.capture` to count
+   every telemetry event it emits (spans, counter increments, histogram
+   observations) and to check the schedules stay **bit-identical**,
+3. time the disabled-path primitives (``trace.span`` -> ``NOOP_SPAN``,
+   ``meters.active()`` -> ``None``) in a tight loop, and
+4. gate ``events x per-event disabled cost`` at <= 3% of the disabled
+   pipeline wall time.
+
+Deriving the disabled overhead from the measured primitive cost (rather
+than differencing two noisy pipeline timings) keeps the gate stable on
+shared CI runners.  A ``BENCH_obs.json`` summary records the wall
+times, the event census and the overhead fraction.
+
+Run standalone with
+``PYTHONPATH=src python benchmarks/bench_obs_overhead.py`` or through
+pytest-benchmark with
+``PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import write_result
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_obs_overhead.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import write_result
+from benchmarks.bench_pipeline_core import (
+    _assert_identical,
+    _fig3_scale_inputs,
+    _pipeline,
+    _time_pipeline,
+)
+from repro import obs
+from repro.allocation.iterative import run_iterative_allocation
+from repro.allocation.reference import ReferenceCluster
+from repro.mapping.ready_list import ReadyListMapper
+from repro.obs import meters, trace
+
+#: Maximum tolerated disabled-mode overhead (fraction of pipeline time).
+OVERHEAD_BUDGET = 0.03
+
+#: Iterations used to time the disabled-path primitives.
+PRIMITIVE_ITERATIONS = 200_000
+
+
+def _disabled_span_cost(iterations: int = PRIMITIVE_ITERATIONS) -> float:
+    """Per-call cost of entering a disabled ``trace.span`` (seconds)."""
+    assert not trace.enabled()
+    tic = time.perf_counter()
+    for _ in range(iterations):
+        with trace.span("bench"):
+            pass
+    return (time.perf_counter() - tic) / iterations
+
+
+def _disabled_meter_cost(iterations: int = PRIMITIVE_ITERATIONS) -> float:
+    """Per-call cost of the disabled ``meters.active()`` guard (seconds)."""
+    assert meters.active() is None
+    tic = time.perf_counter()
+    for _ in range(iterations):
+        if meters.active() is not None:  # pragma: no cover - disabled
+            raise AssertionError("telemetry unexpectedly enabled")
+    return (time.perf_counter() - tic) / iterations
+
+
+def _count_events(session) -> int:
+    """Telemetry events one enabled pipeline run emits."""
+    snapshot = session.registry.snapshot()
+    counter_increments = sum(snapshot["counters"].values())
+    observations = sum(h["count"] for h in snapshot["histograms"].values())
+    gauge_sets = len(snapshot["gauges"])
+    return len(session.spans) + int(counter_increments) + observations + gauge_sets
+
+
+def run_obs_overhead():
+    """Measure disabled- and enabled-mode telemetry cost on the pipeline."""
+    platform, bundles = _fig3_scale_inputs()
+    reference = ReferenceCluster.of(platform)
+
+    assert trace.span("probe") is trace.NOOP_SPAN, (
+        "disabled trace.span must return the shared no-op singleton"
+    )
+    disabled_time, schedules = _time_pipeline(
+        run_iterative_allocation, ReadyListMapper, bundles, platform, reference
+    )
+
+    # One enabled run: census of the events, and a bit-identity check.
+    with obs.capture() as session:
+        tic = time.perf_counter()
+        traced_schedules = _pipeline(
+            run_iterative_allocation, ReadyListMapper, bundles, platform, reference
+        )
+        enabled_time = time.perf_counter() - tic
+    _assert_identical(traced_schedules, schedules)
+
+    events = _count_events(session)
+    span_cost = _disabled_span_cost()
+    meter_cost = _disabled_meter_cost()
+    # When disabled, a span site pays one NOOP_SPAN round trip and a
+    # metric site pays one ``meters.active()`` check; charging *every*
+    # counted event the meter guard overstates the cost (bulk counter
+    # increments share one guard), so this is an upper bound.
+    disabled_cost = len(session.spans) * span_cost + events * meter_cost
+    overhead_fraction = disabled_cost / disabled_time
+
+    return {
+        "platform": platform.name,
+        "bundles": len(bundles),
+        "disabled_seconds": disabled_time,
+        "enabled_seconds": enabled_time,
+        "events_per_run": events,
+        "spans_per_run": len(session.spans),
+        "disabled_span_cost_ns": span_cost * 1e9,
+        "disabled_meter_cost_ns": meter_cost * 1e9,
+        "disabled_overhead_fraction": overhead_fraction,
+        "overhead_budget": OVERHEAD_BUDGET,
+    }
+
+
+def bench_obs_overhead(benchmark):
+    """Disabled-mode telemetry overhead on the fig3-scale pipeline."""
+    summary = benchmark.pedantic(run_obs_overhead, rounds=1, iterations=1)
+    write_result("BENCH_obs.json", json.dumps(summary, indent=2))
+    assert summary["disabled_overhead_fraction"] <= OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {summary['disabled_overhead_fraction']:.2%} "
+        f"of the pipeline ({summary['events_per_run']} events at "
+        f"{summary['disabled_span_cost_ns']:.0f}ns) -- budget is "
+        f"{OVERHEAD_BUDGET:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_obs_overhead()
+    print(json.dumps(result, indent=2))
+    assert result["disabled_overhead_fraction"] <= OVERHEAD_BUDGET, (
+        f"overhead {result['disabled_overhead_fraction']:.2%} > "
+        f"{OVERHEAD_BUDGET:.0%}"
+    )

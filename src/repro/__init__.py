@@ -86,6 +86,12 @@ True
 
 from __future__ import annotations
 
+import logging as _logging
+
+# Library logging convention: the package never configures handlers for
+# its users; the CLI (and any embedding application) attaches its own.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro._version import __version__
 from repro.exceptions import (
     ReproError,
@@ -179,6 +185,8 @@ from repro.streaming import (
 )
 from repro.metrics.windows import WindowedMetrics, windowed_metrics
 from repro.validate import ValidationReport, Violation, validate_result, validate_schedule
+from repro import obs
+from repro.obs import TelemetrySpec
 
 __all__ = [
     "__version__",
@@ -276,4 +284,7 @@ __all__ = [
     "Violation",
     "validate_schedule",
     "validate_result",
+    # observability
+    "obs",
+    "TelemetrySpec",
 ]

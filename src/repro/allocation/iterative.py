@@ -49,6 +49,7 @@ from repro.allocation.reference import ReferenceCluster
 from repro.dag.graph import PTG
 from repro.dag.task import Task
 from repro.exceptions import AllocationError
+from repro.obs import meters, trace
 from repro.platform.multicluster import MultiClusterPlatform
 
 
@@ -257,40 +258,56 @@ def run_iterative_allocation(
         # reference selection key: max (marginal gain, -task id)
         return (state.gain_row(index)[procs[index] - 1], -task_ids[index])
 
-    while stats.iterations < max_iterations:
-        stats.iterations += 1
-        bl = state.bottom_levels()
-        t_cp = max(bl)
-        if t_cp <= 0.0:
-            # graph of only synthetic tasks: nothing to allocate
-            break
-        if use_balance_stop:
-            t_a = state.total_area() / effective_ref_size
-            if t_cp <= t_a:
-                stats.stopped_by_balance = True
+    # The span is coarse (one per allocate call) and the counters are
+    # derived from IterationStats after the loop, so telemetry adds no
+    # per-iteration work -- disabled or enabled.
+    with trace.span("allocation.iterate", ptg=ptg.name) as obs_span:
+        while stats.iterations < max_iterations:
+            stats.iterations += 1
+            bl = state.bottom_levels()
+            t_cp = max(bl)
+            if t_cp <= 0.0:
+                # graph of only synthetic tasks: nothing to allocate
                 break
-        path = state.critical_path(bl)
-        candidates = [index for index in path if _may_grow(index)]
-        if not candidates:
-            stats.stopped_by_saturation = True
-            break
-        best = max(candidates, key=_benefit)
-        state.increment(best)
-        if mirror is not None:
-            mirror.set_processors(task_ids[best], procs[best])
-            violated = constraint.violated(mirror, ptg.task(task_ids[best]))
-        else:
-            violated = violated_fast(best)
-        if violated:
-            state.decrement(best)
+            if use_balance_stop:
+                t_a = state.total_area() / effective_ref_size
+                if t_cp <= t_a:
+                    stats.stopped_by_balance = True
+                    break
+            path = state.critical_path(bl)
+            candidates = [index for index in path if _may_grow(index)]
+            if not candidates:
+                stats.stopped_by_saturation = True
+                break
+            best = max(candidates, key=_benefit)
+            state.increment(best)
             if mirror is not None:
                 mirror.set_processors(task_ids[best], procs[best])
-            if constraint.stop_on_violation:
-                stats.stopped_by_constraint = True
-                break
-            frozen.add(best)
-            stats.frozen_tasks += 1
-            continue
-        stats.increments += 1
+                violated = constraint.violated(mirror, ptg.task(task_ids[best]))
+            else:
+                violated = violated_fast(best)
+            if violated:
+                state.decrement(best)
+                if mirror is not None:
+                    mirror.set_processors(task_ids[best], procs[best])
+                if constraint.stop_on_violation:
+                    stats.stopped_by_constraint = True
+                    break
+                frozen.add(best)
+                stats.frozen_tasks += 1
+                continue
+            stats.increments += 1
+
+        registry = meters.active()
+        if registry is not None:
+            obs_span.annotate(
+                iterations=stats.iterations, increments=stats.increments
+            )
+            registry.counter("allocation.calls").inc()
+            registry.counter("allocation.iterations").inc(stats.iterations)
+            registry.counter("allocation.increments").inc(stats.increments)
+            registry.counter("allocation.frozen_tasks").inc(stats.frozen_tasks)
+            if stats.stopped_by_constraint:
+                registry.counter("allocation.stopped_by_constraint").inc()
 
     return state.as_allocation(), stats

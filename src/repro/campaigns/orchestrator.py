@@ -24,10 +24,11 @@ bit-identical aggregates.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.campaigns.pool import run_shards
+from repro.campaigns.pool import default_jobs, run_shards
 from repro.campaigns.shards import ExperimentShard, campaign_signature, make_shards
 from repro.campaigns.store import CampaignStore
 from repro.exceptions import CampaignError
@@ -37,6 +38,10 @@ from repro.experiments.runner import (
     ExperimentResult,
     ProgressCallback,
 )
+from repro.obs import meters
+from repro.obs.logs import get_logger
+
+_LOG = get_logger("campaigns.orchestrator")
 
 #: Version stamp of the store metadata document.
 META_FORMAT_VERSION = 1
@@ -158,7 +163,13 @@ def orchestrate(
     stats.skipped_shards = len(shards) - len(pending)
     if progress is not None and stats.skipped_shards:
         progress(f"resuming: {stats.skipped_shards}/{len(shards)} shards already done")
+    _LOG.debug(
+        "campaign: %d shard(s), %d pending, %d skipped",
+        len(shards), len(pending), stats.skipped_shards,
+    )
 
+    registry = meters.active()
+    wall_start = time.perf_counter()
     for outcome in run_shards(
         pending,
         jobs=jobs,
@@ -175,6 +186,9 @@ def orchestrate(
         stats.cache_hits += outcome.cache_hits
         stats.cache_misses += outcome.cache_misses
         stats.executed_seconds += outcome.seconds
+        if registry is not None:
+            registry.histogram("campaign.shard_seconds").observe(outcome.seconds)
+        _LOG.debug("shard done: %s (%.3fs)", outcome.label, outcome.seconds)
         results[outcome.key] = outcome.result
         if store is not None:
             store.append(
@@ -186,6 +200,20 @@ def orchestrate(
                 store.save_cache(cache)
         if progress is not None:
             progress(outcome.label)
+
+    if registry is not None and stats.executed_shards:
+        # worker utilisation: summed shard CPU seconds over the wall-clock
+        # budget of the pool (1.0 = every worker busy the whole run)
+        wall = time.perf_counter() - wall_start
+        workers = default_jobs() if jobs is None else max(1, int(jobs))
+        if wall > 0.0:
+            registry.gauge("campaign.worker_utilisation").set(
+                stats.executed_seconds / (wall * workers)
+            )
+        registry.counter("campaign.shards_executed").inc(stats.executed_shards)
+        registry.counter("campaign.shards_skipped").inc(stats.skipped_shards)
+        if stats.failed_shards:
+            registry.counter("campaign.shards_failed").inc(stats.failed_shards)
 
     if stats.failures:
         done = stats.executed_shards + stats.skipped_shards

@@ -26,9 +26,11 @@ import multiprocessing
 import os
 import time
 import traceback
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.campaigns.cache import (
     OwnMakespanCache,
     compute_own_makespans_cached,
@@ -38,6 +40,7 @@ from repro.campaigns.shards import ExperimentShard
 from repro.constraints.registry import strategy
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.workload import make_workload
+from repro.obs import trace
 from repro.scenarios.run import build_pipeline
 
 
@@ -60,6 +63,7 @@ class ShardOutcome:
     cache_hits: int = 0
     cache_misses: int = 0
     seconds: float = 0.0
+    telemetry: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -87,46 +91,59 @@ def execute_shard(
     or on another host.
     """
     start = time.perf_counter()
-    try:
-        ptgs = make_workload(shard.spec)
-        strategies = [
-            strategy(name, family=shard.spec.family, mu=shard.pipeline.mu)
-            for name in shard.strategy_names
-        ]
-        allocator, mapper = build_pipeline(shard.pipeline)
-        cache = OwnMakespanCache(cache_entries)
-        own = compute_own_makespans_cached(
-            ptgs, shard.platform, cache,
-            platform_fp=platform_fingerprint(shard.platform),
-        )
-        result = run_experiment(
-            ptgs,
-            shard.platform,
-            strategies,
-            workload_label=shard.spec.label(),
-            own_makespans=own,
-            allocator=allocator,
-            mapper=mapper,
-        )
-        return ShardOutcome(
-            key=shard.key(),
-            label=shard.label(),
-            index=shard.index,
-            result=result,
-            workload=ptgs if return_workload else None,
-            cache_entries=dict(cache.new_entries),
-            cache_hits=cache.hits,
-            cache_misses=cache.misses,
-            seconds=time.perf_counter() - start,
-        )
-    except Exception:
-        return ShardOutcome(
-            key=shard.key(),
-            label=shard.label(),
-            index=shard.index,
-            error=traceback.format_exc(),
-            seconds=time.perf_counter() - start,
-        )
+    with ExitStack() as stack:
+        # The shard starts its own telemetry session only when the caller
+        # has not installed one (inline runs under ``repro trace`` keep
+        # the CLI session so the whole run lands in a single trace).
+        session = None
+        if shard.telemetry is not None and not obs.enabled():
+            session = stack.enter_context(obs.capture(shard.telemetry))
+        try:
+            with trace.span("campaign.shard", shard=shard.label()):
+                ptgs = make_workload(shard.spec)
+                strategies = [
+                    strategy(name, family=shard.spec.family, mu=shard.pipeline.mu)
+                    for name in shard.strategy_names
+                ]
+                allocator, mapper = build_pipeline(shard.pipeline)
+                cache = OwnMakespanCache(cache_entries)
+                own = compute_own_makespans_cached(
+                    ptgs, shard.platform, cache,
+                    platform_fp=platform_fingerprint(shard.platform),
+                )
+                result = run_experiment(
+                    ptgs,
+                    shard.platform,
+                    strategies,
+                    workload_label=shard.spec.label(),
+                    own_makespans=own,
+                    allocator=allocator,
+                    mapper=mapper,
+                )
+            return ShardOutcome(
+                key=shard.key(),
+                label=shard.label(),
+                index=shard.index,
+                result=result,
+                workload=ptgs if return_workload else None,
+                cache_entries=dict(cache.new_entries),
+                cache_hits=cache.hits,
+                cache_misses=cache.misses,
+                seconds=time.perf_counter() - start,
+                telemetry=(
+                    session.summary(labels={"shard": shard.label(), "key": shard.key()})
+                    if session is not None
+                    else None
+                ),
+            )
+        except Exception:
+            return ShardOutcome(
+                key=shard.key(),
+                label=shard.label(),
+                index=shard.index,
+                error=traceback.format_exc(),
+                seconds=time.perf_counter() - start,
+            )
 
 
 #: Per-worker state installed by :func:`_init_worker`.  The cache

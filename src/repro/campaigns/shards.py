@@ -25,11 +25,12 @@ result aggregation identical between the serial and parallel paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaigns.cache import content_digest, platform_fingerprint
 from repro.experiments.runner import CampaignConfig
 from repro.experiments.workload import WorkloadSpec, paper_workload_specs
+from repro.obs.config import TelemetrySpec
 from repro.platform.multicluster import MultiClusterPlatform
 from repro.scenarios.registry import PLATFORMS
 from repro.scenarios.spec import (
@@ -67,6 +68,10 @@ class ExperimentShard:
     pipeline:
         The pipeline (allocator / mapper / packing / mu, all by registry
         name); the worker rebuilds the component instances.
+    telemetry:
+        Optional :class:`~repro.obs.config.TelemetrySpec`; when set, the
+        worker captures telemetry around the shard and ships the summary
+        back in its :class:`~repro.campaigns.pool.ShardOutcome`.
     """
 
     index: int
@@ -74,6 +79,7 @@ class ExperimentShard:
     platform: MultiClusterPlatform
     strategy_names: Tuple[str, ...]
     pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    telemetry: Optional[TelemetrySpec] = None
 
     def label(self) -> str:
         """Readable identifier used in progress reports and logs.
@@ -100,6 +106,7 @@ class ExperimentShard:
             platform_fp=platform_fingerprint(self.platform),
             strategy_names=self.strategy_names,
             pipeline=self.pipeline,
+            telemetry=self.telemetry,
         )
 
     def key(self) -> str:
@@ -138,6 +145,7 @@ class ExperimentShard:
             platform=PLATFORMS.create(scenario.platform),
             strategy_names=scenario.resolved_strategy_names(),
             pipeline=scenario.pipeline,
+            telemetry=scenario.telemetry,
         )
 
 

@@ -21,7 +21,12 @@ Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
   subsystem (parallel workers, persistent result store, resume),
 * ``schedule`` -- schedule one generated workload with one strategy and
   print the per-application makespans and fairness metrics,
-* ``generate`` -- generate a PTG and print it as JSON or DOT.
+* ``generate`` -- generate a PTG and print it as JSON or DOT,
+* ``trace``    -- run scenario spec(s) in-process under telemetry and
+  write a Chrome/Perfetto trace (open it in https://ui.perfetto.dev),
+* ``metrics``  -- fold the telemetry summaries stored in a campaign /
+  scenario store back together and print the per-phase span table and
+  the histogram quantiles (p50/p99 admission latency etc).
 
 All stochastic commands take ``--seed`` so results are reproducible.
 The campaign-style commands (``fig3``/``fig4``/``fig5``/``campaign``)
@@ -29,9 +34,14 @@ accept ``--jobs`` (worker processes), ``--store`` (result directory) and
 ``--resume`` (continue an interrupted store); parallel and resumed runs
 reproduce the serial aggregates exactly.
 
+Progress output goes through the stdlib :mod:`logging` tree under the
+``repro`` root logger: the global ``-q`` flag silences it (WARNING), the
+global ``-v`` flag adds the library's debug lines (DEBUG).
+
 The global ``--profile`` flag wraps any subcommand in :mod:`cProfile`
-and prints the 25 most expensive entries by cumulative time to stderr,
-so new hot spots can be located without editing code
+(through :mod:`repro.obs.profile`) and prints the 25 most expensive
+entries by cumulative time to stderr, so new hot spots can be located
+without editing code
 (``repro-ptg --profile fig3 --workloads 1 --max-tasks 20``).
 """
 
@@ -55,6 +65,7 @@ from repro.experiments.reporting import render_figure, render_mu_sweep
 from repro.experiments.runner import run_experiment
 from repro.experiments.tables import table1_text
 from repro.experiments.workload import APPLICATION_FAMILIES, WorkloadSpec, make_workload
+from repro.obs.logs import configure_cli_logging, progress_logger, remove_cli_logging
 from repro.platform import grid5000
 from repro.utils.tables import format_table
 
@@ -161,9 +172,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         max_tasks=args.max_tasks,
     )
-    progress = None
-    if not args.quiet:
-        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    progress = progress_logger()  # '-q' raises the log level above it
     run = orchestrate(
         config,
         store=args.store,
@@ -245,32 +254,38 @@ def _apply_set_override(payload: Dict, dotted_key: str, value) -> None:
     target[parts[-1]] = value
 
 
+def _load_spec_documents(
+    spec_path: Optional[str], overrides: Sequence[str]
+) -> List[Dict]:
+    """Load scenario document(s) from a JSON file and apply ``--set`` overrides."""
+    if spec_path is not None:
+        try:
+            with open(spec_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read scenario file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{spec_path} is not valid JSON: {exc}")
+    else:
+        payload = {}  # the default scenario, customised via --set
+    documents = payload if isinstance(payload, list) else [payload]
+    for override in overrides or ():
+        key, value = _parse_set_override(override)
+        for document in documents:
+            _apply_set_override(document, key, value)
+    return documents
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenarios.run import run_scenarios
     from repro.scenarios.spec import load_specs
 
     if args.resume and not args.store:
         raise ConfigurationError("--resume requires --store")
-    if args.spec is not None:
-        try:
-            with open(args.spec, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except OSError as exc:
-            raise ConfigurationError(f"cannot read scenario file: {exc}")
-        except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"{args.spec} is not valid JSON: {exc}")
-    else:
-        payload = {}  # the default scenario, customised via --set
-    documents = payload if isinstance(payload, list) else [payload]
-    for override in args.set or ():
-        key, value = _parse_set_override(override)
-        for document in documents:
-            _apply_set_override(document, key, value)
+    documents = _load_spec_documents(args.spec, args.set)
     specs = load_specs(documents)
 
-    progress = None
-    if not args.quiet:
-        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    progress = progress_logger()  # '-q' raises the log level above it
 
     # streaming specs (an arrivals section) run on the streaming engine,
     # batch specs on the classic harness; a file may mix both.
@@ -438,9 +453,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         strategies=[args.strategy],
         arrivals=arrivals,
     )
-    progress = None
-    if not args.quiet:
-        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    progress = progress_logger()  # '-q' raises the log level above it
     results = run_stream_scenarios(
         [spec],
         jobs=1,
@@ -562,6 +575,126 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.scenarios.run import run_scenario
+    from repro.scenarios.spec import load_specs
+    from repro.streaming.run import run_stream_scenario
+
+    documents = _load_spec_documents(args.spec, args.set)
+    specs = load_specs(documents)
+    telemetry = obs.TelemetrySpec(profile=args.profile_spans)
+    # One session for the whole command: the scenario runners see the
+    # installed session and do not start their own, so every span of
+    # every spec lands in one trace (always in-process, jobs=1).
+    with obs.capture(telemetry) as session:
+        for spec in specs:
+            if spec.is_streaming:
+                run_stream_scenario(spec, validate=False, keep_schedule=False)
+            else:
+                run_scenario(spec)
+    obs.write_chrome_trace(args.output, session.spans)
+    if args.summary is not None:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            json.dump(session.summary(), handle, indent=1)
+            handle.write("\n")
+    rows = [
+        [name, entry["count"], f"{entry['total']:.4f}", f"{entry['mean']:.4f}",
+         f"{entry['max']:.4f}"]
+        for name, entry in obs.aggregate_spans(session.spans).items()
+    ]
+    print(
+        format_table(
+            ["span", "count", "total (s)", "mean (s)", "max (s)"],
+            rows,
+            title=f"{len(session.spans)} span(s) from {len(specs)} spec(s)",
+        )
+    )
+    for name, report in (session.tracer.profiles if session.tracer else {}).items():
+        print(f"\nprofile of {name}:\n{report}", file=sys.stderr)
+    print(f"\nwrote {args.output} (load it in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.campaigns.store import CampaignStore
+    from repro.obs.export import (
+        TELEMETRY_CHANNEL,
+        aggregate_spans,
+        merge_metrics,
+        prometheus_text,
+        summary_spans,
+    )
+    from repro.obs.meters import Histogram
+
+    store = CampaignStore(args.store)
+    summaries = [payload for _, payload in store.iter_payloads(TELEMETRY_CHANNEL)]
+    if not summaries:
+        print(
+            f"error: no telemetry summaries in {store.root}; run the store "
+            f"with specs that set \"telemetry\" (e.g. --set telemetry=true)",
+            file=sys.stderr,
+        )
+        return 2
+    merged = merge_metrics(s.get("metrics", {}) for s in summaries)
+    spans = [span for s in summaries for span in summary_spans(s)]
+
+    if args.format == "prometheus":
+        print(prometheus_text(merged), end="")
+        return 0
+    if args.format == "json":
+        document = dict(merged)
+        document["spans"] = aggregate_spans(spans)
+        document["summaries"] = len(summaries)
+        print(json.dumps(document, indent=2))
+        return 0
+
+    if spans:
+        rows = [
+            [name, entry["count"], f"{entry['total']:.4f}", f"{entry['mean']:.4f}",
+             f"{entry['max']:.4f}"]
+            for name, entry in aggregate_spans(spans).items()
+        ]
+        print(
+            format_table(
+                ["span", "count", "total (s)", "mean (s)", "max (s)"],
+                rows,
+                title=f"per-phase spans ({len(summaries)} summaries)",
+            )
+        )
+        print()
+    if merged["histograms"]:
+        rows = []
+        for name, payload in merged["histograms"].items():
+            histogram = Histogram.from_dict(payload)
+            rows.append(
+                [
+                    name,
+                    histogram.count,
+                    f"{histogram.mean:.6g}",
+                    f"{histogram.quantile(0.5):.6g}",
+                    f"{histogram.quantile(0.99):.6g}",
+                    f"{histogram.max if histogram.count else 0.0:.6g}",
+                ]
+            )
+        print(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p99", "max"],
+                rows,
+                title="histograms",
+            )
+        )
+        print()
+    rows = [[name, f"{value:g}"] for name, value in merged["counters"].items()]
+    rows += [
+        [f"{name} (max)", f"{payload['max']:g}"]
+        for name, payload in merged["gauges"].items()
+    ]
+    if rows:
+        print(format_table(["meter", "value"], rows, title="counters and gauges"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for the tests)."""
     parser = argparse.ArgumentParser(
@@ -576,6 +709,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="run the subcommand under cProfile and print the top 25 "
              "cumulative entries to stderr",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable the library's debug log lines (repro.* loggers)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress output (log level WARNING)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -598,7 +739,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=["text", "json"],
         help="output format of the per-scenario outcome summaries",
     )
-    run.add_argument("--quiet", action="store_true", help="suppress progress output")
+    # default=SUPPRESS: the subparser must not clobber the global -q
+    # (subparsers copy their whole namespace back over the parent's)
+    run.add_argument(
+        "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress progress output",
+    )
     _add_parallel_arguments(run)
 
     stream = sub.add_parser(
@@ -660,7 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=["text", "json"],
         help="output format of the stream summary",
     )
-    stream.add_argument("--quiet", action="store_true", help="suppress progress output")
+    stream.add_argument(
+        "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress progress output",
+    )
     _add_parallel_arguments(stream)
 
     val = sub.add_parser(
@@ -711,7 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--family", default="random", choices=list(APPLICATION_FAMILIES)
     )
-    camp.add_argument("--quiet", action="store_true", help="suppress progress output")
+    camp.add_argument(
+        "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress progress output",
+    )
     _add_scale_arguments(camp)
     _add_parallel_arguments(camp)
 
@@ -730,30 +882,68 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--format", default="json", choices=["json", "dot"])
 
+    trc = sub.add_parser(
+        "trace",
+        help="run scenario spec(s) under telemetry and write a Chrome/Perfetto trace",
+    )
+    trc.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json",
+        help="JSON file holding one scenario spec or a list of specs "
+             "(omitted: the default scenario, customised via --set)",
+    )
+    trc.add_argument(
+        "-o", "--output", default="trace.json", metavar="FILE",
+        help="Chrome trace output file (default: trace.json)",
+    )
+    trc.add_argument(
+        "--summary", default=None, metavar="FILE",
+        help="also write the full telemetry summary (spans + metrics) as JSON",
+    )
+    trc.add_argument(
+        "--profile-spans", action="store_true",
+        help="run each root span under cProfile and print the reports to stderr",
+    )
+    trc.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field by dotted path, applied to every spec",
+    )
+
+    met = sub.add_parser(
+        "metrics",
+        help="report the telemetry summaries stored in a campaign/scenario store",
+    )
+    met.add_argument(
+        "store", metavar="DIR",
+        help="store directory holding telemetry summaries (specs run with "
+             "\"telemetry\" set)",
+    )
+    met.add_argument(
+        "--format", default="text", choices=["text", "json", "prometheus"],
+        help="output format of the aggregated metrics",
+    )
+
     return parser
 
 
-#: Number of profile entries ``--profile`` reports.
-PROFILE_TOP_ENTRIES = 25
+#: Number of profile entries ``--profile`` reports (re-exported from
+#: :mod:`repro.obs.profile`, which owns the profiling machinery).
+from repro.obs.profile import PROFILE_TOP_ENTRIES  # noqa: E402
 
 
 def _profiled(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     """Dispatch under :mod:`cProfile`, reporting the top cumulative entries."""
-    import cProfile
-    import pstats
+    from repro.obs.profile import profile_call
 
-    profiler = cProfile.Profile()
-    try:
-        return profiler.runcall(_dispatch, parser, args)
-    finally:
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(PROFILE_TOP_ENTRIES)
+    code, report = profile_call(_dispatch, parser, args)
+    print(report, file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-ptg`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    handler = configure_cli_logging(verbose=args.verbose, quiet=args.quiet)
     try:
         if args.profile:
             return _profiled(parser, args)
@@ -761,6 +951,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        remove_cli_logging(handler)
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -784,6 +976,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_schedule(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

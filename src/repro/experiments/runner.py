@@ -36,6 +36,7 @@ from repro.experiments.workload import (
 )
 from repro.metrics.fairness import slowdowns, unfairness
 from repro.metrics.makespan import average_relative_makespan
+from repro.obs import trace
 from repro.platform.grid5000 import all_sites
 from repro.platform.multicluster import MultiClusterPlatform
 from repro.scheduler.concurrent import ConcurrentScheduler
@@ -89,10 +90,11 @@ def compute_own_makespans(
     scheduler = single_scheduler or SinglePTGScheduler()
     executor = ScheduleExecutor(platform)
     own: Dict[str, float] = {}
-    for ptg in ptgs:
-        result = scheduler.schedule(ptg, platform)
-        report = executor.execute([ptg], result.schedule)
-        own[ptg.name] = report.makespan(ptg.name)
+    with trace.span("experiment.own_makespans", apps=str(len(ptgs))):
+        for ptg in ptgs:
+            result = scheduler.schedule(ptg, platform)
+            report = executor.execute([ptg], result.schedule)
+            own[ptg.name] = report.makespan(ptg.name)
     return own
 
 
@@ -127,8 +129,11 @@ def run_experiment(
     )
     for strat in strategies:
         scheduler = ConcurrentScheduler(strategy=strat, allocator=allocator, mapper=mapper)
-        planned = scheduler.schedule(ptgs, platform)
-        report = executor.execute(ptgs, planned.schedule)
+        with trace.span(
+            "experiment.strategy", strategy=strat.name, apps=str(len(ptgs))
+        ):
+            planned = scheduler.schedule(ptgs, platform)
+            report = executor.execute(ptgs, planned.schedule)
         multi = report.makespans()
         sd = slowdowns(own, multi)
         result.outcomes[strat.name] = StrategyOutcome(

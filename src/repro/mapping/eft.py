@@ -42,6 +42,7 @@ from repro.exceptions import MappingError
 from repro.mapping.comm import CommunicationEstimator
 from repro.mapping.schedule import Schedule, ScheduledTask
 from repro.mapping.timeline import PlatformTimeline
+from repro.obs import meters
 from repro.platform.multicluster import MultiClusterPlatform
 
 
@@ -265,6 +266,17 @@ class PlacementEngine:
             )
         if best_decision.packed:
             self.packed_tasks += 1
+        registry = meters.active()
+        if registry is not None:
+            registry.counter("mapping.placements").inc()
+            if best_decision.packed:
+                registry.counter("mapping.packed").inc()
+            if best_decision.was_reduced:
+                registry.histogram(
+                    "mapping.packing_reduction", edges=meters.DEFAULT_COUNT_EDGES
+                ).observe(
+                    best_decision.original_processors - best_decision.processors
+                )
         entry = ScheduledTask(
             ptg_name=ptg_name,
             task_id=task.task_id,

@@ -37,6 +37,7 @@ from repro.exceptions import MappingError
 from repro.mapping.base import AllocatedPTG, Mapper
 from repro.mapping.eft import PlacementEngine
 from repro.mapping.schedule import Schedule
+from repro.obs import meters, trace
 from repro.platform.multicluster import MultiClusterPlatform
 
 
@@ -90,56 +91,72 @@ class ReadyListMapper(Mapper):
 
         total_tasks = sum(app.ptg.n_tasks for app in apps.values())
 
-        while ready or events:
-            # 1. place every currently ready task, highest bottom level
-            #    first (releases only happen in step 3, so the heap is
-            #    drained snapshot-free)
-            while ready:
-                _, name, task_id, ready_since = heapq.heappop(ready)
-                if (name, task_id) in placed:  # lazy invalidation
-                    continue  # pragma: no cover - entries are pushed once
-                app = apps[name]
-                task = app.ptg.task(task_id)
-                predecessors = [
-                    (pred, app.ptg.edge_data(pred, task_id))
-                    for pred in app.ptg.predecessors(task_id)
-                ]
-                entry = engine.place(
-                    ptg_name=name,
-                    task=task,
-                    allocation=app.allocation,
-                    predecessors=predecessors,
-                    schedule=schedule,
-                    not_before=max(ready_since, current_time),
-                )
-                placed.add((name, task_id))
-                heapq.heappush(events, (entry.finish, name, task_id))
+        # one coarse span per map call plus a candidate-set histogram per
+        # event; the disabled path costs one None check per event
+        registry = meters.active()
+        events_seen = 0
+        with trace.span("mapping.map", apps=str(len(apps))) as obs_span:
+            while ready or events:
+                events_seen += 1
+                placed_before = len(placed)
+                # 1. place every currently ready task, highest bottom level
+                #    first (releases only happen in step 3, so the heap is
+                #    drained snapshot-free)
+                while ready:
+                    _, name, task_id, ready_since = heapq.heappop(ready)
+                    if (name, task_id) in placed:  # lazy invalidation
+                        continue  # pragma: no cover - entries are pushed once
+                    app = apps[name]
+                    task = app.ptg.task(task_id)
+                    predecessors = [
+                        (pred, app.ptg.edge_data(pred, task_id))
+                        for pred in app.ptg.predecessors(task_id)
+                    ]
+                    entry = engine.place(
+                        ptg_name=name,
+                        task=task,
+                        allocation=app.allocation,
+                        predecessors=predecessors,
+                        schedule=schedule,
+                        not_before=max(ready_since, current_time),
+                    )
+                    placed.add((name, task_id))
+                    heapq.heappush(events, (entry.finish, name, task_id))
 
-            # 2. advance the clock to the next completion
-            if not events:
-                break
-            completions: List[Tuple[str, int]] = []
-            finish, name, task_id = heapq.heappop(events)
-            current_time = finish
-            completions.append((name, task_id))
-            # drain other completions at the same instant so their
-            # successors are released together
-            while events and abs(events[0][0] - current_time) <= 1e-12:
-                _, other_name, other_id = heapq.heappop(events)
-                completions.append((other_name, other_id))
+                if registry is not None:
+                    registry.histogram(
+                        "mapping.ready_candidates", edges=meters.DEFAULT_COUNT_EDGES
+                    ).observe(len(placed) - placed_before)
 
-            # 3. release newly ready tasks by decrementing the
-            #    predecessor counters of the completed tasks' successors
-            for done_name, done_id in completions:
-                app = apps[done_name]
-                levels = bottom_levels[done_name]
-                for succ in app.ptg.successors(done_id):
-                    key = (done_name, succ)
-                    remaining_preds[key] -= 1
-                    if remaining_preds[key] == 0:
-                        heapq.heappush(
-                            ready, (-levels[succ], done_name, succ, current_time)
-                        )
+                # 2. advance the clock to the next completion
+                if not events:
+                    break
+                completions: List[Tuple[str, int]] = []
+                finish, name, task_id = heapq.heappop(events)
+                current_time = finish
+                completions.append((name, task_id))
+                # drain other completions at the same instant so their
+                # successors are released together
+                while events and abs(events[0][0] - current_time) <= 1e-12:
+                    _, other_name, other_id = heapq.heappop(events)
+                    completions.append((other_name, other_id))
+
+                # 3. release newly ready tasks by decrementing the
+                #    predecessor counters of the completed tasks' successors
+                for done_name, done_id in completions:
+                    app = apps[done_name]
+                    levels = bottom_levels[done_name]
+                    for succ in app.ptg.successors(done_id):
+                        key = (done_name, succ)
+                        remaining_preds[key] -= 1
+                        if remaining_preds[key] == 0:
+                            heapq.heappush(
+                                ready, (-levels[succ], done_name, succ, current_time)
+                            )
+
+            if registry is not None:
+                obs_span.annotate(events=events_seen, tasks=total_tasks)
+                registry.counter("mapping.events").inc(events_seen)
 
         if len(schedule) != total_tasks:
             raise MappingError(

@@ -1,0 +1,201 @@
+"""Observability for the scheduling pipeline: tracing, metrics, profiling.
+
+``repro.obs`` is a self-contained subsystem (it imports nothing from the
+scheduling packages, so every layer can import it freely):
+
+* :mod:`repro.obs.trace` -- hierarchical spans with monotonic timing,
+* :mod:`repro.obs.meters` -- counters, gauges, fixed-bucket histograms,
+* :mod:`repro.obs.export` -- Chrome-trace JSON, Prometheus text, JSON
+  summaries (persisted through the campaign store's generic channels),
+* :mod:`repro.obs.profile` -- opt-in :mod:`cProfile` capture,
+* :mod:`repro.obs.logs` -- stdlib :mod:`logging` wiring,
+* :mod:`repro.obs.config` -- the serialisable :class:`TelemetrySpec`.
+
+Telemetry is **off by default** and strictly observational: enabling it
+never changes a schedule (``tests/test_obs_equivalence.py`` asserts
+bit-identical results) and the disabled instrumentation path is a single
+global read (gated at <= 3 % pipeline overhead by
+``benchmarks/bench_obs_overhead.py``).
+
+The session API is this module::
+
+    from repro import obs
+
+    with obs.capture() as telemetry:
+        run_scenario(spec)
+    summary = telemetry.summary()
+
+:func:`capture` installs a :class:`Telemetry` session (a tracer and a
+metrics registry) into the module-level slots the instrumentation sites
+poll, and restores the previous state on exit -- captures nest, and
+worker processes simply start their own.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.obs import export, meters, trace
+from repro.obs.config import TelemetrySpec
+from repro.obs.export import (
+    TELEMETRY_CHANNEL,
+    aggregate_spans,
+    chrome_trace,
+    merge_metrics,
+    prometheus_text,
+    telemetry_summary,
+    write_chrome_trace,
+)
+from repro.obs.logs import configure_cli_logging, get_logger, progress_logger
+from repro.obs.meters import (
+    DEFAULT_LATENCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import PROFILE_TOP_ENTRIES, profile_call
+from repro.obs.trace import NOOP_SPAN, SpanRecord, Tracer, span
+
+__all__ = [
+    "TELEMETRY_CHANNEL",
+    "NOOP_SPAN",
+    "PROFILE_TOP_ENTRIES",
+    "DEFAULT_LATENCY_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetrySpec",
+    "Tracer",
+    "aggregate_spans",
+    "capture",
+    "chrome_trace",
+    "configure_cli_logging",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "merge_metrics",
+    "profile_call",
+    "progress_logger",
+    "prometheus_text",
+    "span",
+    "telemetry_summary",
+    "write_chrome_trace",
+]
+
+
+class Telemetry:
+    """One capture session: a tracer and/or a metrics registry.
+
+    Built by :func:`enable` / :func:`capture` from a
+    :class:`TelemetrySpec`; holds whatever collectors the spec selected
+    and renders them into the export formats once the session ends.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[TelemetrySpec] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else TelemetrySpec()
+        profiler_factory = None
+        if self.spec.profile:
+            from repro.obs.profile import start_profiler
+
+            profiler_factory = start_profiler
+        self.tracer: Optional[Tracer] = None
+        if self.spec.spans or self.spec.profile:
+            self.tracer = Tracer(clock=clock, profiler_factory=profiler_factory)
+        self.registry: Optional[MetricsRegistry] = None
+        if self.spec.metrics:
+            self.registry = MetricsRegistry()
+
+    @property
+    def spans(self):
+        """Completed spans of the session (empty without a tracer)."""
+        return self.tracer.spans if self.tracer is not None else []
+
+    def summary(self, labels: Optional[Dict[str, str]] = None) -> Dict:
+        """The session as a plain-JSON telemetry summary document."""
+        return telemetry_summary(
+            self.spans,
+            snapshot=self.registry.snapshot() if self.registry else None,
+            profiles=self.tracer.profiles if self.tracer else None,
+            labels=labels,
+        )
+
+    def chrome_trace(self) -> Dict:
+        """The session's spans as a Chrome/Perfetto trace document."""
+        return chrome_trace(self.spans)
+
+
+#: The installed session, or ``None`` while telemetry is disabled.
+_SESSION: Optional[Telemetry] = None
+
+
+def current() -> Optional[Telemetry]:
+    """The installed session, or ``None`` while telemetry is disabled."""
+    return _SESSION
+
+
+def enabled() -> bool:
+    """True while a telemetry session is installed."""
+    return _SESSION is not None
+
+
+def enable(
+    spec: Optional[TelemetrySpec] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Telemetry:
+    """Install a new telemetry session (pair with :func:`disable`).
+
+    The session's tracer and registry land in the module-level slots the
+    instrumentation sites poll (:func:`repro.obs.trace.span`,
+    :func:`repro.obs.meters.active`); any previously installed session
+    is replaced.  Prefer the :func:`capture` context manager, which
+    restores the previous state automatically.
+    """
+    global _SESSION
+    session = Telemetry(spec, clock=clock)
+    _SESSION = session
+    trace._activate(session.tracer)
+    meters._activate(session.registry)
+    return session
+
+
+def disable() -> None:
+    """Remove the installed telemetry session (instrumentation goes no-op)."""
+    global _SESSION
+    _SESSION = None
+    trace._activate(None)
+    meters._activate(None)
+
+
+@contextmanager
+def capture(
+    spec: Optional[TelemetrySpec] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Iterator[Telemetry]:
+    """Context manager: enable telemetry, yield the session, restore.
+
+    The previous session (usually none) is reinstated on exit, so
+    captures nest and an exception cannot leave telemetry enabled.
+    """
+    global _SESSION
+    previous = _SESSION
+    session = enable(spec, clock=clock)
+    try:
+        yield session
+    finally:
+        if previous is None:
+            disable()
+        else:
+            _SESSION = previous
+            trace._activate(previous.tracer)
+            meters._activate(previous.registry)

@@ -1,0 +1,216 @@
+"""Telemetry exporters: Chrome trace JSON, Prometheus text, JSON summaries.
+
+Three output formats for one capture:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome/
+  Perfetto ``traceEvents`` JSON format (complete ``"ph": "X"`` events
+  with microsecond timestamps), loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev to inspect the span hierarchy visually,
+* :func:`prometheus_text` -- the Prometheus text exposition format
+  (dotted meter names sanitised to underscores, histograms as
+  cumulative ``_bucket`` series),
+* :func:`telemetry_summary` -- a plain-JSON document combining spans,
+  metrics and profiles; campaign shards persist it through the PR 5
+  generic store channels (channel :data:`TELEMETRY_CHANNEL`) and
+  ``repro-ptg metrics`` folds the per-shard documents back together
+  with :func:`merge_metrics` / :func:`aggregate_spans`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.meters import Histogram
+from repro.obs.trace import SpanRecord
+
+#: Store channel (``CampaignStore.append_payload``) telemetry summaries
+#: are persisted under, next to the PR 5 ``"stream"`` channel.
+TELEMETRY_CHANNEL = "telemetry"
+
+#: Format version stamped into every telemetry summary document.
+SUMMARY_VERSION = 1
+
+
+def chrome_trace(
+    spans: Sequence[SpanRecord], process_name: str = "repro"
+) -> Dict:
+    """Chrome/Perfetto ``traceEvents`` document of completed spans.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the trace viewer shows the pipeline starting at t=0 regardless of
+    the monotonic clock's origin.
+    """
+    origin = min((span.start for span in spans), default=0.0)
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        event = {
+            "name": span.name,
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+        }
+        if span.labels:
+            event["args"] = dict(span.labels)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence[SpanRecord], process_name: str = "repro"
+) -> None:
+    """Write :func:`chrome_trace` output to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, process_name=process_name), handle, indent=1)
+        handle.write("\n")
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitise a dotted meter name to a Prometheus metric name."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(snapshot: Dict, prefix: str = "repro") -> str:
+    """Prometheus text exposition of a registry snapshot.
+
+    *snapshot* is :meth:`repro.obs.meters.MetricsRegistry.snapshot`
+    output (or the ``"metrics"`` section of a telemetry summary).
+    Counters become ``<prefix>_<name>_total``, gauges plain gauges and
+    histograms cumulative ``_bucket`` / ``_sum`` / ``_count`` series.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}_{_prometheus_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, payload in snapshot.get("gauges", {}).items():
+        metric = f"{prefix}_{_prometheus_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {payload['value']}")
+        lines.append(f"{metric}_max {payload['max']}")
+    for name, payload in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}_{_prometheus_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(payload["edges"], payload["bucket_counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{edge}"}} {cumulative}')
+        cumulative += payload.get("overflow", 0)
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {payload['sum']}")
+        lines.append(f"{metric}_count {payload['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_summary(
+    spans: Sequence[SpanRecord],
+    snapshot: Optional[Dict] = None,
+    profiles: Optional[Dict[str, str]] = None,
+    labels: Optional[Dict[str, str]] = None,
+) -> Dict:
+    """Plain-JSON telemetry document of one capture.
+
+    This is the payload persisted to the :data:`TELEMETRY_CHANNEL` store
+    channel by instrumented shard/stream runs and written by
+    ``repro-ptg trace --summary``; :func:`merge_metrics` and
+    :func:`aggregate_spans` consume lists of these documents.
+    """
+    return {
+        "version": SUMMARY_VERSION,
+        "labels": dict(labels or {}),
+        "spans": [
+            {
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "depth": span.depth,
+                "parent": span.parent,
+                "index": span.index,
+                "labels": dict(span.labels),
+            }
+            for span in spans
+        ],
+        "metrics": dict(snapshot or {}),
+        "profiles": dict(profiles or {}),
+    }
+
+
+def summary_spans(summary: Dict) -> List[SpanRecord]:
+    """Rebuild :class:`SpanRecord` objects from a telemetry summary."""
+    return [
+        SpanRecord(
+            name=payload["name"],
+            start=payload["start"],
+            end=payload["end"],
+            depth=payload["depth"],
+            parent=payload["parent"],
+            index=payload["index"],
+            labels=dict(payload.get("labels", {})),
+        )
+        for payload in summary.get("spans", [])
+    ]
+
+
+def merge_metrics(snapshots: Iterable[Dict]) -> Dict:
+    """Fold registry snapshots together (counters sum, histograms merge).
+
+    Gauges keep the maximum observed value -- last-value semantics are
+    meaningless across shards, but "most concurrent applications seen
+    anywhere" is the question the gauge answers in aggregate.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict] = {}
+    histograms: Dict[str, Histogram] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, payload in snapshot.get("gauges", {}).items():
+            merged = gauges.setdefault(name, {"value": 0.0, "max": 0.0})
+            merged["value"] = max(merged["value"], payload["value"])
+            merged["max"] = max(merged["max"], payload["max"])
+        for name, payload in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(payload)
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: histograms[name].to_dict() for name in sorted(histograms)
+        },
+    }
+
+
+def aggregate_spans(spans: Iterable[SpanRecord]) -> Dict[str, Dict]:
+    """Per-name duration aggregates of completed spans.
+
+    Returns ``{name: {"count", "total", "mean", "max"}}`` -- the
+    per-phase table ``repro-ptg metrics`` renders.
+    """
+    aggregates: Dict[str, Dict] = {}
+    for span in spans:
+        entry = aggregates.get(span.name)
+        if entry is None:
+            entry = aggregates[span.name] = {
+                "count": 0, "total": 0.0, "mean": 0.0, "max": 0.0,
+            }
+        entry["count"] += 1
+        entry["total"] += span.duration
+        if span.duration > entry["max"]:
+            entry["max"] = span.duration
+    for entry in aggregates.values():
+        entry["mean"] = entry["total"] / entry["count"]
+    return dict(sorted(aggregates.items()))

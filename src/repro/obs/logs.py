@@ -1,0 +1,77 @@
+"""Stdlib :mod:`logging` wiring for the ``repro`` package.
+
+The package root logger (``logging.getLogger("repro")``) carries a
+``NullHandler`` (installed by ``repro/__init__``), so library use emits
+nothing unless the embedding application configures handlers -- the
+standard library-package convention.  The CLI calls
+:func:`configure_cli_logging` once at startup to route progress messages
+to stderr, with ``-v``/``-q`` mapping to DEBUG/WARNING.
+
+Campaign and scenario progress callbacks (``Callable[[str], None]``)
+keep their plain-callable signature; :func:`progress_logger` adapts a
+logger into one, so orchestration code stays decoupled from logging.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Callable, Optional
+
+#: Root logger name of the package.
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("campaigns")`` and ``get_logger("repro.campaigns")``
+    both return ``logging.getLogger("repro.campaigns")``.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_cli_logging(
+    verbose: int = 0, quiet: bool = False, stream=None
+) -> logging.Handler:
+    """Attach a stderr handler to the package root for CLI runs.
+
+    ``quiet`` maps to WARNING (progress suppressed), the default to INFO
+    (progress shown) and ``verbose >= 1`` to DEBUG.  The handler formats
+    bare messages with the two-space indent the CLI has always used for
+    progress lines, so output is unchanged for existing users.  Returns
+    the installed handler (tests detach it again).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("  %(message)s"))
+    logger.addHandler(handler)
+    if quiet:
+        logger.setLevel(logging.WARNING)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+    return handler
+
+
+def remove_cli_logging(handler: logging.Handler) -> None:
+    """Detach a handler installed by :func:`configure_cli_logging`."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+def progress_logger(
+    logger: Optional[logging.Logger] = None,
+) -> Callable[[str], None]:
+    """Adapt a logger into a progress callback (INFO per message)."""
+    target = logger if logger is not None else logging.getLogger(ROOT_LOGGER)
+
+    def progress(message: str) -> None:
+        """Log one progress message at INFO level."""
+        target.info("%s", message)
+
+    return progress

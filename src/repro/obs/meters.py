@@ -1,0 +1,279 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the
+temporal half): instrumented code records *how many* -- allocation
+iterations, packed placements, admission latencies -- into named meters.
+Like tracing, metrics are **off by default**: hot code guards its
+recording with one global read::
+
+    from repro.obs import meters
+
+    registry = meters.active()
+    if registry is not None:
+        registry.counter("mapping.placements").inc()
+
+Meter names are dotted strings (``stream.admission_latency``,
+``allocation.iterations``); the exporters translate them to the target
+format (Prometheus names replace the dots with underscores).
+
+Histograms use **fixed bucket upper edges** fixed at creation, so two
+histograms of the same name merge exactly (the ``repro metrics``
+command aggregates per-shard admission-latency histograms this way) and
+quantiles are estimated by linear interpolation inside the bucket that
+holds the requested rank -- no sample retention, O(buckets) memory for
+streams of any length.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("allocation.iterations").inc(3)
+>>> registry.gauge("stream.active").set(2.0)
+>>> h = registry.histogram("stream.admission_latency", edges=(0.1, 1.0, 10.0))
+>>> for value in (0.05, 0.2, 0.3, 5.0):
+...     h.observe(value)
+>>> h.count, h.bucket_counts
+(4, [1, 2, 1])
+>>> round(h.quantile(0.5), 3)
+0.55
+>>> snap = registry.snapshot()
+>>> sorted(snap["counters"]), sorted(snap["histograms"])
+(['allocation.iterations'], ['stream.admission_latency'])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Default bucket upper edges (seconds) of latency histograms: log-ish
+#: spacing from 0.1 ms to 30 s, covering sub-millisecond admissions as
+#: well as paper-scale allocation passes.
+DEFAULT_LATENCY_EDGES: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Default bucket upper edges of count-valued histograms (candidate-set
+#: sizes, packing reductions): powers of two up to 1024.
+DEFAULT_COUNT_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+
+class Counter:
+    """A monotonically increasing meter (floats allowed, e.g. seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value meter, also tracking the maximum it ever held."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.max: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (and update the running maximum)."""
+        self.value = float(value)
+        if self.value > self.max:
+            self.max = self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing bucket *upper* edges.  An observation lands
+        in the first bucket whose edge is >= the value; values above the
+        last edge land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("edges", "bucket_counts", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_LATENCY_EDGES) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                f"histogram edges must be strictly increasing and non-empty, "
+                f"got {edges!r}"
+            )
+        self.edges: Tuple[float, ...] = edges
+        self.bucket_counts: List[int] = [0] * len(edges)
+        self.overflow: int = 0
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        edges = self.edges
+        # linear scan: edge tuples are short (tens of buckets) and the
+        # common case (small latencies) exits within a few comparisons
+        for index, edge in enumerate(edges):
+            if value <= edge:
+                self.bucket_counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile by interpolation inside the bucket edges.
+
+        The estimate walks the cumulative bucket counts to the bucket
+        holding rank ``q * count`` and interpolates linearly between the
+        bucket's lower and upper edge; ranks in the overflow bucket
+        return the observed maximum.  Returns 0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0.0
+        lower = self.min if self.min < self.edges[0] else 0.0
+        for index, edge in enumerate(self.edges):
+            in_bucket = self.bucket_counts[index]
+            if in_bucket and cumulative + in_bucket >= rank:
+                fraction = (rank - cumulative) / in_bucket
+                return lower + fraction * (edge - lower)
+            if in_bucket:
+                cumulative += in_bucket
+            lower = edge
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* (same edges) into this histogram."""
+        if other.edges != self.edges:
+            raise ConfigurationError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges!r} vs {other.edges!r}"
+            )
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.overflow += other.overflow
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "edges": list(self.edges),
+            "bucket_counts": list(self.bucket_counts),
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        histogram = cls(edges=payload["edges"])
+        histogram.bucket_counts = [int(c) for c in payload["bucket_counts"]]
+        histogram.overflow = int(payload.get("overflow", 0))
+        histogram.count = int(payload["count"])
+        histogram.sum = float(payload["sum"])
+        if histogram.count:
+            histogram.min = float(payload["min"])
+            histogram.max = float(payload["max"])
+        return histogram
+
+
+class MetricsRegistry:
+    """Named meters, created on first use and listed by :meth:`snapshot`."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name* (created at zero on first use)."""
+        meter = self.counters.get(name)
+        if meter is None:
+            meter = self.counters[name] = Counter()
+        return meter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name* (created at zero on first use)."""
+        meter = self.gauges.get(name)
+        if meter is None:
+            meter = self.gauges[name] = Gauge()
+        return meter
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES
+    ) -> Histogram:
+        """The histogram named *name* (created with *edges* on first use).
+
+        Later calls return the existing histogram; *edges* only applies
+        to the first call for a given name.
+        """
+        meter = self.histograms.get(name)
+        if meter is None:
+            meter = self.histograms[name] = Histogram(edges=edges)
+        return meter
+
+    def snapshot(self) -> Dict:
+        """Plain-JSON dump of every meter, keyed by kind then name."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max}
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+#: The installed registry, or ``None`` while metrics are disabled.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` while metrics are disabled.
+
+    Hot instrumentation sites call this once, keep the result in a
+    local, and skip all recording when it is ``None`` -- the disabled
+    path is one global read.
+    """
+    return _ACTIVE
+
+
+def _activate(registry: Optional[MetricsRegistry]) -> None:
+    """Install (or with ``None`` remove) the module-level registry."""
+    global _ACTIVE
+    _ACTIVE = registry

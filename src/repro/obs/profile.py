@@ -1,0 +1,67 @@
+"""Opt-in :mod:`cProfile` capture, shared by the CLI and the tracer.
+
+One implementation of "profile this and report the top cumulative
+entries" serves every consumer:
+
+* the CLI ``--profile`` flag wraps a whole subcommand via
+  :func:`profile_call`,
+* an enabled tracer with ``profile=True`` wraps every *root* span via
+  :func:`start_profiler` / :func:`stop_profiler` / :func:`render_profile`
+  so each top-level phase (an admission, a shard, a scenario) gets its
+  own breakdown.
+
+Profiling is strictly opt-in -- nothing here runs unless requested, so
+the zero-overhead guarantee of the disabled telemetry path is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Tuple, TypeVar
+
+#: Number of entries a rendered profile reports (cumulative-time order).
+PROFILE_TOP_ENTRIES = 25
+
+T = TypeVar("T")
+
+
+def start_profiler() -> cProfile.Profile:
+    """Create and enable a new profiler (pair with :func:`stop_profiler`)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def stop_profiler(profiler: cProfile.Profile) -> cProfile.Profile:
+    """Disable a running profiler and return it (ready for rendering)."""
+    profiler.disable()
+    return profiler
+
+
+def render_profile(
+    profiler: cProfile.Profile, top: int = PROFILE_TOP_ENTRIES
+) -> str:
+    """The *top* most expensive entries by cumulative time, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def profile_call(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, str]:
+    """Run ``fn(*args, **kwargs)`` under a profiler.
+
+    Returns ``(result, report)`` where *report* is the rendered top
+    entries; the report is produced even when *fn* raises (the exception
+    still propagates, so callers that want the partial profile catch it
+    around this call).
+    """
+    profiler = start_profiler()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        stop_profiler(profiler)
+    return result, render_profile(profiler)

@@ -1,0 +1,248 @@
+"""Hierarchical span tracing with a zero-overhead disabled path.
+
+A *span* is one timed region of the scheduling pipeline -- an allocation
+loop, a mapping pass, a stream admission -- with a dotted name, free-form
+string labels (tenant, application, strategy, shard) and monotonic
+start/end instants.  Spans nest: the tracer keeps an open-span stack, so
+a span opened while another is open records that parent and its depth.
+
+The module-level :func:`span` function is the instrumentation entry
+point used across the code base::
+
+    from repro.obs import trace
+
+    with trace.span("allocation.iterate", ptg=ptg.name):
+        ...
+
+Tracing is **off by default**.  While no tracer is installed
+(:func:`active` returns ``None``), :func:`span` returns a shared no-op
+singleton whose ``__enter__``/``__exit__`` do nothing -- the disabled
+path costs one function call and one global read, which is what keeps
+the golden bit-identical tests and the benchmark ratios untouched
+(gated at <= 3 % by ``benchmarks/bench_obs_overhead.py``).  Telemetry
+never feeds back into scheduling decisions: an enabled tracer only
+*observes*, so schedules are bit-identical either way (asserted by
+``tests/test_obs_equivalence.py``).
+
+The clock is injectable for determinism: the span-ordering tests drive a
+:class:`Tracer` with a fake counter instead of ``time.perf_counter``.
+
+Examples
+--------
+>>> ticks = iter(range(100))
+>>> tracer = Tracer(clock=lambda: float(next(ticks)))
+>>> with tracer.span("outer"):
+...     with tracer.span("inner", tenant="t0"):
+...         pass
+>>> [(s.name, s.depth, s.start, s.end) for s in tracer.spans]
+[('inner', 1, 1.0, 2.0), ('outer', 0, 0.0, 3.0)]
+>>> tracer.spans[0].labels
+{'tenant': 't0'}
+>>> tracer.spans[0].parent == tracer.spans[1].index
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: name, nesting, labels and monotonic instants.
+
+    ``start`` and ``end`` are clock readings (``time.perf_counter`` by
+    default), ``parent`` is the index of the enclosing span in the
+    tracer's completion-ordered :attr:`Tracer.spans` list (``-1`` for a
+    root span) and ``depth`` is the nesting level (0 for roots).
+    """
+
+    name: str
+    start: float
+    end: float = 0.0
+    depth: int = 0
+    parent: int = -1
+    index: int = 0
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock time between start and end."""
+        return self.end - self.start
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """Enter the no-op region (returns itself)."""
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Leave the no-op region without suppressing exceptions."""
+        return False
+
+    def annotate(self, **labels) -> None:
+        """Discard labels (the live span records them)."""
+
+
+#: The one no-op span instance every disabled :func:`span` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span on its tracer."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> "_LiveSpan":
+        """Open the span: push it on the tracer's stack and stamp the start."""
+        self._tracer._open(self._record)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Close the span: stamp the end and move it to the completed list."""
+        self._tracer._close(self._record)
+        return False
+
+    def annotate(self, **labels) -> None:
+        """Attach more labels to the open span (stringified)."""
+        for key, value in labels.items():
+            self._record.labels[str(key)] = str(value)
+
+
+class Tracer:
+    """Collects nested spans with an injectable monotonic clock.
+
+    Completed spans land in :attr:`spans` in *completion* order (inner
+    spans before the span that encloses them), each carrying its depth
+    and the index of its parent -- enough for the exporters to rebuild
+    the hierarchy.  The tracer is deliberately single-threaded, like the
+    scheduling pipeline it instruments; every worker process owns its
+    own tracer.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning a monotonically non-decreasing
+        float; defaults to :func:`time.perf_counter`.  Tests inject a
+        fake counter for deterministic span timings.
+    profiler_factory:
+        Optional zero-argument callable returning a started profiler
+        (e.g. :func:`repro.obs.profile.start_profiler`).  When set,
+        every *root* span runs under its own profiler and the rendered
+        top entries land in :attr:`profiles` keyed by span name.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        profiler_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.clock: Callable[[], float] = clock or time.perf_counter
+        self.spans: List[SpanRecord] = []
+        self.profiles: Dict[str, str] = {}
+        self._stack: List[SpanRecord] = []
+        # children completed while their parent is still open, keyed by
+        # the parent record's id; their ``parent`` index is patched once
+        # the parent itself lands in ``spans``
+        self._pending: Dict[int, List[SpanRecord]] = {}
+        self._profiler_factory = profiler_factory
+        self._profiler: Optional[object] = None
+
+    def span(self, name: str, **labels) -> _LiveSpan:
+        """A context manager recording one span named *name*.
+
+        Keyword arguments become string labels of the span (e.g.
+        ``tenant=...``, ``ptg=...``, ``shard=...``).
+        """
+        record = SpanRecord(
+            name=str(name),
+            start=0.0,
+            labels={str(k): str(v) for k, v in labels.items()},
+        )
+        return _LiveSpan(self, record)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping (called by _LiveSpan)
+    # ------------------------------------------------------------------ #
+    def _open(self, record: SpanRecord) -> None:
+        """Stamp the start instant and push the span on the open stack."""
+        if not self._stack and self._profiler_factory is not None:
+            self._profiler = self._profiler_factory()
+        record.depth = len(self._stack)
+        self._stack.append(record)
+        record.start = self.clock()
+
+    def _close(self, record: SpanRecord) -> None:
+        """Stamp the end instant and append the span to :attr:`spans`."""
+        record.end = self.clock()
+        if not self._stack or self._stack[-1] is not record:
+            # spans must close in LIFO order; a mismatch is an
+            # instrumentation bug -- fail loudly rather than record a
+            # silently wrong hierarchy.
+            raise RuntimeError(
+                f"span {record.name!r} closed out of order "
+                f"(open stack: {[s.name for s in self._stack]})"
+            )
+        self._stack.pop()
+        record.index = len(self.spans)
+        self.spans.append(record)
+        if self._stack:
+            self._pending.setdefault(id(self._stack[-1]), []).append(record)
+        else:
+            record.parent = -1
+        for child in self._pending.pop(id(record), []):
+            child.parent = record.index
+        if not self._stack and self._profiler is not None:
+            profiler = self._profiler
+            self._profiler = None
+            from repro.obs.profile import render_profile, stop_profiler
+
+            stop_profiler(profiler)
+            self.profiles[record.name] = render_profile(profiler)
+
+    @property
+    def open_spans(self) -> List[str]:
+        """Names of the currently open spans, outermost first."""
+        return [record.name for record in self._stack]
+
+
+#: The installed tracer, or ``None`` while tracing is disabled.
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True while a tracer is installed (telemetry capture is on)."""
+    return _ACTIVE is not None
+
+
+def span(name: str, **labels):
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    This is the only call instrumented code makes; its disabled path is
+    one global read and the return of :data:`NOOP_SPAN`.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **labels)
+
+
+def _activate(tracer: Optional[Tracer]) -> None:
+    """Install (or with ``None`` remove) the module-level tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.allocation.base import AllocationProcedure
 from repro.constraints.base import ConstraintStrategy
 from repro.dag.graph import PTG
@@ -74,6 +75,10 @@ class ScenarioResult:
 
     spec: ScenarioSpec
     experiment: ExperimentResult
+    #: Telemetry summary captured by the run, when the spec asked for one
+    #: (``spec.telemetry``); a plain-JSON document from
+    #: :func:`repro.obs.export.telemetry_summary`.
+    telemetry: Optional[Dict] = None
 
     @property
     def key(self) -> str:
@@ -121,19 +126,33 @@ def run_scenario(
             f"repro-ptg run routes it automatically)"
         )
     target = platform if platform is not None else PLATFORMS.create(spec.platform)
-    workload = list(ptgs) if ptgs is not None else scenario_workload(spec)
-    strategies = build_strategies(spec)
-    allocator, mapper = build_pipeline(spec.pipeline)
-    experiment = run_experiment(
-        workload,
-        target,
-        strategies,
-        workload_label=spec.workload.label(),
-        own_makespans=own_makespans,
-        allocator=allocator,
-        mapper=mapper,
-    )
-    return ScenarioResult(spec=spec, experiment=experiment)
+    # The scenario starts its own telemetry session only when the caller
+    # has not installed one (so ``repro trace`` keeps a single session).
+    obs_session = None
+    if spec.telemetry is not None and not obs.enabled():
+        obs_session = obs.enable(spec.telemetry)
+    try:
+        workload = list(ptgs) if ptgs is not None else scenario_workload(spec)
+        strategies = build_strategies(spec)
+        allocator, mapper = build_pipeline(spec.pipeline)
+        experiment = run_experiment(
+            workload,
+            target,
+            strategies,
+            workload_label=spec.workload.label(),
+            own_makespans=own_makespans,
+            allocator=allocator,
+            mapper=mapper,
+        )
+    finally:
+        if obs_session is not None:
+            obs.disable()
+    result = ScenarioResult(spec=spec, experiment=experiment)
+    if obs_session is not None:
+        result.telemetry = obs_session.summary(
+            labels={"scenario": spec.label(), "key": result.key}
+        )
+    return result
 
 
 def run_scenarios(
@@ -218,6 +237,10 @@ def run_scenarios(
         results[outcome.key] = outcome.result
         if store is not None:
             store.append(outcome.key, outcome.result)
+            if outcome.telemetry is not None:
+                from repro.obs.export import TELEMETRY_CHANNEL
+
+                store.append_payload(TELEMETRY_CHANNEL, outcome.key, outcome.telemetry)
             if outcome.cache_entries:
                 store.save_cache(cache)
         if progress is not None:

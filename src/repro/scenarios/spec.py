@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.registry import STRATEGY_NAMES
 from repro.exceptions import ConfigurationError
+from repro.obs.config import TelemetrySpec
 from repro.scenarios.registry import ALLOCATORS, FAMILIES, MAPPERS, PLATFORMS, STRATEGIES
 from repro.streaming.spec import ArrivalSpec
 from repro.utils.digest import content_digest, platform_fingerprint
@@ -251,6 +252,7 @@ class ScenarioSpec:
     pipeline: PipelineSpec = field(default_factory=PipelineSpec)
     strategies: Optional[Tuple[str, ...]] = None
     arrivals: Optional[ArrivalSpec] = None
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self) -> None:
         """Validate and canonicalise the field values."""
@@ -267,6 +269,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"arrivals must be an ArrivalSpec or None, got "
                 f"{type(self.arrivals).__name__}"
+            )
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetrySpec):
+            raise ConfigurationError(
+                f"telemetry must be a TelemetrySpec or None, got "
+                f"{type(self.telemetry).__name__}"
             )
         object.__setattr__(
             self, "strategies", _normalise_strategies(self.strategies)
@@ -332,6 +339,8 @@ class ScenarioSpec:
         }
         if self.arrivals is not None:
             payload["arrivals"] = self.arrivals.to_dict()
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_dict()
         return payload
 
     @classmethod
@@ -352,6 +361,7 @@ class ScenarioSpec:
                 "pipeline",
                 "strategies",
                 "arrivals",
+                "telemetry",
             ),
             "scenario spec",
         )
@@ -372,6 +382,12 @@ class ScenarioSpec:
             kwargs["strategies"] = payload["strategies"]
         if payload.get("arrivals") is not None:
             kwargs["arrivals"] = ArrivalSpec.from_dict(payload["arrivals"])
+        if payload.get("telemetry") is not None:
+            telemetry = payload["telemetry"]
+            # {"telemetry": true} is the shorthand for "all defaults on"
+            if telemetry is True:
+                telemetry = {}
+            kwargs["telemetry"] = TelemetrySpec.from_dict(telemetry)
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ #
@@ -399,6 +415,7 @@ class ScenarioSpec:
                 strategy_names=self.resolved_strategy_names(),
                 pipeline=self.pipeline,
                 arrivals=self.arrivals,
+                telemetry=self.telemetry,
             )
         )
 
@@ -412,6 +429,7 @@ def scenario_hash_payload(
     strategy_names: Sequence[str],
     pipeline: PipelineSpec,
     arrivals: Optional[ArrivalSpec] = None,
+    telemetry: Optional[TelemetrySpec] = None,
 ) -> Dict:
     """The canonical payload both spec hashes and shard keys digest.
 
@@ -419,9 +437,9 @@ def scenario_hash_payload(
     :meth:`ScenarioSpec.content_hash` and
     :meth:`repro.campaigns.shards.ExperimentShard.key` can never drift
     apart: equal content produces equal keys on both paths.  The
-    ``arrivals`` key is only present for streaming scenarios, so the
-    hashes of batch scenarios (and every pre-streaming store) are
-    unchanged.
+    ``arrivals`` and ``telemetry`` keys are only present when set, so
+    the hashes of plain batch scenarios (and every pre-existing store)
+    are unchanged.
     """
     payload = {
         "version": SPEC_HASH_VERSION,
@@ -442,6 +460,8 @@ def scenario_hash_payload(
     }
     if arrivals is not None:
         payload["arrivals"] = arrivals.hash_payload()
+    if telemetry is not None:
+        payload["telemetry"] = telemetry.hash_payload()
     return payload
 
 

@@ -18,6 +18,7 @@ mapper, packing on/off) reuse the same driver.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence
 
 from repro.allocation.base import Allocation, AllocationProcedure
@@ -28,6 +29,7 @@ from repro.dag.graph import PTG
 from repro.exceptions import ConfigurationError
 from repro.mapping.base import AllocatedPTG, Mapper
 from repro.mapping.ready_list import ReadyListMapper
+from repro.obs import meters, trace
 from repro.platform.multicluster import MultiClusterPlatform
 from repro.scheduler.result import ConcurrentScheduleResult
 
@@ -59,21 +61,38 @@ class ConcurrentScheduler:
         for ptg in ptgs:
             ptg.validate()
 
-        betas: Dict[str, float] = self.strategy.compute_betas(ptgs, platform)
+        # per-phase timers only tick while a metrics registry is active;
+        # the disabled path adds two None checks per schedule() call
+        registry = meters.active()
+
+        with trace.span(
+            "scheduler.betas", strategy=self.strategy.name, apps=str(len(ptgs))
+        ):
+            betas: Dict[str, float] = self.strategy.compute_betas(ptgs, platform)
         missing = [name for name in names if name not in betas]
         if missing:
             raise ConfigurationError(
                 f"strategy {self.strategy.name!r} did not assign a constraint to {missing}"
             )
 
+        started = time.perf_counter() if registry is not None else 0.0
         allocations: Dict[str, Allocation] = {}
         allocated = []
-        for ptg in ptgs:
-            allocation = self.allocator.allocate(ptg, platform, beta=betas[ptg.name])
-            allocations[ptg.name] = allocation
-            allocated.append(AllocatedPTG(ptg, allocation))
+        with trace.span("scheduler.allocate", apps=str(len(ptgs))):
+            for ptg in ptgs:
+                allocation = self.allocator.allocate(ptg, platform, beta=betas[ptg.name])
+                allocations[ptg.name] = allocation
+                allocated.append(AllocatedPTG(ptg, allocation))
+        if registry is not None:
+            now = time.perf_counter()
+            registry.histogram("allocation.phase_seconds").observe(now - started)
+            started = now
 
         schedule = self.mapper.map(allocated, platform)
+        if registry is not None:
+            registry.histogram("mapping.phase_seconds").observe(
+                time.perf_counter() - started
+            )
         return ConcurrentScheduleResult(
             ptgs=list(ptgs),
             platform=platform,

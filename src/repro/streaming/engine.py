@@ -39,6 +39,7 @@ included.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -51,6 +52,7 @@ from repro.exceptions import ConfigurationError
 from repro.mapping.base import AllocatedPTG
 from repro.mapping.eft import PlacementEngine
 from repro.mapping.schedule import Schedule
+from repro.obs import meters, trace
 from repro.platform.multicluster import MultiClusterPlatform
 
 
@@ -288,34 +290,48 @@ class StreamSession:
             )
         arrival.ptg.validate()
 
-        now = arrival.time
-        running = self._running
-        active_apps = self._active
-        while running and running[0][0] <= now:
-            _, expired = heapq.heappop(running)
-            active_apps.pop(expired, None)
-        # applications still in the system at this instant, in arrival
-        # order (the order the constraint strategies see)
-        active = list(active_apps.values())
-        concurrent = active + [arrival.ptg]
-        strategy_betas = self.strategy.compute_betas(concurrent, self.platform)
-        beta = strategy_betas[name]
-        self._betas[name] = beta
-        self._active_log[name] = [p.name for p in active]
+        # admission latency (wall time of this call) only ticks while a
+        # metrics registry is active; disabled cost is one None check
+        registry = meters.active()
+        started = time.perf_counter() if registry is not None else 0.0
 
-        allocation = self.allocator.allocate(arrival.ptg, self.platform, beta=beta)
-        self._allocations[name] = allocation
-        first_start, done = self._map_application(
-            AllocatedPTG(arrival.ptg, allocation), now
-        )
-        self._completions[name] = done
-        self._first_starts[name] = first_start
-        self._arrival_times[name] = now
-        self._tenants[name] = arrival.tenant
-        self._arrivals.append(arrival)
-        heapq.heappush(running, (done, name))
-        active_apps[name] = arrival.ptg
-        self._last_key = key
+        with trace.span("stream.admit", app=name, tenant=arrival.tenant):
+            now = arrival.time
+            running = self._running
+            active_apps = self._active
+            while running and running[0][0] <= now:
+                _, expired = heapq.heappop(running)
+                active_apps.pop(expired, None)
+            # applications still in the system at this instant, in arrival
+            # order (the order the constraint strategies see)
+            active = list(active_apps.values())
+            concurrent = active + [arrival.ptg]
+            strategy_betas = self.strategy.compute_betas(concurrent, self.platform)
+            beta = strategy_betas[name]
+            self._betas[name] = beta
+            self._active_log[name] = [p.name for p in active]
+
+            allocation = self.allocator.allocate(arrival.ptg, self.platform, beta=beta)
+            self._allocations[name] = allocation
+            first_start, done = self._map_application(
+                AllocatedPTG(arrival.ptg, allocation), now
+            )
+            self._completions[name] = done
+            self._first_starts[name] = first_start
+            self._arrival_times[name] = now
+            self._tenants[name] = arrival.tenant
+            self._arrivals.append(arrival)
+            heapq.heappush(running, (done, name))
+            active_apps[name] = arrival.ptg
+            self._last_key = key
+
+        if registry is not None:
+            registry.histogram("stream.admission_latency").observe(
+                time.perf_counter() - started
+            )
+            registry.counter("stream.admissions").inc()
+            registry.gauge("stream.active_applications").set(len(active_apps))
+            registry.gauge("stream.running_depth").set(len(running))
         return done
 
     def _map_application(
@@ -338,22 +354,23 @@ class StreamSession:
         engine = self.engine
         schedule = self.schedule
         allocation = allocated.allocation
-        for tid in order:
-            predecessors = [
-                (pred, ptg.edge_data(pred, tid)) for pred in ptg.predecessors(tid)
-            ]
-            entry = engine.place(
-                ptg_name=ptg.name,
-                task=ptg.task(tid),
-                allocation=allocation,
-                predecessors=predecessors,
-                schedule=schedule,
-                not_before=release_time,
-            )
-            if entry.start < first_start:
-                first_start = entry.start
-            if entry.finish > last_finish:
-                last_finish = entry.finish
+        with trace.span("stream.map", app=ptg.name, tasks=str(ptg.n_tasks)):
+            for tid in order:
+                predecessors = [
+                    (pred, ptg.edge_data(pred, tid)) for pred in ptg.predecessors(tid)
+                ]
+                entry = engine.place(
+                    ptg_name=ptg.name,
+                    task=ptg.task(tid),
+                    allocation=allocation,
+                    predecessors=predecessors,
+                    schedule=schedule,
+                    not_before=release_time,
+                )
+                if entry.start < first_start:
+                    first_start = entry.start
+                if entry.finish > last_finish:
+                    last_finish = entry.finish
         return first_start, last_finish
 
     # ------------------------------------------------------------------ #

@@ -28,10 +28,13 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.campaigns.store import CampaignStore
 from repro.exceptions import CampaignError, ConfigurationError
 from repro.experiments.runner import ProgressCallback
 from repro.mapping.schedule import Schedule, ScheduledTask
+from repro.obs import trace
+from repro.obs.export import TELEMETRY_CHANNEL
 from repro.metrics.utilisation import schedule_utilisation
 from repro.metrics.windows import WindowedMetrics, tenant_stall_times, windowed_metrics
 from repro.scenarios.registry import ALLOCATORS, PLATFORMS, STRATEGIES
@@ -188,6 +191,10 @@ class StreamScenarioResult:
     #: store): strategy name -> :class:`StreamResult` with the schedule
     #: object and the arrival list.
     results: Dict[str, StreamResult] = field(default_factory=dict)
+    #: Telemetry summary captured by the run, when the spec asked for one
+    #: (``spec.telemetry``); a plain-JSON document from
+    #: :func:`repro.obs.export.telemetry_summary`.
+    telemetry: Optional[Dict] = None
 
     @property
     def key(self) -> str:
@@ -195,13 +202,20 @@ class StreamScenarioResult:
         return self.spec.content_hash()
 
     def to_record(self) -> Dict:
-        """The JSON record persisted in the store's stream channel."""
-        return {
+        """The JSON record persisted in the store's stream channel.
+
+        The ``telemetry`` key is present only when a summary was
+        captured, mirroring the spec's own serialisation.
+        """
+        record = {
             "spec": self.spec.to_dict(),
             "outcomes": {
                 name: outcome.to_dict() for name, outcome in self.outcomes.items()
             },
         }
+        if self.telemetry is not None:
+            record["telemetry"] = self.telemetry
+        return record
 
     @classmethod
     def from_record(cls, payload: Dict) -> "StreamScenarioResult":
@@ -214,7 +228,7 @@ class StreamScenarioResult:
             }
         except KeyError as exc:
             raise CampaignError(f"stream record misses field {exc}") from None
-        return cls(spec=spec, outcomes=outcomes)
+        return cls(spec=spec, outcomes=outcomes, telemetry=payload.get("telemetry"))
 
 
 # ---------------------------------------------------------------------- #
@@ -311,27 +325,41 @@ def run_stream_scenario(
     target = platform if platform is not None else PLATFORMS.create(spec.platform)
     stream = list(arrivals) if arrivals is not None else generate_arrivals(spec.arrivals)
     scenario = StreamScenarioResult(spec=spec)
-    for name in spec.resolved_strategy_names():
-        strategy = STRATEGIES.create(
-            name, mu=spec.pipeline.mu, family=spec.arrivals.family
-        )
-        allocator = ALLOCATORS.create(spec.pipeline.allocator)
-        session = StreamSession(
-            target,
-            strategy=strategy,
-            allocator=allocator,
-            enable_packing=spec.pipeline.packing,
-        )
-        session.feed(stream)
-        result = session.result()
-        scenario.results[name] = result
-        scenario.outcomes[name] = _summarise(
-            name,
-            result,
-            packed_tasks=session.engine.packed_tasks,
-            window=window,
-            validate=validate,
-            keep_schedule=keep_schedule,
+    # The scenario starts its own telemetry session only when the caller
+    # has not installed one (so ``repro trace`` keeps a single session).
+    obs_session = None
+    if spec.telemetry is not None and not obs.enabled():
+        obs_session = obs.enable(spec.telemetry)
+    try:
+        for name in spec.resolved_strategy_names():
+            strategy = STRATEGIES.create(
+                name, mu=spec.pipeline.mu, family=spec.arrivals.family
+            )
+            allocator = ALLOCATORS.create(spec.pipeline.allocator)
+            session = StreamSession(
+                target,
+                strategy=strategy,
+                allocator=allocator,
+                enable_packing=spec.pipeline.packing,
+            )
+            with trace.span("stream.run", strategy=name, arrivals=str(len(stream))):
+                session.feed(stream)
+            result = session.result()
+            scenario.results[name] = result
+            scenario.outcomes[name] = _summarise(
+                name,
+                result,
+                packed_tasks=session.engine.packed_tasks,
+                window=window,
+                validate=validate,
+                keep_schedule=keep_schedule,
+            )
+    finally:
+        if obs_session is not None:
+            obs.disable()
+    if obs_session is not None:
+        scenario.telemetry = obs_session.summary(
+            labels={"scenario": spec.label(), "key": scenario.key}
         )
     return scenario
 
@@ -414,6 +442,12 @@ def run_stream_scenarios(
             return
         records[key] = record
         if store is not None:
+            telemetry = record.get("telemetry")
+            if telemetry is not None:
+                # summaries live in their own channel (``repro metrics``
+                # reads it) so stream records stay lean on reload
+                store.append_payload(TELEMETRY_CHANNEL, key, telemetry)
+                record = {k: v for k, v in record.items() if k != "telemetry"}
             store.append_payload(STREAM_CHANNEL, key, record)
         if progress is not None:
             progress(specs[index].label())

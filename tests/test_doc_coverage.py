@@ -22,6 +22,7 @@ import repro.allocation
 import repro.constraints
 import repro.dag
 import repro.mapping
+import repro.obs
 import repro.scenarios
 import repro.streaming
 import repro.validate
@@ -31,6 +32,7 @@ AUDITED_PACKAGES = (
     repro.allocation,
     repro.constraints,
     repro.mapping,
+    repro.obs,
     repro.scenarios,
     repro.streaming,
     repro.validate,

@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace, Prometheus text, summary round-trips, merging."""
+
+import json
+
+from repro.obs.export import (
+    aggregate_spans,
+    chrome_trace,
+    merge_metrics,
+    prometheus_text,
+    summary_spans,
+    telemetry_summary,
+    write_chrome_trace,
+)
+from repro.obs.meters import Histogram, MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer
+
+
+def make_spans():
+    """Two nested spans with deterministic timings."""
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    with tracer.span("outer", strategy="ES"):
+        with tracer.span("inner"):
+            pass
+    return tracer.spans
+
+
+def test_chrome_trace_events_are_relative_microseconds():
+    doc = chrome_trace(make_spans(), process_name="test")
+    assert doc["displayTimeUnit"] == "ms"
+    meta, inner, outer = doc["traceEvents"]
+    assert meta["ph"] == "M" and meta["args"] == {"name": "test"}
+    assert inner["name"] == "inner" and inner["ph"] == "X"
+    assert inner["ts"] == 1e6 and inner["dur"] == 1e6
+    assert outer["ts"] == 0.0 and outer["dur"] == 3e6
+    assert outer["args"] == {"strategy": "ES"}
+
+
+def test_chrome_trace_of_no_spans_is_still_valid():
+    doc = chrome_trace([])
+    assert len(doc["traceEvents"]) == 1  # just the process metadata
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), make_spans())
+    doc = json.loads(path.read_text())
+    assert {e["name"] for e in doc["traceEvents"]} == {
+        "process_name", "outer", "inner",
+    }
+
+
+def test_prometheus_text_renders_every_meter_kind():
+    registry = MetricsRegistry()
+    registry.counter("allocation.calls").inc(3)
+    registry.gauge("stream.depth").set(2)
+    h = registry.histogram("stream.admission_latency", edges=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(9.0)
+    text = prometheus_text(registry.snapshot())
+    assert "# TYPE repro_allocation_calls_total counter" in text
+    assert "repro_allocation_calls_total 3.0" in text
+    assert "repro_stream_depth 2.0" in text
+    lines = text.splitlines()
+    assert 'repro_stream_admission_latency_bucket{le="0.1"} 1' in lines
+    assert 'repro_stream_admission_latency_bucket{le="1.0"} 2' in lines
+    assert 'repro_stream_admission_latency_bucket{le="+Inf"} 3' in lines
+    assert "repro_stream_admission_latency_count 3" in lines
+
+
+def test_summary_round_trips_spans():
+    spans = make_spans()
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    summary = telemetry_summary(
+        spans, snapshot=registry.snapshot(), labels={"shard": "s0"}
+    )
+    assert summary["version"] == 1
+    assert summary["labels"] == {"shard": "s0"}
+    # survives a JSON round trip and rebuilds equal span records
+    rebuilt = summary_spans(json.loads(json.dumps(summary)))
+    assert rebuilt == spans
+
+
+def test_merge_metrics_sums_counters_merges_histograms_maxes_gauges():
+    def snapshot(counter, gauge, observation):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(counter)
+        registry.gauge("depth").set(gauge)
+        registry.histogram("lat", edges=(1.0, 2.0)).observe(observation)
+        return registry.snapshot()
+
+    merged = merge_metrics([snapshot(1, 5, 0.5), snapshot(2, 3, 1.5)])
+    assert merged["counters"]["calls"] == 3.0
+    assert merged["gauges"]["depth"]["max"] == 5.0
+    histogram = Histogram.from_dict(merged["histograms"]["lat"])
+    assert histogram.count == 2
+    assert histogram.bucket_counts == [1, 1]
+
+
+def test_merge_metrics_of_nothing_is_empty():
+    merged = merge_metrics([])
+    assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_aggregate_spans_per_name():
+    spans = [
+        SpanRecord(name="a", start=0.0, end=1.0),
+        SpanRecord(name="a", start=1.0, end=4.0),
+        SpanRecord(name="b", start=0.0, end=2.0),
+    ]
+    aggregates = aggregate_spans(spans)
+    assert list(aggregates) == ["a", "b"]
+    assert aggregates["a"] == {"count": 2, "total": 4.0, "mean": 2.0, "max": 3.0}
+    assert aggregates["b"]["count"] == 1

@@ -1,0 +1,133 @@
+"""Metrics registry: counters, gauges, histogram bucket edges and quantiles."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import meters
+from repro.obs.meters import (
+    DEFAULT_COUNT_EDGES,
+    DEFAULT_LATENCY_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_last_value_and_maximum():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(3)
+    gauge.set(7)
+    gauge.set(2)
+    assert gauge.value == 2.0
+    assert gauge.max == 7.0
+
+
+def test_registry_returns_same_meter_per_name():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+
+
+def test_histogram_bucket_edges_are_inclusive_upper_bounds():
+    h = Histogram(edges=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 2.0, 4.0, 5.0):
+        h.observe(value)
+    # values land in the first bucket whose edge >= value; 5.0 overflows
+    assert h.bucket_counts == [2, 2, 1]
+    assert h.overflow == 1
+    assert h.count == 6
+    assert h.min == 0.5
+    assert h.max == 5.0
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ConfigurationError):
+        Histogram(edges=())
+    with pytest.raises(ConfigurationError):
+        Histogram(edges=(1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        Histogram(edges=(2.0, 1.0))
+
+
+def test_histogram_quantiles_interpolate_within_buckets():
+    h = Histogram(edges=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.2, 0.3, 5.0):
+        h.observe(value)
+    assert h.quantile(0.0) == pytest.approx(0.05)  # min observed value
+    # rank 2 of 4 falls in the (0.1, 1.0] bucket: 0.1 + 0.5 * 0.9
+    assert h.quantile(0.5) == pytest.approx(0.55)
+    assert h.quantile(1.0) == pytest.approx(10.0)
+    with pytest.raises(ConfigurationError):
+        h.quantile(1.5)
+
+
+def test_histogram_quantile_overflow_rank_returns_maximum():
+    h = Histogram(edges=(1.0,))
+    h.observe(0.5)
+    h.observe(100.0)
+    assert h.quantile(1.0) == 100.0
+
+
+def test_empty_histogram_quantile_and_mean_are_zero():
+    h = Histogram(edges=(1.0,))
+    assert h.quantile(0.5) == 0.0
+    assert h.mean == 0.0
+
+
+def test_histogram_merge_requires_identical_edges():
+    a = Histogram(edges=(1.0, 2.0))
+    b = Histogram(edges=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(9.0)
+    a.merge(b)
+    assert a.count == 3
+    assert a.bucket_counts == [1, 1]
+    assert a.overflow == 1
+    assert a.min == 0.5 and a.max == 9.0
+    with pytest.raises(ConfigurationError):
+        a.merge(Histogram(edges=(1.0, 3.0)))
+
+
+def test_histogram_dict_round_trip_including_empty():
+    h = Histogram(edges=(0.5, 1.0))
+    h.observe(0.25)
+    h.observe(2.0)
+    clone = Histogram.from_dict(h.to_dict())
+    assert clone.to_dict() == h.to_dict()
+    empty = Histogram.from_dict(Histogram(edges=(1.0,)).to_dict())
+    assert empty.count == 0
+    assert empty.to_dict()["min"] is None
+
+
+def test_snapshot_lists_every_meter_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b.count").inc()
+    registry.counter("a.count").inc(2)
+    registry.gauge("depth").set(4)
+    registry.histogram("lat", edges=(1.0,)).observe(0.5)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a.count", "b.count"]
+    assert snapshot["counters"]["a.count"] == 2.0
+    assert snapshot["gauges"]["depth"] == {"value": 4.0, "max": 4.0}
+    assert snapshot["histograms"]["lat"]["count"] == 1
+
+
+def test_default_edges_are_strictly_increasing():
+    for edges in (DEFAULT_LATENCY_EDGES, DEFAULT_COUNT_EDGES):
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+
+def test_module_active_is_none_by_default():
+    assert meters.active() is None

@@ -1,0 +1,136 @@
+"""Span tracer: nesting, ordering, determinism, the disabled path."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+def fake_clock(start=0.0, step=1.0):
+    """A deterministic monotonic clock: start, start+step, ..."""
+    state = {"now": start - step}
+
+    def tick():
+        state["now"] += step
+        return state["now"]
+
+    return tick
+
+
+def test_nested_spans_record_depth_parent_and_completion_order():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner2"):
+            pass
+    names = [(s.name, s.depth) for s in tracer.spans]
+    assert names == [("inner", 1), ("inner2", 1), ("outer", 0)]
+    outer = tracer.spans[2]
+    assert outer.parent == -1
+    assert tracer.spans[0].parent == outer.index
+    assert tracer.spans[1].parent == outer.index
+
+
+def test_span_timing_is_deterministic_under_fake_clock():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    inner, outer = tracer.spans
+    assert (inner.start, inner.end) == (1.0, 2.0)
+    assert (outer.start, outer.end) == (0.0, 3.0)
+    assert inner.duration == 1.0
+    assert outer.duration == 3.0
+    # the same program records the same spans again
+    tracer2 = Tracer(clock=fake_clock())
+    with tracer2.span("outer"):
+        with tracer2.span("inner"):
+            pass
+    assert [(s.name, s.start, s.end) for s in tracer2.spans] == [
+        (s.name, s.start, s.end) for s in tracer.spans
+    ]
+
+
+def test_labels_and_annotate_are_stringified():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("s", tenant="t0", n=3) as span:
+        span.annotate(events=17)
+    record = tracer.spans[0]
+    assert record.labels == {"tenant": "t0", "n": "3", "events": "17"}
+
+
+def test_out_of_order_close_raises():
+    tracer = Tracer(clock=fake_clock())
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError, match="closed out of order"):
+        outer.__exit__(None, None, None)
+
+
+def test_disabled_module_span_is_the_shared_noop_singleton():
+    assert not trace.enabled()
+    first = trace.span("anything", tenant="t")
+    second = trace.span("other")
+    assert first is NOOP_SPAN
+    assert second is NOOP_SPAN
+    with first as span:
+        span.annotate(ignored=1)  # must be a silent no-op
+
+
+def test_capture_installs_and_restores_module_tracer():
+    assert trace.active() is None
+    with obs.capture(clock=fake_clock()) as session:
+        assert trace.active() is session.tracer
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+    assert trace.active() is None
+    assert [s.name for s in session.spans] == ["inner", "outer"]
+
+
+def test_capture_nests_and_restores_previous_session():
+    with obs.capture(clock=fake_clock()) as outer_session:
+        with trace.span("before"):
+            pass
+        with obs.capture(clock=fake_clock()) as inner_session:
+            assert obs.current() is inner_session
+            with trace.span("nested"):
+                pass
+        assert obs.current() is outer_session
+        with trace.span("after"):
+            pass
+    assert [s.name for s in outer_session.spans] == ["before", "after"]
+    assert [s.name for s in inner_session.spans] == ["nested"]
+    assert obs.current() is None
+
+
+def test_capture_restores_on_exception():
+    with pytest.raises(ValueError):
+        with obs.capture():
+            raise ValueError("boom")
+    assert not obs.enabled()
+    assert trace.active() is None
+
+
+def test_profiler_factory_profiles_root_spans():
+    from repro.obs.profile import start_profiler
+
+    tracer = Tracer(clock=fake_clock(), profiler_factory=start_profiler)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            sum(range(100))
+    assert "root" in tracer.profiles
+    assert "cumulative" in tracer.profiles["root"]
+    assert "child" not in tracer.profiles
+
+
+def test_open_spans_lists_outermost_first():
+    tracer = Tracer(clock=fake_clock())
+    with tracer.span("a"):
+        with tracer.span("b"):
+            assert tracer.open_spans == ["a", "b"]
+    assert tracer.open_spans == []

@@ -6,7 +6,7 @@ documentation cannot silently rot:
 
 * the required pages exist (``index.md``, ``architecture.md``,
   ``scenarios.md``, ``performance.md``, ``campaigns.md``,
-  ``streaming.md``, ``testing.md``, ``cli.md``),
+  ``streaming.md``, ``observability.md``, ``testing.md``, ``cli.md``),
 * every page starts with a level-1 heading and has balanced code fences,
 * every relative markdown link resolves to an existing file, and every
   ``#anchor`` fragment matches a heading of the target page
@@ -32,6 +32,7 @@ REQUIRED_PAGES = (
     "performance.md",
     "campaigns.md",
     "streaming.md",
+    "observability.md",
     "testing.md",
     "cli.md",
 )
