@@ -26,7 +26,12 @@ Installed as ``repro-ptg`` (see ``pyproject.toml``); also runnable as
   write a Chrome/Perfetto trace (open it in https://ui.perfetto.dev),
 * ``metrics``  -- fold the telemetry summaries stored in a campaign /
   scenario store back together and print the per-phase span table and
-  the histogram quantiles (p50/p99 admission latency etc).
+  the histogram quantiles (p50/p99 admission latency etc),
+* ``serve``    -- run the long-lived admission daemon of a scenario
+  (one streaming session per tenant behind JSON-over-HTTP endpoints,
+  with checkpoint/restore through a campaign store),
+* ``client``   -- talk to a running daemon (submit a streaming spec's
+  arrivals, query status/schedule/metrics, checkpoint, shutdown).
 
 All stochastic commands take ``--seed`` so results are reproducible.
 The campaign-style commands (``fig3``/``fig4``/``fig5``/``campaign``)
@@ -616,6 +621,111 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.service.http import run_daemon
+
+    if args.restore and not args.store:
+        raise ConfigurationError("--restore requires --store")
+    spec = None
+    if args.spec is not None or args.set:
+        documents = _load_spec_documents(args.spec, args.set)
+        if len(documents) != 1:
+            raise ConfigurationError(
+                f"serve expects exactly one scenario spec, got {len(documents)}"
+            )
+        spec = ScenarioSpec.from_dict(documents[0])
+    if spec is None and not args.restore:
+        raise ConfigurationError(
+            "serve needs a scenario spec (SPEC.json / --set) or --restore"
+        )
+
+    def ready(port: int) -> None:
+        # parseable by wrapper scripts (the CI smoke greps the port)
+        print(f"listening on {args.host}:{port}", flush=True)
+
+    run_daemon(
+        spec,
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        restore=args.restore,
+        ready=ready,
+    )
+    return 0
+
+
+def _client_arrivals(args: argparse.Namespace):
+    """The arrival slice ``client submit`` sends, from a scenario file."""
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.streaming.spec import generate_arrivals
+
+    documents = _load_spec_documents(args.spec, args.set)
+    if len(documents) != 1:
+        raise ConfigurationError(
+            f"client submit expects exactly one scenario spec, got {len(documents)}"
+        )
+    spec = ScenarioSpec.from_dict(documents[0])
+    if spec.arrivals is None:
+        raise ConfigurationError(
+            "client submit needs a streaming spec (an 'arrivals' section) "
+            "to know what to submit"
+        )
+    arrivals = list(generate_arrivals(spec.arrivals))
+    stop = None if args.limit is None else args.offset + args.limit
+    return arrivals[args.offset:stop]
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.action == "submit":
+        arrivals = _client_arrivals(args)
+        client.wait_ready()
+        for arrival in arrivals:
+            answer = client.submit(
+                arrival.tenant or "default", arrival.time, arrival.ptg
+            )
+            print(
+                f"submitted {answer['application']} for tenant "
+                f"{answer['tenant']} ({answer['queued']} queued)"
+            )
+        print(f"submitted {len(arrivals)} arrival(s)")
+        return 0
+    if args.action == "status":
+        print(json.dumps(client.status(args.tenant), indent=2))
+        return 0
+    if args.action == "schedule":
+        if args.tenant is None:
+            raise ConfigurationError("client schedule requires --tenant")
+        answer = client.schedule(args.tenant)
+        if args.format == "json":
+            print(json.dumps(answer, indent=2))
+        else:
+            print(
+                f"tenant {answer['tenant']}: valid={answer['valid']}, "
+                f"{len(answer['rows'])} schedule row(s), "
+                f"{len(answer['completion_times'])} application(s)"
+            )
+        return 0 if answer.get("valid") else 1
+    if args.action == "metrics":
+        print(json.dumps(client.metrics(), indent=2))
+        return 0
+    if args.action == "checkpoint":
+        answer = client.checkpoint()
+        print(
+            f"checkpointed {answer['tenants']} tenant(s) "
+            f"({answer['admitted']} admitted) under {answer['key']}"
+        )
+        return 0
+    if args.action == "shutdown":
+        client.shutdown()
+        print("daemon stopping")
+        return 0
+    raise ConfigurationError(f"unknown client action {args.action!r}")
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.campaigns.store import CampaignStore
     from repro.obs.export import (
@@ -628,7 +738,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.meters import Histogram
 
     store = CampaignStore(args.store)
-    summaries = [payload for _, payload in store.iter_payloads(TELEMETRY_CHANNEL)]
+    # last-wins per key: shard runs write one summary per key, and the
+    # admission daemon's checkpoints are cumulative snapshots under one
+    # key -- summing successive checkpoints would double-count them
+    summaries = list(store.payloads_by_key(TELEMETRY_CHANNEL).values())
     if not summaries:
         print(
             f"error: no telemetry summaries in {store.root}; run the store "
@@ -908,6 +1021,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a spec field by dotted path, applied to every spec",
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the admission daemon for a scenario spec (JSON over HTTP)",
+    )
+    srv.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json",
+        help="scenario spec the daemon serves (omitted: --restore from a "
+             "checkpointed --store, or the default scenario via --set)",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: pick an ephemeral port and print it)",
+    )
+    srv.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="campaign store checkpoints persist to (enables /checkpoint "
+             "and the final checkpoint on shutdown)",
+    )
+    srv.add_argument(
+        "--restore", action="store_true",
+        help="restore every tenant from the latest checkpoint in --store",
+    )
+    srv.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field by dotted path "
+             "(e.g. --set service.queue_depth=16)",
+    )
+
+    cli = sub.add_parser(
+        "client", help="talk to a running admission daemon"
+    )
+    cli.add_argument(
+        "action",
+        choices=[
+            "submit", "status", "schedule", "metrics", "checkpoint", "shutdown",
+        ],
+        help="what to ask the daemon",
+    )
+    cli.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json",
+        help="streaming scenario file whose arrivals 'submit' sends",
+    )
+    cli.add_argument("--host", default="127.0.0.1", help="daemon address")
+    cli.add_argument("--port", type=int, required=True, help="daemon port")
+    cli.add_argument(
+        "--tenant", default=None,
+        help="tenant name (status: optional filter; schedule: required)",
+    )
+    cli.add_argument(
+        "--offset", type=int, default=0,
+        help="skip the first N arrivals of the spec (submit)",
+    )
+    cli.add_argument(
+        "--limit", type=int, default=None,
+        help="submit at most N arrivals of the spec",
+    )
+    cli.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field by dotted path (submit)",
+    )
+    cli.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format of 'schedule'",
+    )
+
     met = sub.add_parser(
         "metrics",
         help="report the telemetry summaries stored in a campaign/scenario store",
@@ -978,6 +1159,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_generate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

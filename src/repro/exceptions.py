@@ -76,3 +76,20 @@ class CampaignError(ReproError):
     format version, or shards that failed during a parallel run (raised
     after every surviving shard has been executed and persisted).
     """
+
+
+class ServiceError(ReproError):
+    """Raised by the admission daemon (:mod:`repro.service`).
+
+    Carries the HTTP status code the transport layer maps the error to:
+    a malformed request is a 400, an unknown tenant a 404, a duplicate
+    or out-of-order submission a 409, a daemon that stopped answering a
+    client's retries a 503.  Backpressure (429) is *not* an exception --
+    the daemon answers it as a regular response with a ``Retry-After``
+    hint -- but the synchronous client surfaces it as one when asked
+    not to wait.
+    """
+
+    def __init__(self, message: str, status: int = 500) -> None:
+        super().__init__(message)
+        self.status = status

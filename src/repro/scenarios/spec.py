@@ -49,6 +49,7 @@ from repro.constraints.registry import STRATEGY_NAMES
 from repro.exceptions import ConfigurationError
 from repro.obs.config import TelemetrySpec
 from repro.scenarios.registry import ALLOCATORS, FAMILIES, MAPPERS, PLATFORMS, STRATEGIES
+from repro.service.spec import ServiceSpec
 from repro.streaming.spec import ArrivalSpec
 from repro.utils.digest import content_digest, platform_fingerprint
 
@@ -253,6 +254,7 @@ class ScenarioSpec:
     strategies: Optional[Tuple[str, ...]] = None
     arrivals: Optional[ArrivalSpec] = None
     telemetry: Optional[TelemetrySpec] = None
+    service: Optional[ServiceSpec] = None
 
     def __post_init__(self) -> None:
         """Validate and canonicalise the field values."""
@@ -274,6 +276,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"telemetry must be a TelemetrySpec or None, got "
                 f"{type(self.telemetry).__name__}"
+            )
+        if self.service is not None and not isinstance(self.service, ServiceSpec):
+            raise ConfigurationError(
+                f"service must be a ServiceSpec or None, got "
+                f"{type(self.service).__name__}"
             )
         object.__setattr__(
             self, "strategies", _normalise_strategies(self.strategies)
@@ -341,6 +348,8 @@ class ScenarioSpec:
             payload["arrivals"] = self.arrivals.to_dict()
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.to_dict()
+        if self.service is not None:
+            payload["service"] = self.service.to_dict()
         return payload
 
     @classmethod
@@ -362,6 +371,7 @@ class ScenarioSpec:
                 "strategies",
                 "arrivals",
                 "telemetry",
+                "service",
             ),
             "scenario spec",
         )
@@ -388,6 +398,12 @@ class ScenarioSpec:
             if telemetry is True:
                 telemetry = {}
             kwargs["telemetry"] = TelemetrySpec.from_dict(telemetry)
+        if payload.get("service") is not None:
+            service = payload["service"]
+            # {"service": true} is the shorthand for "all defaults on"
+            if service is True:
+                service = {}
+            kwargs["service"] = ServiceSpec.from_dict(service)
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ #
@@ -416,6 +432,7 @@ class ScenarioSpec:
                 pipeline=self.pipeline,
                 arrivals=self.arrivals,
                 telemetry=self.telemetry,
+                service=self.service,
             )
         )
 
@@ -430,6 +447,7 @@ def scenario_hash_payload(
     pipeline: PipelineSpec,
     arrivals: Optional[ArrivalSpec] = None,
     telemetry: Optional[TelemetrySpec] = None,
+    service: Optional[ServiceSpec] = None,
 ) -> Dict:
     """The canonical payload both spec hashes and shard keys digest.
 
@@ -437,9 +455,9 @@ def scenario_hash_payload(
     :meth:`ScenarioSpec.content_hash` and
     :meth:`repro.campaigns.shards.ExperimentShard.key` can never drift
     apart: equal content produces equal keys on both paths.  The
-    ``arrivals`` and ``telemetry`` keys are only present when set, so
-    the hashes of plain batch scenarios (and every pre-existing store)
-    are unchanged.
+    ``arrivals``, ``telemetry`` and ``service`` keys are only present
+    when set, so the hashes of plain batch scenarios (and every
+    pre-existing store) are unchanged.
     """
     payload = {
         "version": SPEC_HASH_VERSION,
@@ -462,6 +480,8 @@ def scenario_hash_payload(
         payload["arrivals"] = arrivals.hash_payload()
     if telemetry is not None:
         payload["telemetry"] = telemetry.hash_payload()
+    if service is not None:
+        payload["service"] = service.hash_payload()
     return payload
 
 

@@ -1,0 +1,61 @@
+"""repro.service -- a long-lived async admission daemon for streaming PTGs.
+
+The subsystems below turn the offline pipeline into a multi-tenant
+scheduler-as-a-service (the deployment mode the paper's online
+experiments presuppose): one deterministic
+:class:`~repro.streaming.engine.StreamSession` per tenant behind
+bounded admission queues, JSON-over-HTTP endpoints
+(``submit / status / schedule / metrics / checkpoint``), SLO-tracked
+admission latency through :mod:`repro.obs` meters, and graceful
+checkpoint/restore through the campaign store so a restarted daemon
+resumes every tenant bit-identically.
+
+Only :class:`ServiceSpec` is imported eagerly -- it is what
+:mod:`repro.scenarios.spec` embeds, and the application modules import
+scenarios in turn, so the heavyweight names (:class:`ServiceApp`,
+:class:`ServiceClient`, the checkpoint helpers) load lazily via
+:pep:`562` to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.service.spec import DEFAULT_QUEUE_DEPTH, DEFAULT_SLO_SECONDS, ServiceSpec
+
+#: Lazily-resolved public names and the modules providing them.
+_LAZY = {
+    "ServiceApp": "repro.service.app",
+    "Request": "repro.service.app",
+    "Response": "repro.service.app",
+    "ServiceClient": "repro.service.client",
+    "SERVICE_CHANNEL": "repro.service.checkpoint",
+    "checkpoint_payload": "repro.service.checkpoint",
+    "write_checkpoint": "repro.service.checkpoint",
+    "load_checkpoint": "repro.service.checkpoint",
+    "restore_app": "repro.service.checkpoint",
+    "start_http_server": "repro.service.http",
+    "serve_app": "repro.service.http",
+    "run_daemon": "repro.service.http",
+}
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_SLO_SECONDS",
+    "ServiceSpec",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    """Resolve the application-layer names on first use (:pep:`562`)."""
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,547 @@
+"""The admission daemon: one :class:`StreamSession` per tenant, async.
+
+:class:`ServiceApp` is the transport-agnostic core of ``repro serve``:
+a long-lived asyncio application hosting one incremental
+:class:`~repro.streaming.engine.StreamSession` per tenant behind five
+JSON endpoints (``submit`` / ``status`` / ``schedule`` / ``metrics`` /
+``checkpoint``).  The HTTP framing lives in :mod:`repro.service.http`
+and a real daemon is just ``start_http_server(app, ...)``; tests and
+the in-process benchmark drive :meth:`ServiceApp.handle` directly, so
+every behaviour is provable without sockets.
+
+Design points:
+
+* **Per-tenant admission queues with backpressure.**  A submission
+  enters its tenant's bounded queue (depth from the scenario's
+  ``service`` section) and is admitted by that tenant's single worker
+  coroutine, strictly FIFO.  A full queue rejects with HTTP 429 and a
+  ``Retry-After`` hint instead of queueing -- the daemon never falls
+  arbitrarily far behind a tenant.
+* **Determinism.**  A tenant's schedule depends only on its own
+  submission sequence (each tenant owns an independent session), so
+  any interleaving of concurrent tenants yields per-tenant outcomes
+  bit-identical to replaying each tenant's arrivals through a private
+  :class:`StreamSession` -- the property
+  ``tests/test_service_concurrency.py`` pins down.
+* **Validated serving.**  ``schedule`` runs
+  :func:`repro.validate.validate_schedule` over the tenant's schedule
+  *before* returning it; an invalid schedule is a 500, never a served
+  result.
+* **Observability.**  The app owns a
+  :class:`~repro.obs.meters.MetricsRegistry`: the
+  ``service.admission_latency`` histogram (checked against the SLO
+  threshold, breaches counted in ``service.slo_violations``),
+  per-tenant ``service.queue_depth.<tenant>`` gauges and the
+  submission/rejection counters.  ``checkpoint`` persists the snapshot
+  as a telemetry summary, so ``repro metrics <store>`` reports the
+  daemon's p50/p99 next to any other stored run.
+* **Checkpoint/restore.**  The admitted and still-queued arrivals of
+  every tenant serialise through the campaign store's generic
+  ``service`` channel (:mod:`repro.service.checkpoint`); a restored
+  daemon re-feeds each tenant's admitted arrivals through the same
+  deterministic engine and therefore resumes **bit-identically**.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.dag.io import ptg_from_dict, ptg_to_dict
+from repro.exceptions import ConfigurationError, ReproError, ServiceError
+from repro.obs import trace
+from repro.obs.meters import MetricsRegistry
+from repro.scenarios.registry import ALLOCATORS, PLATFORMS, STRATEGIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.spec import ServiceSpec
+from repro.streaming.engine import Arrival, StreamSession
+from repro.streaming.run import schedule_to_rows
+from repro.validate import validate_schedule
+
+
+@dataclass(frozen=True)
+class Request:
+    """One transport-agnostic request: method, path, query, JSON body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class Response:
+    """One JSON response: status code, document, extra headers."""
+
+    status: int
+    body: Dict
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+
+class TenantState:
+    """Live state of one tenant: its session, queue and bookkeeping."""
+
+    def __init__(self, name: str, session: StreamSession, queue_depth: int) -> None:
+        self.name = name
+        self.session = session
+        self.queue: "asyncio.Queue[Tuple[Arrival, float]]" = asyncio.Queue(
+            maxsize=queue_depth
+        )
+        #: Mirror of the queue contents (checkpointing needs to read the
+        #: not-yet-admitted arrivals without consuming the queue).
+        self.pending: Deque[Arrival] = deque()
+        self.worker: Optional["asyncio.Task"] = None
+        #: ``(time, name)`` of the latest submission accepted (queued or
+        #: admitted) -- the monotonicity guard runs at submit time so
+        #: clients get a 409 instead of a dead worker.
+        self.last_key: Optional[Tuple[float, str]] = None
+        self.seen_names: set = set()
+        self.slo_violations = 0
+        self.admissions = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of submissions queued but not yet admitted."""
+        return len(self.pending)
+
+
+class ServiceApp:
+    """The admission daemon's application core (transport-agnostic).
+
+    Parameters
+    ----------
+    spec:
+        The scenario describing the pipeline every tenant session runs
+        (platform, allocator, strategy, packing) plus the optional
+        ``service`` section with the queue/SLO limits.  Streaming specs
+        work as-is (their ``arrivals`` section seeds the workload
+        clients submit); batch specs work too -- tenants always submit
+        their own arrivals.
+    store:
+        Optional :class:`~repro.campaigns.store.CampaignStore` (or
+        path) checkpoints persist to; without one, ``checkpoint``
+        returns 400.
+    clock:
+        Injectable wall clock (seconds, monotonic) used for
+        admission-latency tracking -- the fault-injection tests pin it.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        store=None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if spec.pipeline.mapper != "ready-list":
+            raise ConfigurationError(
+                f"the admission daemon maps with the ready-list discipline "
+                f"(like every streaming run); got pipeline.mapper="
+                f"{spec.pipeline.mapper!r}"
+            )
+        self.spec = spec
+        self.service = spec.service if spec.service is not None else ServiceSpec()
+        self.platform = PLATFORMS.create(spec.platform)
+        self.strategy_name = spec.resolved_strategy_names()[0]
+        if store is not None and not hasattr(store, "append_payload"):
+            from repro.campaigns.store import CampaignStore
+
+            store = CampaignStore(store)
+        self.store = store
+        self._clock = clock if clock is not None else time.perf_counter
+        self.registry = MetricsRegistry()
+        self.tenants: Dict[str, TenantState] = {}
+        # created lazily inside the serving loop: pre-3.10 asyncio
+        # primitives bind their loop at construction time
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._started_at = self._clock()
+
+    @property
+    def shutdown_event(self) -> asyncio.Event:
+        """The event ``POST /shutdown`` sets (created on first use)."""
+        if self._shutdown_event is None:
+            self._shutdown_event = asyncio.Event()
+        return self._shutdown_event
+
+    # ------------------------------------------------------------------ #
+    # tenant lifecycle
+    # ------------------------------------------------------------------ #
+    def _new_session(self) -> StreamSession:
+        """One fresh per-tenant session from the scenario's pipeline."""
+        strategy = STRATEGIES.create(
+            self.strategy_name,
+            mu=self.spec.pipeline.mu,
+            family=self.spec.resolved_family(),
+        )
+        allocator = ALLOCATORS.create(self.spec.pipeline.allocator)
+        return StreamSession(
+            self.platform,
+            strategy=strategy,
+            allocator=allocator,
+            enable_packing=self.spec.pipeline.packing,
+        )
+
+    def tenant(self, name: str, create: bool = True) -> TenantState:
+        """The state of tenant *name*, created on first use.
+
+        With ``create=False`` an unknown tenant raises
+        :class:`~repro.exceptions.ServiceError` (mapped to HTTP 404).
+        """
+        state = self.tenants.get(name)
+        if state is None:
+            if not create:
+                raise ServiceError(f"unknown tenant {name!r}", status=404)
+            if not isinstance(name, str) or not name or len(name) > 100:
+                raise ServiceError(
+                    f"tenant must be a non-empty string of at most 100 "
+                    f"characters, got {name!r}",
+                    status=400,
+                )
+            state = self.tenants[name] = TenantState(
+                name, self._new_session(), self.service.queue_depth
+            )
+            self.registry.gauge("service.tenants").set(len(self.tenants))
+        return state
+
+    def _ensure_worker(self, tenant: TenantState) -> None:
+        """Start the tenant's admission worker if it is not running."""
+        if tenant.worker is None or tenant.worker.done():
+            tenant.worker = asyncio.get_running_loop().create_task(
+                self._drain(tenant)
+            )
+
+    async def start(self) -> None:
+        """Start the admission workers of every known tenant.
+
+        Called once inside the event loop after construction; a daemon
+        restored from a checkpoint starts draining its re-queued
+        pending arrivals here.
+        """
+        for tenant in self.tenants.values():
+            self._ensure_worker(tenant)
+
+    async def _drain(self, tenant: TenantState) -> None:
+        """Admission worker of one tenant: strictly FIFO, one at a time."""
+        registry = self.registry
+        while True:
+            arrival, enqueued_at = await tenant.queue.get()
+            try:
+                with trace.span(
+                    "service.admit", tenant=tenant.name, app=arrival.ptg.name
+                ):
+                    tenant.session.admit(arrival)
+                tenant.admissions += 1
+                latency = self._clock() - enqueued_at
+                registry.histogram("service.admission_latency").observe(latency)
+                registry.counter("service.admissions").inc()
+                if latency > self.service.slo:
+                    tenant.slo_violations += 1
+                    registry.counter("service.slo_violations").inc()
+            except ReproError:
+                # submit-time guards make this unreachable for well-formed
+                # requests; count it rather than killing the worker
+                registry.counter("service.admission_errors").inc()
+            finally:
+                tenant.pending.popleft()
+                registry.gauge(f"service.queue_depth.{tenant.name}").set(
+                    tenant.depth
+                )
+                tenant.queue.task_done()
+            # cooperative yield: long admission bursts must not starve
+            # the other tenants' workers or the transport
+            await asyncio.sleep(0)
+
+    async def quiesce(self, name: Optional[str] = None) -> None:
+        """Wait until the named tenant (default: all) has drained its queue."""
+        tenants = (
+            [self.tenant(name, create=False)]
+            if name is not None
+            else list(self.tenants.values())
+        )
+        for tenant in tenants:
+            self._ensure_worker(tenant)
+        await asyncio.gather(*(tenant.queue.join() for tenant in tenants))
+
+    async def stop(self) -> None:
+        """Cancel every admission worker (pending arrivals stay queued)."""
+        workers = [
+            t.worker for t in self.tenants.values() if t.worker is not None
+        ]
+        for worker in workers:
+            worker.cancel()
+        for worker in workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def handle(self, request: Request) -> Response:
+        """Route one request; errors map to their JSON error responses."""
+        try:
+            return await self._route(request)
+        except ServiceError as exc:
+            return Response(exc.status, {"error": str(exc)})
+        except ReproError as exc:
+            return Response(400, {"error": str(exc)})
+        except (TypeError, ValueError) as exc:
+            return Response(400, {"error": f"malformed request: {exc}"})
+
+    async def _route(self, request: Request) -> Response:
+        """Dispatch one request to its endpoint handler."""
+        route = (request.method.upper(), request.path)
+        if route == ("POST", "/submit"):
+            return await self._submit(request)
+        if route == ("GET", "/status"):
+            return await self._status(request)
+        if route == ("GET", "/schedule"):
+            return await self._schedule(request)
+        if route == ("GET", "/metrics"):
+            return await self._metrics(request)
+        if route == ("POST", "/checkpoint"):
+            return await self._checkpoint(request)
+        if route == ("POST", "/shutdown"):
+            self.shutdown_event.set()
+            return Response(200, {"stopping": True})
+        if route == ("GET", "/healthz"):
+            return Response(200, {"ok": True, "tenants": len(self.tenants)})
+        raise ServiceError(
+            f"no endpoint {request.method} {request.path}", status=404
+        )
+
+    async def _submit(self, request: Request) -> Response:
+        """``POST /submit``: queue one arrival for its tenant."""
+        body = request.body
+        if not isinstance(body, dict):
+            raise ServiceError("submit expects a JSON object body", status=400)
+        tenant_name = body.get("tenant", "default")
+        if "ptg" not in body:
+            raise ServiceError("submit body misses the 'ptg' field", status=400)
+        ptg = ptg_from_dict(body["ptg"])
+        at = float(body.get("time", 0.0))
+        tenant = self.tenant(tenant_name)
+        arrival = Arrival(ptg, at, tenant=tenant_name)
+
+        registry = self.registry
+        registry.counter("service.submissions").inc()
+        name = ptg.name
+        if name in tenant.seen_names:
+            raise ServiceError(
+                f"tenant {tenant_name!r} already submitted an application "
+                f"named {name!r}",
+                status=409,
+            )
+        key = (at, name)
+        if tenant.last_key is not None and key < tenant.last_key:
+            raise ServiceError(
+                f"submission {name!r} at t={at} is in the past: tenant "
+                f"{tenant_name!r} already submitted {tenant.last_key[1]!r} "
+                f"at t={tenant.last_key[0]}",
+                status=409,
+            )
+        try:
+            tenant.queue.put_nowait((arrival, self._clock()))
+        except asyncio.QueueFull:
+            registry.counter("service.rejections").inc()
+            return Response(
+                429,
+                {
+                    "error": (
+                        f"admission queue of tenant {tenant_name!r} is full "
+                        f"({self.service.queue_depth} pending)"
+                    ),
+                    "retry_after": self.service.retry_after,
+                },
+                headers={"Retry-After": f"{self.service.retry_after:g}"},
+            )
+        tenant.pending.append(arrival)
+        tenant.seen_names.add(name)
+        tenant.last_key = key
+        registry.gauge(f"service.queue_depth.{tenant_name}").set(tenant.depth)
+        self._ensure_worker(tenant)
+        return Response(
+            202,
+            {
+                "tenant": tenant_name,
+                "application": name,
+                "queued": tenant.depth,
+            },
+        )
+
+    def _tenant_status(self, tenant: TenantState) -> Dict:
+        """The status document of one tenant."""
+        session = tenant.session
+        return {
+            "admitted": session.admitted,
+            "pending": tenant.depth,
+            "active": session.active_applications,
+            "slo_violations": tenant.slo_violations,
+            "completion_times": dict(session.completions),
+        }
+
+    async def _status(self, request: Request) -> Response:
+        """``GET /status``: daemon-wide or (with ``?tenant=``) per-tenant."""
+        name = request.query.get("tenant")
+        if name is not None:
+            tenant = self.tenant(name, create=False)
+            return Response(200, self._tenant_status(tenant))
+        return Response(
+            200,
+            {
+                "uptime": self._clock() - self._started_at,
+                "tenants": {
+                    name: self._tenant_status(tenant)
+                    for name, tenant in sorted(self.tenants.items())
+                },
+                "admissions": sum(
+                    t.session.admitted for t in self.tenants.values()
+                ),
+                "pending": sum(t.depth for t in self.tenants.values()),
+            },
+        )
+
+    async def _schedule(self, request: Request) -> Response:
+        """``GET /schedule?tenant=``: the tenant's schedule, validated.
+
+        The endpoint quiesces the tenant (every queued submission is
+        admitted first) and runs the schedule-invariant validator
+        before serving; an invalid schedule is a 500, never a payload.
+        """
+        name = request.query.get("tenant")
+        if name is None:
+            raise ServiceError("schedule expects ?tenant=<name>", status=400)
+        tenant = self.tenant(name, create=False)
+        await self.quiesce(name)
+        session = tenant.session
+        arrivals = session.arrivals
+        report = validate_schedule(
+            session.schedule,
+            ptgs=[a.ptg for a in arrivals],
+            platform=self.platform,
+            releases={a.ptg.name: a.time for a in arrivals},
+        )
+        if not report.ok:
+            return Response(
+                500,
+                {
+                    "error": (
+                        f"schedule of tenant {name!r} failed validation: "
+                        f"{report.summary()}"
+                    ),
+                    "violations": [str(v) for v in report.violations[:10]],
+                },
+            )
+        return Response(
+            200,
+            {
+                "tenant": name,
+                "valid": True,
+                "rows": schedule_to_rows(session.schedule),
+                "completion_times": dict(session.completions),
+            },
+        )
+
+    async def _metrics(self, request: Request) -> Response:
+        """``GET /metrics``: the daemon's meter snapshot plus a summary."""
+        snapshot = self.registry.snapshot()
+        latency = self.registry.histograms.get("service.admission_latency")
+        return Response(
+            200,
+            {
+                "metrics": snapshot,
+                "tenants": len(self.tenants),
+                "admissions": sum(
+                    t.session.admitted for t in self.tenants.values()
+                ),
+                "slo": self.service.slo,
+                "p50_admission_latency": (
+                    latency.quantile(0.5) if latency is not None else None
+                ),
+                "p99_admission_latency": (
+                    latency.quantile(0.99) if latency is not None else None
+                ),
+            },
+        )
+
+    async def _checkpoint(self, request: Request) -> Response:
+        """``POST /checkpoint``: quiesce and persist every live session."""
+        if self.store is None:
+            raise ServiceError(
+                "this daemon has no store configured (serve with --store)",
+                status=400,
+            )
+        from repro.service.checkpoint import write_checkpoint
+
+        await self.quiesce()
+        key = write_checkpoint(self, self.store)
+        return Response(
+            200,
+            {
+                "key": key,
+                "tenants": len(self.tenants),
+                "admitted": sum(
+                    t.session.admitted for t in self.tenants.values()
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def snapshot_tenants(self) -> Dict[str, Dict]:
+        """Serializable per-tenant state (admitted + pending arrivals).
+
+        Call after :meth:`quiesce` for a clean cut; pending arrivals
+        that remain are checkpointed too and re-queued on restore.
+        """
+        return {
+            name: {
+                "admitted": [
+                    [arrival.time, ptg_to_dict(arrival.ptg)]
+                    for arrival in tenant.session.arrivals
+                ],
+                "pending": [
+                    [arrival.time, ptg_to_dict(arrival.ptg)]
+                    for arrival in tenant.pending
+                ],
+            }
+            for name, tenant in sorted(self.tenants.items())
+        }
+
+    def restore_tenant(
+        self,
+        name: str,
+        admitted: List[Tuple[float, Dict]],
+        pending: List[Tuple[float, Dict]],
+    ) -> TenantState:
+        """Rebuild one tenant from checkpointed arrival lists.
+
+        The admitted arrivals are re-fed through a fresh session in
+        their original admission order -- the engine is deterministic,
+        so the restored schedule is bit-identical to the checkpointed
+        one.  Pending arrivals are re-queued for the worker.
+        """
+        tenant = self.tenant(name)
+        for at, payload in admitted:
+            arrival = Arrival(ptg_from_dict(payload), float(at), tenant=name)
+            tenant.session.admit(arrival)
+            tenant.seen_names.add(arrival.ptg.name)
+            tenant.last_key = (arrival.time, arrival.ptg.name)
+            tenant.admissions += 1
+        for at, payload in pending:
+            arrival = Arrival(ptg_from_dict(payload), float(at), tenant=name)
+            tenant.queue.put_nowait((arrival, self._clock()))
+            tenant.pending.append(arrival)
+            tenant.seen_names.add(arrival.ptg.name)
+            tenant.last_key = (arrival.time, arrival.ptg.name)
+        self.registry.gauge(f"service.queue_depth.{name}").set(tenant.depth)
+        return tenant

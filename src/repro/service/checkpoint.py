@@ -1,0 +1,161 @@
+"""Checkpoint/restore of live daemon sessions through the campaign store.
+
+A checkpoint is one JSON record in the store's generic ``service``
+channel (the same crash-safe append-only machinery campaign shards and
+streaming scenarios persist through): the daemon's scenario spec, and
+per tenant the **admitted** arrivals (in admission order) plus the
+**pending** ones still queued, each arrival as its submission instant
+and the full serialised PTG.  The record key is the scenario's content
+hash, so checkpoints of the same service configuration overwrite each
+other on read (last record wins) while different configurations coexist
+in one store.
+
+Restoring re-feeds every tenant's admitted arrivals through a fresh
+:class:`~repro.streaming.engine.StreamSession` -- the engine is
+deterministic, so the restored schedules are **bit-identical** to the
+checkpointed ones (``tests/test_service_faults.py`` kills a daemon
+mid-stream and proves the resumed run equals an uninterrupted one) --
+and re-queues the pending arrivals for the admission workers.
+
+Alongside the state record, a checkpoint persists the daemon's metrics
+snapshot as a telemetry summary (the ``telemetry`` channel), so
+``repro metrics <store>`` reports the service's p50/p99 admission
+latency and SLO-violation counts like any other stored run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError
+from repro.obs.export import TELEMETRY_CHANNEL, telemetry_summary
+from repro.obs.meters import Histogram, MetricsRegistry
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.app import ServiceApp
+
+#: Store channel holding admission-daemon checkpoints.
+SERVICE_CHANNEL = "service"
+
+#: Version stamp of the checkpoint record format.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def checkpoint_payload(app: ServiceApp) -> Dict:
+    """The plain-JSON checkpoint record of one (quiesced) daemon.
+
+    Call :meth:`~repro.service.app.ServiceApp.quiesce` first for a
+    clean admitted/pending cut; arrivals still queued at snapshot time
+    are checkpointed as pending and re-queued on restore.
+    """
+    return {
+        "checkpoint_version": CHECKPOINT_FORMAT_VERSION,
+        "spec": app.spec.to_dict(),
+        "tenants": app.snapshot_tenants(),
+        "metrics": app.registry.snapshot(),
+    }
+
+
+def write_checkpoint(app: ServiceApp, store: CampaignStore) -> str:
+    """Persist one checkpoint (and its telemetry summary); returns the key."""
+    if not hasattr(store, "append_payload"):
+        store = CampaignStore(store)
+    key = app.spec.content_hash()
+    store.append_payload(SERVICE_CHANNEL, key, checkpoint_payload(app))
+    store.append_payload(
+        TELEMETRY_CHANNEL,
+        key,
+        telemetry_summary(
+            [],
+            snapshot=app.registry.snapshot(),
+            labels={"service": app.spec.label(), "key": key},
+        ),
+    )
+    return key
+
+
+def load_checkpoint(store: CampaignStore, key: Optional[str] = None) -> Dict:
+    """The latest checkpoint record of a store's ``service`` channel.
+
+    With several distinct service configurations in one store, *key*
+    selects which one; a single-configuration store needs no key.
+    """
+    if not hasattr(store, "append_payload"):
+        store = CampaignStore(store)
+    records = store.payloads_by_key(SERVICE_CHANNEL)
+    if not records:
+        raise CampaignError(
+            f"store {store.root} holds no service checkpoint"
+        )
+    if key is None:
+        if len(records) > 1:
+            raise CampaignError(
+                f"store {store.root} holds checkpoints of "
+                f"{len(records)} service configurations; pass the key of "
+                f"the one to restore (available: {sorted(records)})"
+            )
+        key = next(iter(records))
+    if key not in records:
+        raise CampaignError(
+            f"store {store.root} holds no service checkpoint under key "
+            f"{key!r} (available: {sorted(records)})"
+        )
+    payload = records[key]
+    version = payload.get("checkpoint_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CampaignError(
+            f"unsupported service checkpoint version {version!r} (this "
+            f"build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    return payload
+
+
+def _restore_registry(registry: MetricsRegistry, snapshot: Dict) -> None:
+    """Rebuild a registry's meters from a stored snapshot.
+
+    Counters and histograms resume their checkpointed totals, so
+    latency quantiles and SLO-violation counts accumulate across
+    restarts instead of resetting.
+    """
+    for name, value in snapshot.get("counters", {}).items():
+        registry.counter(name).value = float(value)
+    for name, payload in snapshot.get("gauges", {}).items():
+        gauge = registry.gauge(name)
+        gauge.value = float(payload["value"])
+        gauge.max = float(payload["max"])
+    for name, payload in snapshot.get("histograms", {}).items():
+        registry.histograms[name] = Histogram.from_dict(payload)
+
+
+def restore_app(
+    store,
+    key: Optional[str] = None,
+    clock=None,
+    attach_store: bool = True,
+) -> ServiceApp:
+    """Rebuild a daemon from the latest checkpoint of *store*.
+
+    Must run inside the event loop that will serve the app (the
+    restored tenants' queues bind to it).  The restored daemon carries
+    the checkpointed metrics forward and, with ``attach_store`` (the
+    default), keeps checkpointing to the same store.
+
+    Call :meth:`~repro.service.app.ServiceApp.start` afterwards to
+    begin draining the re-queued pending arrivals.
+    """
+    if not hasattr(store, "append_payload"):
+        store = CampaignStore(store)
+    payload = load_checkpoint(store, key)
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    app = ServiceApp(spec, store=store if attach_store else None, clock=clock)
+    try:
+        for name, state in payload["tenants"].items():
+            app.restore_tenant(
+                str(name), state["admitted"], state["pending"]
+            )
+    except KeyError as exc:
+        raise CampaignError(
+            f"service checkpoint record misses field {exc}"
+        ) from None
+    _restore_registry(app.registry, payload.get("metrics", {}))
+    return app

@@ -1,0 +1,162 @@
+"""Synchronous client of the admission daemon (stdlib :mod:`http.client`).
+
+The daemon's callers are batch submitters and smoke tests, so the
+client is deliberately blocking: one request, one connection, JSON in
+and out.  Backpressure handling is built in -- :meth:`ServiceClient.submit`
+honours the daemon's ``Retry-After`` hint and retries until admitted
+(bounded by ``max_retries``), or surfaces the 429 as a
+:class:`~repro.exceptions.ServiceError` when asked not to wait.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional
+
+from repro.dag.graph import PTG
+from repro.dag.io import ptg_to_dict
+from repro.exceptions import ServiceError
+
+#: Default per-request socket timeout, generous enough for a daemon
+#: that is quiescing a large tenant before answering ``/schedule``.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """Blocking JSON client of one admission daemon.
+
+    >>> client = ServiceClient("127.0.0.1", 8462)  # doctest: +SKIP
+    >>> client.submit("tenant-a", 0.0, ptg)        # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+    ) -> Dict:
+        """One HTTP round-trip; returns the decoded JSON body.
+
+        Raises :class:`ServiceError` (carrying the HTTP status) on any
+        non-2xx answer except 429, which is returned to the caller so
+        submission loops can honour ``Retry-After``.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            raw = connection.getresponse()
+            answer = json.loads(raw.read().decode("utf-8") or "null")
+            status = raw.status
+            retry_after = raw.getheader("Retry-After")
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"request {method} {path} to "
+                f"{self.host}:{self.port} failed: {exc}",
+                status=503,
+            ) from exc
+        finally:
+            connection.close()
+        if status == 429:
+            answer = dict(answer or {})
+            answer["status"] = status
+            if retry_after is not None:
+                answer.setdefault("retry_after", float(retry_after))
+            return answer
+        if status >= 400:
+            detail = (answer or {}).get("error", answer)
+            raise ServiceError(
+                f"{method} {path} answered {status}: {detail}", status=status
+            )
+        return answer if isinstance(answer, dict) else {"result": answer}
+
+    # -- endpoints -----------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        time_: float,
+        ptg: PTG,
+        wait: bool = True,
+        max_retries: int = 50,
+        sleep=time.sleep,
+    ) -> Dict:
+        """Submit one application; retries on backpressure when *wait*.
+
+        Each 429 answer is retried after the daemon's ``Retry-After``
+        hint, up to *max_retries* times; with ``wait=False`` the first
+        429 raises a :class:`ServiceError` instead.
+        """
+        body = {"tenant": tenant, "time": float(time_), "ptg": ptg_to_dict(ptg)}
+        for _attempt in range(max_retries + 1):
+            answer = self.request("POST", "/submit", body)
+            if answer.get("status") != 429:
+                return answer
+            if not wait:
+                raise ServiceError(
+                    f"tenant {tenant!r} queue is full "
+                    f"(retry after {answer.get('retry_after')}s)",
+                    status=429,
+                )
+            sleep(float(answer.get("retry_after", 0.05)))
+        raise ServiceError(
+            f"tenant {tenant!r} still backpressured after "
+            f"{max_retries} retries",
+            status=429,
+        )
+
+    def status(self, tenant: Optional[str] = None) -> Dict:
+        """Daemon-wide status, or one tenant's with *tenant* given."""
+        path = "/status"
+        if tenant is not None:
+            path += f"?tenant={tenant}"
+        return self.request("GET", path)
+
+    def schedule(self, tenant: str) -> Dict:
+        """A tenant's validated schedule (quiesces the tenant first)."""
+        return self.request("GET", f"/schedule?tenant={tenant}")
+
+    def metrics(self) -> Dict:
+        """The daemon's metrics snapshot with admission p50/p99."""
+        return self.request("GET", "/metrics")
+
+    def checkpoint(self) -> Dict:
+        """Quiesce every tenant and persist a checkpoint to the store."""
+        return self.request("POST", "/checkpoint")
+
+    def shutdown(self) -> Dict:
+        """Ask the daemon to stop serving (it checkpoints on exit)."""
+        return self.request("POST", "/shutdown")
+
+    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> None:
+        """Block until ``/healthz`` answers (daemon finished booting)."""
+        last: Optional[ServiceError] = None
+        for _ in range(attempts):
+            try:
+                self.request("GET", "/healthz")
+                return
+            except ServiceError as exc:
+                last = exc
+                time.sleep(delay)
+        raise ServiceError(
+            f"daemon at {self.host}:{self.port} never became ready: {last}",
+            status=503,
+        )

@@ -1,0 +1,186 @@
+"""Minimal JSON-over-HTTP framing for the admission daemon (stdlib only).
+
+The daemon's application logic is transport-agnostic
+(:meth:`repro.service.app.ServiceApp.handle` consumes
+:class:`~repro.service.app.Request` objects); this module is the thin
+HTTP/1.1 skin on :func:`asyncio.start_server`:
+
+* one request per connection (``Connection: close`` -- the clients are
+  submission scripts and smoke tests, not browsers),
+* the request body, when present, must be a JSON document,
+* every response is a JSON document with ``Content-Length``, plus any
+  endpoint headers (notably ``Retry-After`` on 429 backpressure).
+
+:func:`run_daemon` is the blocking entry point ``repro serve`` calls:
+it builds (or restores) the app *inside* the event loop, serves until
+``POST /shutdown`` (or cancellation), then checkpoints on the way down
+when a store is configured, so an operator stop never loses admitted
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Callable, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.app import Request, Response, ServiceApp
+
+logger = logging.getLogger("repro.service")
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Largest accepted request body (a serialised PTG is a few kilobytes;
+#: one megabyte is far beyond any legitimate submission).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _encode_response(response: Response) -> bytes:
+    """Render one :class:`Response` as an HTTP/1.1 byte string."""
+    body = json.dumps(response.body).encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.append("Content-Type: application/json")
+    head.append(f"Content-Length: {len(body)}")
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request:
+    """Parse one HTTP request from the stream (raises ValueError when bad)."""
+    request_line = await reader.readline()
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("ascii", "replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable content length {length}")
+    raw = await reader.readexactly(length) if length else b""
+    body = json.loads(raw.decode("utf-8")) if raw else None
+    split = urlsplit(target)
+    return Request(
+        method=method,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        body=body,
+    )
+
+
+def connection_handler(app: ServiceApp) -> Callable:
+    """The per-connection coroutine :func:`asyncio.start_server` needs."""
+
+    async def _handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except (ValueError, json.JSONDecodeError, asyncio.IncompleteReadError) as exc:
+                response = Response(400, {"error": f"malformed request: {exc}"})
+            else:
+                response = await app.handle(request)
+            writer.write(_encode_response(response))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    return _handle
+
+
+async def start_http_server(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[asyncio.AbstractServer, int]:
+    """Bind the daemon to ``host:port``; returns (server, bound port).
+
+    Port 0 binds an ephemeral port -- the tests use it to avoid
+    collisions; the bound port is in the return value either way.
+    """
+    server = await asyncio.start_server(connection_handler(app), host, port)
+    bound = server.sockets[0].getsockname()[1]
+    return server, bound
+
+
+async def serve_app(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Serve *app* until its shutdown event fires, then stop cleanly.
+
+    *ready* (if given) receives the bound port once the socket is
+    listening.  On the way down the admission workers are stopped and,
+    when the app has a store, a final checkpoint is written -- stopping
+    a daemon never loses admitted state.
+    """
+    server, bound = await start_http_server(app, host, port)
+    logger.info("service listening on %s:%d", host, bound)
+    if ready is not None:
+        ready(bound)
+    await app.start()
+    try:
+        await app.shutdown_event.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await app.quiesce()
+        await app.stop()
+        if app.store is not None:
+            from repro.service.checkpoint import write_checkpoint
+
+            key = write_checkpoint(app, app.store)
+            logger.info("final checkpoint written under %s", key)
+
+
+def run_daemon(
+    spec: ScenarioSpec,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store=None,
+    restore: bool = False,
+    ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Blocking entry point of ``repro serve``.
+
+    Builds the app inside a fresh event loop (restoring from the
+    store's latest checkpoint when *restore* is set) and serves until
+    shutdown.
+    """
+
+    async def _main() -> None:
+        if restore:
+            from repro.service.checkpoint import restore_app
+
+            app = restore_app(store, clock=None)
+        else:
+            app = ServiceApp(spec, store=store)
+        await serve_app(app, host, port, ready=ready)
+
+    asyncio.run(_main())

@@ -251,6 +251,32 @@ class StreamSession:
         """Applications still in the system at the last admission instant."""
         return list(self._active)
 
+    @property
+    def arrivals(self) -> Tuple[Arrival, ...]:
+        """The admitted arrivals, in admission order.
+
+        This is the session's checkpoint hook: re-feeding these
+        arrivals through a fresh session reproduces the live state
+        bit-identically (the engine is deterministic), which is how the
+        admission daemon (:mod:`repro.service`) restores tenants.
+        """
+        return tuple(self._arrivals)
+
+    @property
+    def completions(self) -> Dict[str, float]:
+        """Planned completion time of every admitted application (a copy)."""
+        return dict(self._completions)
+
+    @property
+    def last_admission(self) -> Optional[Tuple[float, str]]:
+        """``(time, name)`` of the latest admission, or ``None``.
+
+        Feeding an arrival that sorts before this key raises -- the
+        service layer mirrors the check at submit time so clients get
+        an HTTP 409 instead of a failed admission.
+        """
+        return self._last_key
+
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #

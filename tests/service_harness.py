@@ -1,0 +1,197 @@
+"""Fault-injection harness for the admission-daemon tests.
+
+The daemon's application core is transport-agnostic, so faults are
+injected *between* a simulated client and :meth:`ServiceApp.handle`:
+:class:`FaultyTransport` drops, delays and duplicates requests by
+request index according to a declarative :class:`FaultPlan`, and a
+:class:`ManualClock` stands in for the wall clock so admission-latency
+SLO behaviour is provable without sleeping.
+
+Kill-and-restart is modelled the way a real crash behaves: the first
+daemon is abandoned mid-stream (no graceful shutdown), a second daemon
+restores from the store's last checkpoint, and the client re-submits
+everything after its last acknowledged arrival -- duplicates answer 409
+(admission is idempotent per application name), lost requests are
+retried, and the final schedules must be bit-identical to a run that
+was never interrupted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import PTG
+from repro.dag.io import ptg_to_dict
+from repro.dag.task import Task
+from repro.scenarios.spec import PipelineSpec, ScenarioSpec
+from repro.service.app import Request, Response, ServiceApp
+from repro.streaming.engine import Arrival, StreamSession
+
+
+class ManualClock:
+    """A callable clock the tests advance by hand (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by *dt* seconds."""
+        self.now += float(dt)
+
+
+def make_service_spec(
+    queue_depth: int = 8,
+    slo: float = 0.5,
+    retry_after: float = 0.05,
+    platform: str = "lille",
+    strategy: str = "ES",
+    allocator: str = "hcpa",
+) -> ScenarioSpec:
+    """A small scenario with a ``service`` section (fast to schedule)."""
+    return ScenarioSpec.from_dict(
+        {
+            "platform": platform,
+            "pipeline": {"allocator": allocator, "mapper": "ready-list"},
+            "strategies": [strategy],
+            "service": {
+                "queue_depth": queue_depth,
+                "slo": slo,
+                "retry_after": retry_after,
+            },
+        }
+    )
+
+
+def chain_ptg(name: str, n: int = 3, flops: float = 4e9) -> PTG:
+    """A deterministic linear chain of *n* identical tasks."""
+    graph = PTG(name)
+    for i in range(n):
+        graph.add_task(Task(i, flops=flops, alpha=0.1, data_elements=4e6))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, 3.2e7)
+    graph.validate()
+    return graph
+
+
+def make_arrivals(
+    n: int,
+    tenants: Sequence[str] = ("alpha", "beta"),
+    spacing: float = 25.0,
+) -> List[Tuple[str, float, PTG]]:
+    """``(tenant, time, ptg)`` triples, tenants round-robin, times spaced."""
+    return [
+        (tenants[i % len(tenants)], i * spacing, chain_ptg(f"app-{i}", n=2 + i % 3))
+        for i in range(n)
+    ]
+
+
+def submit_request(tenant: str, at: float, ptg: PTG) -> Request:
+    """The ``POST /submit`` request of one arrival."""
+    return Request(
+        "POST",
+        "/submit",
+        body={"tenant": tenant, "time": at, "ptg": ptg_to_dict(ptg)},
+    )
+
+
+async def tenant_rows(app: ServiceApp, tenant: str) -> List[Dict]:
+    """The validated schedule rows of one tenant (asserts a 200)."""
+    response = await app.handle(Request("GET", "/schedule", query={"tenant": tenant}))
+    assert response.status == 200, response.body
+    assert response.body["valid"] is True
+    return response.body["rows"]
+
+
+async def all_tenant_rows(app: ServiceApp) -> Dict[str, List[Dict]]:
+    """Validated schedule rows of every tenant of *app*."""
+    return {name: await tenant_rows(app, name) for name in sorted(app.tenants)}
+
+
+def replay_rows(
+    spec: ScenarioSpec, arrivals: Sequence[Tuple[str, float, PTG]]
+) -> Dict[str, List[Dict]]:
+    """Per-tenant schedule rows of independent offline session replays.
+
+    This is the determinism oracle: each tenant's arrivals are fed, in
+    submission order, through a private :class:`StreamSession` built
+    exactly the way the daemon builds tenant sessions.
+    """
+    from repro.streaming.run import schedule_to_rows
+
+    per_tenant: Dict[str, List[Tuple[float, PTG]]] = {}
+    for tenant, at, ptg in arrivals:
+        per_tenant.setdefault(tenant, []).append((at, ptg))
+    rows = {}
+    for tenant, items in per_tenant.items():
+        app = ServiceApp(spec)  # only used as a session factory here
+        session: StreamSession = app._new_session()
+        for at, ptg in items:
+            session.admit(Arrival(ptg, at, tenant=tenant))
+        rows[tenant] = schedule_to_rows(session.schedule)
+    return dict(sorted(rows.items()))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative faults keyed by submit-request index (0-based).
+
+    ``drop`` requests never reach the daemon (the transport reports the
+    loss so the client can retry); ``duplicate`` requests are delivered
+    twice back-to-back; ``delay`` maps an index to the seconds the
+    manual clock jumps before delivery (so the admission of everything
+    already queued appears late against the SLO).
+    """
+
+    drop: FrozenSet[int] = frozenset()
+    duplicate: FrozenSet[int] = frozenset()
+    delay: Dict[int, float] = field(default_factory=dict)
+
+
+class FaultyTransport:
+    """Delivers submit requests to an app through a :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        plan: Optional[FaultPlan] = None,
+        clock: Optional[ManualClock] = None,
+    ) -> None:
+        self.app = app
+        self.plan = plan or FaultPlan()
+        self.clock = clock
+        self.sent = 0
+        self.dropped: List[int] = []
+        self.responses: List[Response] = []
+
+    async def submit(self, tenant: str, at: float, ptg: PTG) -> Optional[Response]:
+        """Deliver one submission; ``None`` means the request was lost."""
+        index = self.sent
+        self.sent += 1
+        if index in self.plan.delay and self.clock is not None:
+            self.clock.advance(self.plan.delay[index])
+        if index in self.plan.drop:
+            self.dropped.append(index)
+            return None
+        request = submit_request(tenant, at, ptg)
+        response = await self.app.handle(request)
+        if index in self.plan.duplicate:
+            echo = await self.app.handle(request)
+            # at-least-once delivery: the daemon dedupes by name
+            assert echo.status == 409, echo.body
+        self.responses.append(response)
+        return response
+
+    async def submit_reliably(
+        self, tenant: str, at: float, ptg: PTG, retries: int = 3
+    ) -> Response:
+        """Submit with retry-on-loss (what a real client's retry loop does)."""
+        for _ in range(retries + 1):
+            response = await self.submit(tenant, at, ptg)
+            if response is not None:
+                return response
+        raise AssertionError(f"submission of {ptg.name} lost {retries + 1} times")

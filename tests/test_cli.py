@@ -391,3 +391,36 @@ class TestValidateCommand:
     def test_empty_store_is_an_error(self, capsys, tmp_path):
         assert main(["validate", str(tmp_path / "empty")]) == 2
         assert "no validatable records" in capsys.readouterr().err
+
+
+class TestServeAndClientCommands:
+    def test_parser_knows_serve_and_client(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "spec.json", "--port", "8080"])
+        assert args.command == "serve" and args.port == 8080
+        args = parser.parse_args(["client", "status", "--port", "8080"])
+        assert args.command == "client" and args.action == "status"
+
+    def test_serve_without_spec_or_restore_is_an_error(self, capsys):
+        assert main(["serve"]) == 2
+        assert "scenario spec" in capsys.readouterr().err
+
+    def test_serve_restore_requires_store(self, capsys):
+        assert main(["serve", "--restore"]) == 2
+        assert "--restore requires --store" in capsys.readouterr().err
+
+    def test_client_schedule_requires_tenant(self, capsys):
+        assert main(["client", "schedule", "--port", "1"]) == 2
+        assert "--tenant" in capsys.readouterr().err
+
+    def test_client_submit_needs_a_streaming_spec(self, capsys, tmp_path):
+        spec_file = tmp_path / "batch.json"
+        spec_file.write_text('{"platform": "lille"}')
+        assert main(["client", "submit", str(spec_file), "--port", "1"]) == 2
+        assert "arrivals" in capsys.readouterr().err
+
+    def test_client_unreachable_daemon_is_a_clean_error(self, capsys):
+        # nothing listens on port 1; the client must fail with exit 2,
+        # not a traceback
+        assert main(["client", "status", "--port", "1"]) == 2
+        assert "failed" in capsys.readouterr().err

@@ -5,8 +5,9 @@ paper's mechanisms (the PTG model and its array compilation, constrained
 allocation, the beta-distribution strategies, translation to concrete
 clusters, non-insertion placement, allocation packing); the scenarios
 package is the public front door on top of them; the streaming package
-is the online workload engine and ``repro.validate`` the invariant
-checker guarding every schedule.  Every public class, function, method
+is the online workload engine, ``repro.service`` the admission daemon
+hosting it, and ``repro.validate`` the invariant checker guarding every
+schedule.  Every public class, function, method
 and property there must carry a docstring explaining what it
 implements.  This test enforces it so the documentation audit cannot
 rot.
@@ -24,6 +25,7 @@ import repro.dag
 import repro.mapping
 import repro.obs
 import repro.scenarios
+import repro.service
 import repro.streaming
 import repro.validate
 
@@ -34,6 +36,7 @@ AUDITED_PACKAGES = (
     repro.mapping,
     repro.obs,
     repro.scenarios,
+    repro.service,
     repro.streaming,
     repro.validate,
 )

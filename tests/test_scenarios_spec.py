@@ -194,3 +194,43 @@ class TestLoadSpecs:
             load_specs([None])
         with pytest.raises(ConfigurationError, match="JSON object"):
             ScenarioSpec.from_dict({"workload": 3})
+
+
+class TestServiceSection:
+    def test_round_trips(self):
+        spec = ScenarioSpec.from_dict(
+            {"platform": "lille", "service": {"queue_depth": 8, "slo": 0.25}}
+        )
+        assert spec.service.queue_depth == 8
+        assert spec.service.slo == 0.25
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_true_shorthand_means_defaults(self):
+        from repro.service.spec import DEFAULT_QUEUE_DEPTH, DEFAULT_SLO_SECONDS
+
+        spec = ScenarioSpec.from_dict({"service": True})
+        assert spec.service.queue_depth == DEFAULT_QUEUE_DEPTH
+        assert spec.service.slo == DEFAULT_SLO_SECONDS
+
+    def test_absent_section_leaves_hash_unchanged(self):
+        base = ScenarioSpec.from_dict({"platform": "lille"})
+        with_service = ScenarioSpec.from_dict(
+            {"platform": "lille", "service": {"queue_depth": 8}}
+        )
+        # the optional section extends the hash only when set, so every
+        # pre-existing store key stays valid
+        assert "service" not in base.to_dict()
+        assert base.content_hash() != with_service.content_hash()
+        assert base.content_hash() == ScenarioSpec(platform="lille").content_hash()
+
+    def test_unknown_service_key_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            ScenarioSpec.from_dict({"service": {"depth": 3}})
+
+    def test_invalid_limits_raise(self):
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            ScenarioSpec.from_dict({"service": {"queue_depth": 0}})
+        with pytest.raises(ConfigurationError, match="slo"):
+            ScenarioSpec.from_dict({"service": {"slo": -1.0}})
+        with pytest.raises(ConfigurationError, match="retry_after"):
+            ScenarioSpec.from_dict({"service": {"retry_after": 0}})

@@ -1,0 +1,195 @@
+"""Backpressure, SLO accounting and reporting of the admission daemon.
+
+Covers the 429/Retry-After contract of full per-tenant queues, the
+``service.slo_violations`` counter against an injected clock, the
+synchronous client's retry loop over a real socket, and ``repro-ptg
+metrics`` reporting the daemon's p50/p99 admission latency from a
+stored checkpoint summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.campaigns.store import CampaignStore
+from repro.cli import main
+from repro.exceptions import ServiceError
+from repro.service.app import Request, ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.http import run_daemon
+
+from service_harness import (
+    ManualClock,
+    chain_ptg,
+    make_service_spec,
+    submit_request,
+)
+
+
+def test_full_queue_answers_429_with_retry_after():
+    spec = make_service_spec(queue_depth=2, retry_after=0.25)
+
+    async def run():
+        app = ServiceApp(spec)
+        # submit without yielding: the worker never runs, the queue fills
+        answers = [
+            await app.handle(submit_request("solo", float(i * 10), chain_ptg(f"a{i}")))
+            for i in range(4)
+        ]
+        rejected = [a for a in answers if a.status == 429]
+        accepted = [a for a in answers if a.status == 202]
+        assert len(accepted) == 2 and len(rejected) == 2
+        for answer in rejected:
+            assert answer.headers["Retry-After"] == "0.25"
+            assert answer.body["retry_after"] == 0.25
+            assert "full" in answer.body["error"]
+        assert app.registry.counter("service.rejections").value == 2
+        # names rejected by backpressure were NOT consumed: draining the
+        # queue makes room and the same submission succeeds
+        await app.quiesce()
+        retry = await app.handle(submit_request("solo", 20.0, chain_ptg("a2")))
+        assert retry.status == 202, retry.body
+        await app.quiesce()
+        assert app.tenants["solo"].session.admitted == 3
+        await app.stop()
+
+    asyncio.run(run())
+
+
+def test_backpressure_is_per_tenant():
+    """One tenant at its depth limit never blocks another tenant."""
+    spec = make_service_spec(queue_depth=1)
+
+    async def run():
+        app = ServiceApp(spec)
+        first = await app.handle(submit_request("greedy", 0.0, chain_ptg("g0")))
+        second = await app.handle(submit_request("greedy", 10.0, chain_ptg("g1")))
+        other = await app.handle(submit_request("quiet", 0.0, chain_ptg("q0")))
+        assert first.status == 202
+        assert second.status == 429
+        assert other.status == 202, other.body
+        await app.stop()
+
+    asyncio.run(run())
+
+
+def test_slo_violations_counted_with_manual_clock():
+    clock = ManualClock()
+    spec = make_service_spec(slo=0.5)
+
+    async def run():
+        app = ServiceApp(spec, clock=clock)
+        for i in range(3):
+            await app.handle(submit_request("solo", float(i * 10), chain_ptg(f"s{i}")))
+        clock.advance(0.8)  # everything queued is now 0.8s old: SLO breach
+        await app.quiesce()
+        for i in range(3, 5):
+            await app.handle(submit_request("solo", float(i * 10), chain_ptg(f"s{i}")))
+        await app.quiesce()  # admitted immediately: no breach
+        assert app.registry.counter("service.slo_violations").value == 3
+        assert app.tenants["solo"].slo_violations == 3
+        status = await app.handle(Request("GET", "/status", query={"tenant": "solo"}))
+        assert status.body["slo_violations"] == 3
+        metrics = await app.handle(Request("GET", "/metrics"))
+        assert metrics.body["metrics"]["counters"]["service.slo_violations"] == 3
+        await app.stop()
+
+    asyncio.run(run())
+
+
+def test_metrics_cli_reports_service_quantiles(tmp_path, capsys):
+    """``repro-ptg metrics <store>`` folds in the daemon's summaries."""
+    clock = ManualClock()
+    spec = make_service_spec(slo=0.5)
+    store = CampaignStore(tmp_path / "store")
+
+    async def run():
+        app = ServiceApp(spec, store=store, clock=clock)
+        for i in range(4):
+            await app.handle(submit_request("solo", float(i * 10), chain_ptg(f"m{i}")))
+            clock.advance(0.01)
+            await app.quiesce()
+        checkpoint = await app.handle(Request("POST", "/checkpoint"))
+        assert checkpoint.status == 200, checkpoint.body
+        await app.stop()
+
+    asyncio.run(run())
+
+    assert main(["metrics", str(tmp_path / "store"), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    histogram = payload["histograms"]["service.admission_latency"]
+    assert histogram["count"] == 4
+    assert payload["counters"]["service.admissions"] == 4
+
+    capsys.readouterr()
+    assert main(["metrics", str(tmp_path / "store")]) == 0
+    text = capsys.readouterr().out
+    assert "service.admission_latency" in text
+    assert "p50" in text and "p99" in text
+
+
+def test_client_submit_retries_through_backpressure():
+    """The sync client's retry loop waits out a 429 and lands the submit."""
+    spec = make_service_spec(queue_depth=1, retry_after=0.05)
+    ready = threading.Event()
+    box = {}
+
+    def on_ready(port):
+        box["port"] = port
+        ready.set()
+
+    server = threading.Thread(
+        target=run_daemon, args=(spec,), kwargs={"ready": on_ready}, daemon=True
+    )
+    server.start()
+    assert ready.wait(10)
+    client = ServiceClient("127.0.0.1", box["port"])
+    client.wait_ready()
+    try:
+        for i in range(5):
+            answer = client.submit("solo", float(i * 10), chain_ptg(f"c{i}"))
+            assert answer["tenant"] == "solo"
+        status = client.status("solo")
+        assert status["admitted"] + status["pending"] == 5
+        schedule = client.schedule("solo")
+        assert schedule["valid"] is True
+        with pytest.raises(ServiceError, match="unknown tenant"):
+            client.schedule("nobody")
+    finally:
+        client.shutdown()
+        server.join(10)
+    assert not server.is_alive()
+
+
+class _BackpressuredClient(ServiceClient):
+    """A client whose daemon always answers 429 (no socket involved)."""
+
+    def __init__(self):
+        super().__init__("127.0.0.1", 1)
+        self.requests = 0
+
+    def request(self, method, path, body=None):
+        self.requests += 1
+        return {"status": 429, "retry_after": 0.05}
+
+
+def test_client_submit_no_wait_raises_on_429():
+    client = _BackpressuredClient()
+    with pytest.raises(ServiceError) as err:
+        client.submit("solo", 0.0, chain_ptg("n0"), wait=False)
+    assert err.value.status == 429
+    assert client.requests == 1
+
+
+def test_client_submit_retry_budget_is_bounded():
+    """A daemon that never makes room exhausts the retry budget cleanly."""
+    client = _BackpressuredClient()
+    naps = []
+    with pytest.raises(ServiceError, match="still backpressured"):
+        client.submit("solo", 0.0, chain_ptg("n0"), max_retries=3, sleep=naps.append)
+    assert naps == [0.05, 0.05, 0.05, 0.05]  # paced by the Retry-After hint
+    assert client.requests == 4

@@ -1,0 +1,262 @@
+"""Fault-injection tests of the admission daemon.
+
+The centrepiece is kill-and-restart: a daemon abandoned mid-stream and
+restored from its last checkpoint must finish with schedules
+**bit-identical** to a run that was never interrupted, and every served
+schedule must be validator-clean.  Around it: dropped, duplicated and
+delayed requests (at-least-once delivery semantics), checkpoints that
+carry not-yet-admitted pending arrivals, and restore error handling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError
+from repro.service.app import Request, ServiceApp
+from repro.service.checkpoint import (
+    SERVICE_CHANNEL,
+    load_checkpoint,
+    restore_app,
+    write_checkpoint,
+)
+
+from service_harness import (
+    FaultPlan,
+    FaultyTransport,
+    ManualClock,
+    all_tenant_rows,
+    make_arrivals,
+    make_service_spec,
+    replay_rows,
+    submit_request,
+)
+
+
+def test_kill_and_restart_resumes_bit_identically(tmp_path):
+    """A daemon killed mid-stream resumes exactly where it left off."""
+    spec = make_service_spec()
+    arrivals = make_arrivals(8)
+    store = CampaignStore(tmp_path / "store")
+
+    # the uninterrupted oracle: all arrivals through one daemon
+    async def uninterrupted():
+        app = ServiceApp(spec)
+        transport = FaultyTransport(app)
+        for tenant, at, ptg in arrivals:
+            response = await transport.submit(tenant, at, ptg)
+            assert response.status == 202, response.body
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return rows
+
+    oracle = asyncio.run(uninterrupted())
+
+    # first daemon: five arrivals acknowledged, checkpoint, then CRASH --
+    # no graceful shutdown, the object is simply abandoned
+    async def first_life():
+        app = ServiceApp(spec, store=store)
+        transport = FaultyTransport(app)
+        for tenant, at, ptg in arrivals[:5]:
+            response = await transport.submit(tenant, at, ptg)
+            assert response.status == 202, response.body
+        response = await app.handle(Request("POST", "/checkpoint"))
+        assert response.status == 200, response.body
+        await app.stop()  # simulated kill: workers die, no final checkpoint
+
+    asyncio.run(first_life())
+
+    # second daemon: restore, then the client re-submits from its last
+    # acknowledged arrival onwards
+    async def second_life():
+        app = restore_app(store)
+        await app.start()
+        transport = FaultyTransport(app)
+        for tenant, at, ptg in arrivals[5:]:
+            response = await transport.submit(tenant, at, ptg)
+            assert response.status == 202, response.body
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return rows
+
+    restored = asyncio.run(second_life())
+    assert restored == oracle  # bit-identical, and validator-clean (200s)
+    assert oracle == replay_rows(spec, arrivals)
+
+
+def test_restore_requeues_pending_arrivals(tmp_path):
+    """Arrivals checkpointed as *pending* are admitted after the restart."""
+    spec = make_service_spec()
+    arrivals = make_arrivals(6, tenants=("solo",))
+    store = CampaignStore(tmp_path / "store")
+
+    async def first_life():
+        app = ServiceApp(spec, store=store)
+        # submit without ever yielding to the event loop: the workers
+        # exist but never ran, so everything is still pending
+        for tenant, at, ptg in arrivals:
+            response = await app.handle(submit_request(tenant, at, ptg))
+            assert response.status == 202
+        assert app.tenants["solo"].depth == 6
+        # crash-style checkpoint: direct write, no quiesce
+        write_checkpoint(app, store)
+        await app.stop()
+
+    asyncio.run(first_life())
+    record = load_checkpoint(store)
+    assert len(record["tenants"]["solo"]["pending"]) == 6
+    assert record["tenants"]["solo"]["admitted"] == []
+
+    async def second_life():
+        app = restore_app(store)
+        await app.start()
+        await app.quiesce()
+        assert app.tenants["solo"].session.admitted == 6
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return rows
+
+    assert asyncio.run(second_life()) == replay_rows(spec, arrivals)
+
+
+def test_duplicate_requests_are_idempotent():
+    """At-least-once delivery: replayed submissions answer 409, state unchanged."""
+    spec = make_service_spec()
+    arrivals = make_arrivals(6)
+
+    async def run(plan):
+        app = ServiceApp(spec)
+        transport = FaultyTransport(app, plan)
+        for tenant, at, ptg in arrivals:
+            response = await transport.submit(tenant, at, ptg)
+            assert response.status == 202, response.body
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return rows
+
+    clean = asyncio.run(run(FaultPlan()))
+    noisy = asyncio.run(run(FaultPlan(duplicate=frozenset({0, 3, 5}))))
+    assert noisy == clean
+
+
+def test_dropped_requests_recover_through_retry():
+    """Lost requests retried by the client leave the outcome unchanged."""
+    spec = make_service_spec()
+    arrivals = make_arrivals(6)
+
+    async def run(plan):
+        app = ServiceApp(spec, clock=ManualClock())
+        transport = FaultyTransport(app, plan)
+        for tenant, at, ptg in arrivals:
+            response = await transport.submit_reliably(tenant, at, ptg)
+            assert response.status == 202, response.body
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return transport, rows
+
+    _, clean = asyncio.run(run(FaultPlan()))
+    transport, noisy = asyncio.run(run(FaultPlan(drop=frozenset({1, 4}))))
+    assert noisy == clean
+    assert transport.dropped == [1, 4]
+
+
+def test_delayed_requests_trip_the_slo_counter():
+    """A transport stall longer than the SLO is counted, not dropped."""
+    clock = ManualClock()
+    spec = make_service_spec(slo=0.5)
+    arrivals = make_arrivals(4, tenants=("solo",))
+
+    async def run():
+        app = ServiceApp(spec, clock=clock)
+        # index 2 reaches the daemon 2s late: everything queued before
+        # the stall is admitted >= 2s after it was enqueued
+        plan = FaultPlan(delay={2: 2.0})
+        transport = FaultyTransport(app, plan, clock=clock)
+        for tenant, at, ptg in arrivals:
+            await transport.submit(tenant, at, ptg)
+        await app.quiesce()
+        violations = app.registry.counter("service.slo_violations").value
+        late = app.tenants["solo"].slo_violations
+        rows = await all_tenant_rows(app)
+        await app.stop()
+        return violations, late, rows
+
+    violations, late, rows = asyncio.run(run())
+    # the two submissions enqueued before the stall were admitted late
+    assert violations == 2
+    assert late == 2
+    assert rows == replay_rows(spec, arrivals)  # faults never change schedules
+
+
+def test_restore_from_empty_store_raises(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    with pytest.raises(CampaignError, match="no service checkpoint"):
+        asyncio.run(_restore(store))
+
+
+async def _restore(store, key=None):
+    return restore_app(store, key=key)
+
+
+def test_restore_with_wrong_key_raises(tmp_path):
+    spec = make_service_spec()
+    store = CampaignStore(tmp_path / "store")
+
+    async def checkpoint_once():
+        app = ServiceApp(spec, store=store)
+        write_checkpoint(app, store)
+        await app.stop()
+
+    asyncio.run(checkpoint_once())
+    with pytest.raises(CampaignError, match="no service checkpoint under key"):
+        asyncio.run(_restore(store, key="not-a-key"))
+
+
+def test_restore_rejects_unknown_checkpoint_version(tmp_path):
+    spec = make_service_spec()
+    store = CampaignStore(tmp_path / "store")
+    store.append_payload(
+        SERVICE_CHANNEL,
+        spec.content_hash(),
+        {"checkpoint_version": 99, "spec": spec.to_dict(), "tenants": {}},
+    )
+    with pytest.raises(CampaignError, match="version 99"):
+        load_checkpoint(store)
+
+
+def test_checkpoint_carries_metrics_forward(tmp_path):
+    """Restored daemons keep accumulating into the checkpointed meters."""
+    spec = make_service_spec()
+    arrivals = make_arrivals(6, tenants=("solo",))
+    store = CampaignStore(tmp_path / "store")
+
+    async def first_life():
+        app = ServiceApp(spec, store=store)
+        transport = FaultyTransport(app)
+        for tenant, at, ptg in arrivals[:3]:
+            await transport.submit(tenant, at, ptg)
+        await app.handle(Request("POST", "/checkpoint"))
+        await app.stop()
+
+    asyncio.run(first_life())
+
+    async def second_life():
+        app = restore_app(store)
+        await app.start()
+        assert app.registry.counter("service.admissions").value == 3
+        transport = FaultyTransport(app)
+        for tenant, at, ptg in arrivals[3:]:
+            await transport.submit(tenant, at, ptg)
+        await app.quiesce()
+        metrics = await app.handle(Request("GET", "/metrics"))
+        await app.stop()
+        return metrics.body
+
+    body = asyncio.run(second_life())
+    histogram = body["metrics"]["histograms"]["service.admission_latency"]
+    assert body["metrics"]["counters"]["service.admissions"] == 6
+    assert histogram["count"] == 6
+    assert body["p99_admission_latency"] is not None

@@ -32,6 +32,7 @@ REQUIRED_PAGES = (
     "performance.md",
     "campaigns.md",
     "streaming.md",
+    "service.md",
     "observability.md",
     "testing.md",
     "cli.md",
