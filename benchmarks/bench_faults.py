@@ -1,0 +1,146 @@
+"""Benchmark -- reactive schedule repair vs cold re-scheduling the tail.
+
+When a fault kills tasks mid-run, the reactive repair pass
+(:func:`repro.faults.repair_schedule`) keeps every finished placement,
+re-maps only the killed tasks and the not-yet-started tail, and reuses
+the allocations already computed.  The alternative a resilient harness
+would otherwise fall back to is a **cold re-schedule**: run the full
+two-step pipeline (allocation + mapping) from scratch over the affected
+applications.
+
+This benchmark strikes a mid-makespan outage into a planned multi-site
+schedule and times both recovery paths.  The repaired schedule must be
+validator-clean in perturbed-platform mode, and the repair pass must
+cost at most **1.5x** the cold re-schedule of the affected tail -- the
+repair does strictly less scheduling work, so anything above that bound
+means the recovery path itself regressed.
+
+Run standalone with
+``PYTHONPATH=src python benchmarks/bench_faults.py`` or through
+pytest-benchmark with
+``PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import full_scale, write_result
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_faults.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import full_scale, write_result
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.faults.repair import repair_schedule
+from repro.faults.timeline import DownWindow, FaultTimeline
+from repro.platform import grid5000
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.validate import validate_schedule
+
+#: Concurrent applications in the struck workload.
+N_PTGS_FULL = 60
+N_PTGS_REDUCED = 30
+
+#: The outage: at 30% of the planned makespan, half of every cluster's
+#: processors drop out for 20% of the makespan.
+STRIKE_AT = 0.30
+STRIKE_SPAN = 0.20
+
+
+def _mid_run_outage(platform, schedule) -> FaultTimeline:
+    """Half of every cluster down across the mid-makespan band."""
+    makespan = max(entry.finish for entry in schedule)
+    start = STRIKE_AT * makespan
+    end = start + STRIKE_SPAN * makespan
+    windows = tuple(
+        DownWindow(
+            cluster.name,
+            tuple(range(cluster.num_processors // 2)),
+            start,
+            end,
+        )
+        for cluster in platform
+    )
+    return FaultTimeline(platform.name, windows=windows)
+
+
+def _affected_names(planned, repaired) -> set:
+    """Applications whose placements changed under the repair."""
+    rows = lambda schedule: {
+        (e.ptg_name, e.task_id): (e.cluster_name, e.processors, e.start, e.finish)
+        for e in schedule
+    }
+    before, after = rows(planned), rows(repaired)
+    return {key[0] for key in before if before[key] != after.get(key)}
+
+
+def run_faults_core():
+    """Time the repair pass against a cold re-schedule of the tail."""
+    n_ptgs = N_PTGS_FULL if full_scale() else N_PTGS_REDUCED
+    platform = grid5000.composed()
+    workload = make_workload(
+        WorkloadSpec(family="mixed", n_ptgs=n_ptgs, seed=2009, max_tasks=30)
+    )
+    scheduler = ConcurrentScheduler()
+    planned = scheduler.schedule(workload, platform).schedule
+    timeline = _mid_run_outage(platform, planned)
+
+    # -- reactive repair (optimized recovery path) ---------------------- #
+    gc.collect()
+    tic = time.perf_counter()
+    outcome = repair_schedule(workload, planned, platform, timeline)
+    repair_seconds = time.perf_counter() - tic
+
+    report = validate_schedule(
+        outcome.schedule, ptgs=workload, platform=platform, faults=timeline
+    )
+    assert report.ok, report.summary()
+
+    # -- cold baseline: full pipeline over the affected applications ---- #
+    affected = _affected_names(planned, outcome.schedule)
+    assert affected, "the outage must disturb at least one application"
+    tail = [ptg for ptg in workload if ptg.name in affected]
+    gc.collect()
+    tic = time.perf_counter()
+    ConcurrentScheduler().schedule(tail, platform)
+    cold_seconds = time.perf_counter() - tic
+
+    metrics = outcome.metrics()
+    return {
+        "platform": platform.name,
+        "applications": n_ptgs,
+        "affected_applications": len(affected),
+        "tasks_scheduled": len(planned),
+        "killed_tasks": metrics["killed_tasks"],
+        "makespan_inflation": metrics["makespan_inflation"],
+        "recovery_latency": metrics["recovery_latency"],
+        "work_lost": metrics["work_lost"],
+        "work_reexecuted": metrics["work_reexecuted"],
+        "repair_seconds": repair_seconds,
+        "cold_reschedule_seconds": cold_seconds,
+        "repair_over_cold": repair_seconds / cold_seconds,
+    }
+
+
+def bench_faults(benchmark):
+    """Reactive repair vs cold tail re-schedule (<= 1.5x gate)."""
+    summary = benchmark.pedantic(run_faults_core, rounds=1, iterations=1)
+    write_result("BENCH_faults.json", json.dumps(summary, indent=2))
+    assert summary["repair_over_cold"] <= 1.5, (
+        f"repair pass costs {summary['repair_over_cold']:.2f}x the cold "
+        f"re-schedule of the affected tail "
+        f"({summary['repair_seconds']:.3f}s vs "
+        f"{summary['cold_reschedule_seconds']:.3f}s)"
+    )
+
+
+if __name__ == "__main__":
+    result = run_faults_core()
+    print(json.dumps(result, indent=2))
+    assert result["repair_over_cold"] <= 1.5, (
+        f"repair/cold ratio {result['repair_over_cold']:.2f}x > 1.5x"
+    )

@@ -28,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.campaigns.pool import default_jobs, run_shards
+from repro.campaigns.pool import RetryPolicy, default_jobs, run_shards
 from repro.campaigns.shards import ExperimentShard, campaign_signature, make_shards
 from repro.campaigns.store import CampaignStore
 from repro.exceptions import CampaignError
@@ -46,6 +46,9 @@ _LOG = get_logger("campaigns.orchestrator")
 #: Version stamp of the store metadata document.
 META_FORMAT_VERSION = 1
 
+#: Store channel recording shards that kept failing after their retries.
+QUARANTINE_CHANNEL = "quarantine"
+
 
 @dataclass
 class CampaignRunStats:
@@ -59,6 +62,8 @@ class CampaignRunStats:
     cache_misses: int = 0
     executed_seconds: float = 0.0
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Labels of the shards written to the store's quarantine channel.
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -123,6 +128,7 @@ def orchestrate(
     progress: Optional[ProgressCallback] = None,
     resume: bool = True,
     archive_workloads: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> CampaignRun:
     """Run *config* in parallel with persistence, returning result + stats.
 
@@ -146,6 +152,14 @@ def orchestrate(
     archive_workloads:
         Whether to archive each shard's generated PTGs next to its
         result record.
+    retry:
+        Optional :class:`~repro.campaigns.pool.RetryPolicy`: workers
+        re-attempt failing shards with capped exponential backoff
+        before reporting them failed.  Shards that keep failing are
+        *quarantined* when a store is given -- their traceback is
+        appended to the store's ``quarantine`` channel and the campaign
+        completes over the surviving shards instead of aborting; a
+        later resume re-runs them (their result key is still missing).
     """
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = CampaignStore(store)
@@ -175,10 +189,24 @@ def orchestrate(
         jobs=jobs,
         cache=cache,
         return_workload=store is not None and archive_workloads,
+        retry=retry,
     ):
         if not outcome.ok:
             stats.failed_shards += 1
             stats.failures[outcome.label] = outcome.error or ""
+            if store is not None:
+                store.append_payload(
+                    QUARANTINE_CHANNEL,
+                    outcome.key,
+                    {
+                        "label": outcome.label,
+                        "index": outcome.index,
+                        "attempts": outcome.attempts,
+                        "seconds": outcome.seconds,
+                        "error": outcome.error or "",
+                    },
+                )
+                stats.quarantined.append(outcome.label)
             if progress is not None:
                 progress(f"FAILED {outcome.label}")
             continue
@@ -218,13 +246,25 @@ def orchestrate(
     if stats.failures:
         done = stats.executed_shards + stats.skipped_shards
         first_label, first_error = next(iter(stats.failures.items()))
-        raise CampaignError(
-            f"{stats.failed_shards} shard(s) failed ({done}/{len(shards)} "
-            f"completed{' and persisted' if store is not None else ''}); "
-            f"first failure on {first_label}:\n{first_error}"
+        if store is None or not results:
+            # without a store there is nowhere to quarantine, and a run
+            # with zero surviving shards has nothing to aggregate
+            raise CampaignError(
+                f"{stats.failed_shards} shard(s) failed ({done}/{len(shards)} "
+                f"completed{' and persisted' if store is not None else ''}); "
+                f"first failure on {first_label}:\n{first_error}"
+            )
+        _LOG.warning(
+            "quarantined %d shard(s); campaign completes over %d surviving shard(s)",
+            stats.failed_shards, done,
         )
+        if progress is not None:
+            progress(
+                f"quarantined {stats.failed_shards} shard(s) "
+                f"(see the store's {QUARANTINE_CHANNEL!r} channel)"
+            )
 
-    experiments = [results[shard.key()] for shard in shards]
+    experiments = [results[shard.key()] for shard in shards if shard.key() in results]
     result = CampaignResult(config=config, experiments=experiments)
     return CampaignRun(result=result, stats=stats)
 

@@ -10,8 +10,13 @@ finishes first.
 
 Failures are captured, not propagated: a shard that raises returns a
 :class:`ShardOutcome` carrying the formatted traceback, and the
-remaining shards keep running.  The orchestrator decides what to do
-with failures once every shard has had its chance.
+remaining shards keep running.  A :class:`RetryPolicy` makes the worker
+re-attempt a failing shard first -- capped exponential backoff with
+deterministic, key-seeded jitter -- so transient crashes (a flaky
+filesystem, an OOM-killed sibling) heal in place and only repeatedly
+failing shards surface.  The orchestrator decides what to do with those
+once every shard has had its chance (it quarantines them when it has a
+store).
 
 Workers are seeded with a snapshot of the own-makespan cache taken at
 submission time and ship their fresh entries back in the outcome; the
@@ -22,13 +27,14 @@ computed twice -- correctness never depends on the cache.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
 import traceback
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.campaigns.cache import (
@@ -42,6 +48,43 @@ from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.workload import make_workload
 from repro.obs import trace
 from repro.scenarios.run import build_pipeline
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a worker re-attempts a failing shard before giving up.
+
+    Backoff before retry ``n`` (1-based) is capped exponential --
+    ``min(max_delay, base_delay * 2**(n-1))`` -- scaled by a
+    deterministic jitter in ``[0.5, 1.0]`` derived from ``seed``, the
+    shard key and the attempt number, so concurrent workers retrying
+    different shards spread out while replays of the same campaign
+    back off identically.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the policy's field values."""
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise ValueError(f"attempts must be a positive integer, got {self.attempts!r}")
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ValueError("base_delay and max_delay must be positive")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must not undercut "
+                f"base_delay ({self.base_delay})"
+            )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (1-based) of shard *key*."""
+        cap = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+        digest = hashlib.sha256(f"{self.seed}:{key}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return cap * (0.5 + 0.5 * unit)
 
 
 @dataclass
@@ -64,6 +107,7 @@ class ShardOutcome:
     cache_misses: int = 0
     seconds: float = 0.0
     telemetry: Optional[Dict] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -80,8 +124,35 @@ def execute_shard(
     shard: ExperimentShard,
     cache_entries: Optional[Mapping[str, float]] = None,
     return_workload: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> ShardOutcome:
-    """Execute one shard from its self-describing fields.
+    """Execute one shard, re-attempting failures under *retry*.
+
+    Without a policy the shard runs exactly once (the pre-hardening
+    behaviour).  With one, a failing attempt sleeps the policy's
+    backoff and re-runs, up to ``retry.attempts`` total attempts; the
+    returned outcome's :attr:`ShardOutcome.attempts` records how many
+    it took.  *sleep* is injectable so tests assert the backoff without
+    waiting it out.
+    """
+    attempts = 1 if retry is None else retry.attempts
+    outcome = _execute_shard_attempt(shard, cache_entries, return_workload)
+    for attempt in range(1, attempts):
+        if outcome.ok:
+            break
+        sleep(retry.delay(shard.key(), attempt))
+        outcome = _execute_shard_attempt(shard, cache_entries, return_workload)
+        outcome.attempts = attempt + 1
+    return outcome
+
+
+def _execute_shard_attempt(
+    shard: ExperimentShard,
+    cache_entries: Optional[Mapping[str, float]] = None,
+    return_workload: bool = True,
+) -> ShardOutcome:
+    """Execute one shard from its self-describing fields, once.
 
     This is the pure worker function of the subsystem: the workload is
     regenerated from its seed, the strategies and the pipeline
@@ -153,10 +224,15 @@ def execute_shard(
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_worker(cache_entries: Dict[str, float], return_workload: bool) -> None:
+def _init_worker(
+    cache_entries: Dict[str, float],
+    return_workload: bool,
+    retry: Optional[RetryPolicy],
+) -> None:
     """Pool initializer: install the shared cache snapshot in the worker."""
     _WORKER_STATE["cache_entries"] = cache_entries
     _WORKER_STATE["return_workload"] = return_workload
+    _WORKER_STATE["retry"] = retry
 
 
 def _worker(shard: ExperimentShard) -> ShardOutcome:
@@ -165,6 +241,7 @@ def _worker(shard: ExperimentShard) -> ShardOutcome:
         shard,
         _WORKER_STATE.get("cache_entries"),
         return_workload=bool(_WORKER_STATE.get("return_workload", True)),
+        retry=_WORKER_STATE.get("retry"),
     )
 
 
@@ -173,6 +250,7 @@ def run_shards(
     jobs: Optional[int] = None,
     cache: Optional[OwnMakespanCache] = None,
     return_workload: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> Iterator[ShardOutcome]:
     """Execute *shards*, yielding outcomes in shard order.
 
@@ -192,13 +270,16 @@ def run_shards(
         Whether outcomes carry the generated PTGs.  Callers that will
         not archive workloads should pass ``False`` so workers skip
         pickling every graph back to the orchestrator.
+    retry:
+        Optional :class:`RetryPolicy`; failing shards are re-attempted
+        in their worker (with backoff) before being reported failed.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     cache = cache if cache is not None else OwnMakespanCache()
 
     if jobs == 1 or len(shards) <= 1:
         for shard in shards:
-            outcome = execute_shard(shard, cache.entries, return_workload)
+            outcome = execute_shard(shard, cache.entries, return_workload, retry=retry)
             cache.merge(outcome.cache_entries)
             cache.hits += outcome.cache_hits
             cache.misses += outcome.cache_misses
@@ -207,7 +288,9 @@ def run_shards(
 
     snapshot = dict(cache.entries)
     with multiprocessing.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(snapshot, return_workload)
+        processes=jobs,
+        initializer=_init_worker,
+        initargs=(snapshot, return_workload, retry),
     ) as pool:
         for outcome in pool.imap(_worker, shards, chunksize=1):
             cache.merge(outcome.cache_entries)

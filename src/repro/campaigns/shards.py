@@ -139,6 +139,14 @@ class ExperimentShard:
                 f"batch experiment shard; run it with "
                 f"repro.streaming.run_stream_scenarios"
             )
+        if scenario.faults is not None:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"scenario {scenario.label()!r} carries a faults section; "
+                f"fault injection runs on the streaming path, not as a "
+                f"batch experiment shard"
+            )
         return cls(
             index=index,
             spec=scenario.workload.to_workload_spec(),

@@ -164,11 +164,15 @@ def _cmd_figure(figure: int, args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaigns.orchestrator import orchestrate
+    from repro.campaigns.pool import RetryPolicy
     from repro.experiments.reporting import render_campaign_summary
     from repro.experiments.runner import CampaignConfig
 
     if args.resume and not args.store:
         raise ConfigurationError("--resume requires --store")
+    retry = None
+    if getattr(args, "retries", 1) > 1:
+        retry = RetryPolicy(attempts=args.retries)
     config = CampaignConfig(
         family=args.family,
         ptg_counts=tuple(args.ptg_counts),
@@ -184,6 +188,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=_resolve_jobs(args.jobs),
         progress=progress,
         resume=args.resume,
+        retry=retry,
     )
     print(render_campaign_summary(run.result))
     stats = run.stats
@@ -192,6 +197,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{stats.executed_shards} executed; own-makespan cache hit rate "
         f"{100.0 * stats.cache_hit_rate:.1f}%"
     )
+    if stats.quarantined:
+        print(
+            f"\nquarantined {len(stats.quarantined)} shard(s) "
+            f"(tracebacks in the store's 'quarantine' channel; "
+            f"a later --resume re-runs them):"
+        )
+        for label in stats.quarantined:
+            error = stats.failures.get(label, "").strip()
+            cause = error.splitlines()[-1] if error else "unknown error"
+            print(f"  {label}: {cause}")
+        return 1
     return 0
 
 
@@ -400,6 +416,33 @@ def _print_stream_result(result) -> None:
             rows.append(
                 [f"stall of {label} (s)", f"{outcome.tenant_stall[tenant]:.1f}"]
             )
+        if outcome.faults is not None:
+            metrics = outcome.faults.get("metrics", {})
+            rows.append(["fault plan", outcome.faults.get("plan", "?")])
+            rows.append(["fault events", int(metrics.get("events", 0))])
+            rows.append(["killed tasks", int(metrics.get("killed_tasks", 0))])
+            rows.append(
+                ["failures (perturbed replay)", len(outcome.faults.get("failures", []))]
+            )
+            rows.append(
+                ["makespan inflation", f"{metrics.get('makespan_inflation', 1.0):.3f}"]
+            )
+            rows.append(
+                ["recovery latency (s)", f"{metrics.get('recovery_latency', 0.0):.1f}"]
+            )
+            rows.append(["work lost (proc-s)", f"{metrics.get('work_lost', 0.0):.1f}"])
+            rows.append(
+                ["work re-executed (proc-s)",
+                 f"{metrics.get('work_reexecuted', 0.0):.1f}"]
+            )
+            repaired_valid = outcome.faults.get("valid")
+            rows.append(
+                [
+                    "repair validator",
+                    "skipped" if repaired_valid is None
+                    else ("OK" if repaired_valid else "VIOLATIONS"),
+                ]
+            )
         print(
             format_table(
                 ["metric", "value"],
@@ -524,6 +567,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             lines.append(f"{status} stream {key[:12]} {name}: {report.summary()}")
             for violation in report.violations[: args.max_violations]:
                 lines.append(f"         {violation}")
+            if spec.faults is not None and (outcome.faults or {}).get("schedule_rows"):
+                from repro.faults.spec import compile_timeline
+
+                total += 1
+                timeline = compile_timeline(spec.faults, platform)
+                report = validate_schedule(
+                    outcome.repaired_schedule(platform.name),
+                    ptgs,
+                    platform,
+                    releases,
+                    faults=timeline,
+                )
+                status = "OK    " if report.ok else "FAIL  "
+                if not report.ok:
+                    failed += 1
+                lines.append(
+                    f"{status} repair {key[:12]} {name}: {report.summary()}"
+                )
+                for violation in report.violations[: args.max_violations]:
+                    lines.append(f"         {violation}")
 
     for key, result in store.iter_records():
         total += 1
@@ -945,7 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
         "kind", nargs="?", default=None,
         choices=[
             "allocators", "mappers", "strategies", "platforms", "families",
-            "arrivals",
+            "arrivals", "faults",
         ],
         help="which registry to list (omitted: all of them)",
     )
@@ -976,6 +1039,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--quiet", action="store_true", default=argparse.SUPPRESS,
         help="suppress progress output",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per shard before quarantining it (default: 1, no retry)",
     )
     _add_scale_arguments(camp)
     _add_parallel_arguments(camp)

@@ -1,0 +1,79 @@
+"""Deterministic platform fault injection and reactive schedule repair.
+
+This package opens the robustness dimension the ROADMAP calls "scenario
+diversity": schedules planned against a static platform meet seeded
+node-unavailability windows, whole-cluster outages, bandwidth loss and
+background-load slowdowns -- and are repaired instead of silently
+diverging.
+
+* :mod:`repro.faults.timeline` -- :class:`FaultTimeline` (down windows
+  + degradation windows) and the built-in fault plans (``none`` /
+  ``single-node`` / ``rolling`` / ``correlated-cluster``), pluggable
+  through the :data:`repro.scenarios.FAULTS` registry axis;
+* :mod:`repro.faults.spec` -- the declarative, serialisable
+  :class:`FaultSpec` wired into
+  :class:`repro.scenarios.ScenarioSpec` (optional ``faults`` section,
+  JSON round-trip, content hash extended only when set);
+* :mod:`repro.faults.repair` -- :func:`repair_schedule`, the reactive
+  repair scheduler re-mapping killed and not-yet-started tasks onto the
+  surviving capacity via the existing mapping core, with degradation
+  metrics (makespan inflation, recovery latency, work lost /
+  re-executed).
+
+``spec`` is imported lazily (it sits on top of the scenario layer,
+which itself registers the fault plans of this package), so
+``import repro.faults`` stays cycle-free -- the same pattern
+:mod:`repro.streaming` uses for its spec layer.
+"""
+
+from __future__ import annotations
+
+from repro.faults.repair import (
+    FaultEvent,
+    KilledTask,
+    RepairOutcome,
+    repair_schedule,
+)
+from repro.faults.timeline import (
+    DegradationWindow,
+    DownWindow,
+    FaultTimeline,
+    correlated_cluster_plan,
+    none_plan,
+    rolling_plan,
+    single_node_plan,
+)
+
+#: Names resolved lazily from the spec layer (PEP 562): importing them
+#: eagerly would cycle through repro.scenarios, which imports this
+#: package's fault plans while building its registries.
+_LAZY = {
+    "FaultSpec": "repro.faults.spec",
+    "compile_timeline": "repro.faults.spec",
+}
+
+__all__ = [
+    "DownWindow",
+    "DegradationWindow",
+    "FaultTimeline",
+    "none_plan",
+    "single_node_plan",
+    "rolling_plan",
+    "correlated_cluster_plan",
+    "FaultEvent",
+    "KilledTask",
+    "RepairOutcome",
+    "repair_schedule",
+    "FaultSpec",
+    "compile_timeline",
+]
+
+
+def __getattr__(name: str):
+    """Resolve the lazily exported spec names (PEP 562)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

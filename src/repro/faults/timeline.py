@@ -1,0 +1,491 @@
+"""Deterministic fault timelines: when, where and how the platform fails.
+
+A :class:`FaultTimeline` is the compiled form of a
+:class:`~repro.faults.spec.FaultSpec`: a finite set of
+**node-unavailability windows** (:class:`DownWindow`, covering single
+processors up to whole clusters) plus optional **degradation windows**
+(:class:`DegradationWindow`, bandwidth loss or background-load
+slowdowns).  The timeline is plain data -- frozen dataclasses with a
+JSON round-trip -- so the same object drives three consumers:
+
+* the perturbed executor (:mod:`repro.simulate.executor`) kills running
+  tasks at window starts and refuses starts on down processors;
+* the reactive repair scheduler (:mod:`repro.faults.repair`) re-maps the
+  affected tail of a schedule around the windows;
+* the validator (:mod:`repro.validate`) checks repaired schedules
+  against the capacity that excludes the down windows.
+
+The built-in **fault plans** (``none`` / ``single-node`` / ``rolling`` /
+``correlated-cluster``) are factories registered on the
+:data:`~repro.scenarios.registry.FAULTS` axis.  They follow the uniform
+keyword contract of that axis -- every factory accepts ``platform`` /
+``rng`` / ``count`` / ``start`` / ``duration`` / ``gap`` / ``nodes`` /
+``bandwidth`` / ``slowdown`` and ignores what it does not need -- so a
+:class:`~repro.faults.spec.FaultSpec` can instantiate any of them (or a
+third-party plan) the same way.  All randomness comes from the injected
+seeded generator: equal seeds compile bit-identical timelines.
+
+Examples
+--------
+>>> from repro.platform import grid5000
+>>> platform = grid5000.rennes()
+>>> from repro.utils.rng import ensure_rng
+>>> timeline = single_node_plan(platform, rng=ensure_rng(0), count=2,
+...                             start=10.0, duration=5.0, gap=20.0)
+>>> [round(w.start, 1) for w in timeline.windows]
+[10.0, 30.0]
+>>> timeline == single_node_plan(platform, rng=ensure_rng(0), count=2,
+...                              start=10.0, duration=5.0, gap=20.0)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.platform.multicluster import MultiClusterPlatform
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Tolerance of the timeline's time comparisons (seconds).
+FAULT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class DownWindow:
+    """One unavailability interval of a set of processors.
+
+    The processors of ``cluster_name`` listed in ``processors`` are
+    unusable during ``[start, end)``: a task running on any of them at
+    ``start`` is killed, and no task may occupy them before ``end``.
+    ``whole_cluster`` marks windows that cover every processor of the
+    cluster (a correlated outage) -- it is descriptive only, the
+    processor list is always authoritative.
+    """
+
+    cluster_name: str
+    processors: Tuple[int, ...]
+    start: float
+    end: float
+    whole_cluster: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate and canonicalise the window."""
+        procs = tuple(sorted({int(p) for p in self.processors}))
+        if not procs:
+            raise ConfigurationError("a down window needs at least one processor")
+        if any(p < 0 for p in procs):
+            raise ConfigurationError(f"negative processor index in {procs}")
+        object.__setattr__(self, "processors", procs)
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid down window [{self.start}, {self.end}] on cluster "
+                f"{self.cluster_name!r}"
+            )
+
+    def overlaps(self, start: float, finish: float) -> bool:
+        """Whether the interval ``[start, finish)`` intersects the window."""
+        return start < self.end - FAULT_EPS and self.start < finish - FAULT_EPS
+
+    def hits(self, processors: Tuple[int, ...]) -> bool:
+        """Whether any of *processors* is covered by the window."""
+        down = set(self.processors)
+        return any(p in down for p in processors)
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "cluster": self.cluster_name,
+            "processors": list(self.processors),
+            "start": self.start,
+            "end": self.end,
+            "whole_cluster": self.whole_cluster,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "DownWindow":
+        """Rebuild a window from :meth:`to_dict` output."""
+        return cls(
+            cluster_name=str(payload["cluster"]),
+            processors=tuple(int(p) for p in payload["processors"]),
+            start=float(payload["start"]),
+            end=float(payload["end"]),
+            whole_cluster=bool(payload.get("whole_cluster", False)),
+        )
+
+
+@dataclass(frozen=True)
+class DegradationWindow:
+    """One performance-degradation interval.
+
+    ``kind`` is ``"bandwidth"`` (inter-cluster transfers slow down
+    platform-wide) or ``"slowdown"`` (background load inflates compute
+    durations on ``cluster_name``); ``factor >= 1`` is the multiplier
+    applied to the affected durations.  The factor of a window is
+    sampled at the instant a transfer or a task *starts* -- a
+    deterministic rule the executor and the docs share.
+    """
+
+    kind: str
+    start: float
+    end: float
+    factor: float
+    cluster_name: str = ""
+
+    def __post_init__(self) -> None:
+        """Validate the interval and the factor."""
+        if self.kind not in ("bandwidth", "slowdown"):
+            raise ConfigurationError(
+                f"degradation kind must be 'bandwidth' or 'slowdown', "
+                f"got {self.kind!r}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid degradation window [{self.start}, {self.end}]"
+            )
+        if float(self.factor) < 1.0:
+            raise ConfigurationError(
+                f"degradation factor must be >= 1, got {self.factor!r}"
+            )
+        object.__setattr__(self, "factor", float(self.factor))
+
+    def active(self, time: float) -> bool:
+        """Whether the window covers *time* (start inclusive, end exclusive)."""
+        return self.start - FAULT_EPS <= time < self.end - FAULT_EPS
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "factor": self.factor,
+            "cluster": self.cluster_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "DegradationWindow":
+        """Rebuild a window from :meth:`to_dict` output."""
+        return cls(
+            kind=str(payload["kind"]),
+            start=float(payload["start"]),
+            end=float(payload["end"]),
+            factor=float(payload["factor"]),
+            cluster_name=str(payload.get("cluster", "")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """The compiled fault plan of one platform: all windows, sorted.
+
+    Windows are canonicalised to a deterministic order -- down windows
+    by ``(start, cluster, processors)``, degradations by
+    ``(start, kind, cluster)`` -- so two timelines compare equal exactly
+    when they describe the same faults.
+    """
+
+    platform_name: str
+    windows: Tuple[DownWindow, ...] = ()
+    degradations: Tuple[DegradationWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Sort the window tuples into canonical order."""
+        object.__setattr__(
+            self,
+            "windows",
+            tuple(
+                sorted(
+                    self.windows,
+                    key=lambda w: (w.start, w.cluster_name, w.processors),
+                )
+            ),
+        )
+        object.__setattr__(
+            self,
+            "degradations",
+            tuple(
+                sorted(
+                    self.degradations,
+                    key=lambda w: (w.start, w.kind, w.cluster_name),
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the timeline injects no fault at all."""
+        return not self.windows and not self.degradations
+
+    def event_times(self) -> List[float]:
+        """The distinct down-window start instants, ascending.
+
+        These are the instants at which running tasks can be killed --
+        the events the repair scheduler reacts to.
+        """
+        times: List[float] = []
+        for window in self.windows:
+            if not times or window.start - times[-1] > FAULT_EPS:
+                times.append(window.start)
+        return times
+
+    def windows_starting_at(self, time: float) -> List[DownWindow]:
+        """The down windows whose start coincides with *time*."""
+        return [w for w in self.windows if abs(w.start - time) <= FAULT_EPS]
+
+    def down_processors(self, cluster_name: str, time: float) -> FrozenSet[int]:
+        """Processors of *cluster_name* that are down at *time*.
+
+        The start of a window is inclusive, its end exclusive: a
+        processor is usable again exactly at ``end``.
+        """
+        down = set()
+        for window in self.windows:
+            if window.cluster_name != cluster_name:
+                continue
+            if window.start - FAULT_EPS <= time < window.end - FAULT_EPS:
+                down.update(window.processors)
+        return frozenset(down)
+
+    def entry_conflicts(self, entry) -> Optional[DownWindow]:
+        """First down window a schedule entry overlaps, or ``None``.
+
+        *entry* is any object with ``cluster_name`` / ``processors`` /
+        ``start`` / ``finish`` attributes
+        (:class:`~repro.mapping.schedule.ScheduledTask` in practice).
+        """
+        for window in self.windows:
+            if (
+                window.cluster_name == entry.cluster_name
+                and window.overlaps(entry.start, entry.finish)
+                and window.hits(entry.processors)
+            ):
+                return window
+        return None
+
+    def bandwidth_factor(self, time: float) -> float:
+        """Transfer-time multiplier in effect at *time* (>= 1)."""
+        factor = 1.0
+        for window in self.degradations:
+            if window.kind == "bandwidth" and window.active(time):
+                factor *= window.factor
+        return factor
+
+    def slowdown_factor(self, cluster_name: str, time: float) -> float:
+        """Compute-duration multiplier on *cluster_name* at *time* (>= 1)."""
+        factor = 1.0
+        for window in self.degradations:
+            if window.kind != "slowdown" or not window.active(time):
+                continue
+            if window.cluster_name in ("", cluster_name):
+                factor *= window.factor
+        return factor
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "platform": self.platform_name,
+            "windows": [w.to_dict() for w in self.windows],
+            "degradations": [w.to_dict() for w in self.degradations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultTimeline":
+        """Rebuild a timeline from :meth:`to_dict` output."""
+        return cls(
+            platform_name=str(payload.get("platform", "")),
+            windows=tuple(
+                DownWindow.from_dict(w) for w in payload.get("windows", ())
+            ),
+            degradations=tuple(
+                DegradationWindow.from_dict(w)
+                for w in payload.get("degradations", ())
+            ),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# built-in fault plans (FAULTS registry factories)
+# ---------------------------------------------------------------------- #
+def _degradations_of(
+    windows: Tuple[DownWindow, ...],
+    bandwidth: Optional[float],
+    slowdown: Optional[float],
+) -> Tuple[DegradationWindow, ...]:
+    """Degradation windows mirroring the down windows, when requested.
+
+    When a plan carries a ``bandwidth`` (or ``slowdown``) factor, every
+    down window also degrades transfers platform-wide (or compute on its
+    own cluster) over the same interval -- the common pattern where a
+    failing node drags its neighbourhood down with it.
+    """
+    rows: List[DegradationWindow] = []
+    for window in windows:
+        if bandwidth is not None:
+            rows.append(
+                DegradationWindow(
+                    kind="bandwidth",
+                    start=window.start,
+                    end=window.end,
+                    factor=bandwidth,
+                )
+            )
+        if slowdown is not None:
+            rows.append(
+                DegradationWindow(
+                    kind="slowdown",
+                    start=window.start,
+                    end=window.end,
+                    factor=slowdown,
+                    cluster_name=window.cluster_name,
+                )
+            )
+    return tuple(rows)
+
+
+def none_plan(platform: MultiClusterPlatform, rng: RngLike = None, **_kwargs) -> FaultTimeline:
+    """The empty plan: a fault-free platform (the default)."""
+    return FaultTimeline(platform_name=platform.name)
+
+
+def single_node_plan(
+    platform: MultiClusterPlatform,
+    rng: RngLike = None,
+    count: int = 1,
+    start: float = 60.0,
+    duration: float = 120.0,
+    gap: float = 240.0,
+    nodes: int = 1,
+    bandwidth: Optional[float] = None,
+    slowdown: Optional[float] = None,
+    **_kwargs,
+) -> FaultTimeline:
+    """*count* independent node crashes, each on one random cluster.
+
+    Window ``i`` opens at ``start + i * gap`` for ``duration`` seconds
+    and takes down ``nodes`` processors of a cluster drawn from the
+    seeded generator (the draw order is fixed, so equal seeds fail the
+    same nodes).
+    """
+    generator = ensure_rng(rng)
+    clusters = list(platform)
+    windows: List[DownWindow] = []
+    for index in range(int(count)):
+        cluster = clusters[int(generator.integers(len(clusters)))]
+        width = min(int(nodes), cluster.num_processors)
+        procs = sorted(
+            int(p)
+            for p in generator.choice(
+                cluster.num_processors, size=width, replace=False
+            )
+        )
+        opens = float(start) + index * float(gap)
+        windows.append(
+            DownWindow(
+                cluster_name=cluster.name,
+                processors=tuple(procs),
+                start=opens,
+                end=opens + float(duration),
+            )
+        )
+    rows = tuple(windows)
+    return FaultTimeline(
+        platform_name=platform.name,
+        windows=rows,
+        degradations=_degradations_of(rows, bandwidth, slowdown),
+    )
+
+
+def rolling_plan(
+    platform: MultiClusterPlatform,
+    rng: RngLike = None,
+    count: int = 3,
+    start: float = 60.0,
+    duration: float = 120.0,
+    gap: float = 240.0,
+    nodes: int = 2,
+    bandwidth: Optional[float] = None,
+    slowdown: Optional[float] = None,
+    **_kwargs,
+) -> FaultTimeline:
+    """A rolling outage sweeping the clusters in declaration order.
+
+    Window ``i`` hits cluster ``i mod n_clusters`` at
+    ``start + i * gap``, taking ``nodes`` of its processors (drawn from
+    the seeded generator) down for ``duration`` seconds -- the staggered
+    maintenance pattern of a real multi-site deployment.
+    """
+    generator = ensure_rng(rng)
+    clusters = list(platform)
+    windows: List[DownWindow] = []
+    for index in range(int(count)):
+        cluster = clusters[index % len(clusters)]
+        width = min(int(nodes), cluster.num_processors)
+        procs = sorted(
+            int(p)
+            for p in generator.choice(
+                cluster.num_processors, size=width, replace=False
+            )
+        )
+        opens = float(start) + index * float(gap)
+        windows.append(
+            DownWindow(
+                cluster_name=cluster.name,
+                processors=tuple(procs),
+                start=opens,
+                end=opens + float(duration),
+            )
+        )
+    rows = tuple(windows)
+    return FaultTimeline(
+        platform_name=platform.name,
+        windows=rows,
+        degradations=_degradations_of(rows, bandwidth, slowdown),
+    )
+
+
+def correlated_cluster_plan(
+    platform: MultiClusterPlatform,
+    rng: RngLike = None,
+    count: int = 1,
+    start: float = 60.0,
+    duration: float = 120.0,
+    gap: float = 240.0,
+    nodes: int = 1,
+    bandwidth: Optional[float] = None,
+    slowdown: Optional[float] = None,
+    **_kwargs,
+) -> FaultTimeline:
+    """*count* whole-cluster outages (a failed switch takes every node).
+
+    Each window takes down **all** processors of a cluster drawn from
+    the seeded generator; ``nodes`` is ignored.
+    """
+    generator = ensure_rng(rng)
+    clusters = list(platform)
+    windows: List[DownWindow] = []
+    for index in range(int(count)):
+        cluster = clusters[int(generator.integers(len(clusters)))]
+        opens = float(start) + index * float(gap)
+        windows.append(
+            DownWindow(
+                cluster_name=cluster.name,
+                processors=tuple(range(cluster.num_processors)),
+                start=opens,
+                end=opens + float(duration),
+                whole_cluster=True,
+            )
+        )
+    rows = tuple(windows)
+    return FaultTimeline(
+        platform_name=platform.name,
+        windows=rows,
+        degradations=_degradations_of(rows, bandwidth, slowdown),
+    )

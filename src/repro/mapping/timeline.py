@@ -154,6 +154,32 @@ class ClusterTimeline:
         self._sorted_free = updated
         return indices, start, finish
 
+    def block(self, processors: Sequence[int], until: float) -> None:
+        """Push the free time of *processors* forward to at least *until*.
+
+        Used to seed a fresh timeline with pre-existing reservations and
+        with fault down-windows before a repair pass: a blocked
+        processor accepts no reservation before *until*.  This is the
+        conservative encoding of an unavailability window under the
+        non-insertion model -- the idle span *before* the window is
+        given up too (the model keeps no holes), which can only delay
+        repaired placements, never invalidate them.  Unlike
+        :meth:`reserve` this touches arbitrary processors, so the sorted
+        free-time array is rebuilt with a full sort (blocking happens
+        once per repair pass, not per placement).
+        """
+        if until < 0:
+            raise MappingError(f"block bound must be non-negative, got {until}")
+        indices = [int(p) for p in processors]
+        for index in indices:
+            if index < 0 or index >= self.num_processors:
+                raise MappingError(
+                    f"cannot block processor {index} on cluster "
+                    f"{self.cluster.name!r} (0..{self.num_processors - 1})"
+                )
+        self._free_at[indices] = np.maximum(self._free_at[indices], until)
+        self._sorted_free = np.sort(self._free_at)
+
     def utilisation(self, horizon: float) -> float:
         """Fraction of processor time booked up to *horizon* (diagnostics)."""
         if horizon <= 0:

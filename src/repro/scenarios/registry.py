@@ -19,7 +19,10 @@ of them by string and third parties can plug in their own entries:
 * :data:`FAMILIES` -- the ``random`` / ``fft`` / ``strassen`` / ``mixed``
   workload families,
 * :data:`ARRIVALS` -- the ``poisson`` / ``mmpp`` / ``trace`` arrival
-  processes of the online (streaming) scenarios.
+  processes of the online (streaming) scenarios,
+* :data:`FAULTS` -- the ``none`` / ``single-node`` / ``rolling`` /
+  ``correlated-cluster`` fault plans of the perturbed-platform
+  scenarios.
 
 Lookups are case-insensitive and an unknown name always raises a
 :class:`~repro.exceptions.ConfigurationError` that lists the available
@@ -49,6 +52,12 @@ from repro.experiments.workload import (
     APPLICATION_FAMILIES,
     WorkloadSpec,
     make_workload,
+)
+from repro.faults.timeline import (
+    correlated_cluster_plan,
+    none_plan,
+    rolling_plan,
+    single_node_plan,
 )
 from repro.mapping.global_order import GlobalOrderMapper
 from repro.mapping.ready_list import ReadyListMapper
@@ -317,6 +326,31 @@ ARRIVALS.register(
     description="replay of explicit submission instants (trace-driven)",
 )
 
+#: Fault plans for perturbed-platform scenarios.  Factories follow the
+#: uniform keyword contract of :mod:`repro.faults.timeline`: they accept
+#: ``platform`` / ``rng`` / ``count`` / ``start`` / ``duration`` /
+#: ``gap`` / ``nodes`` / ``bandwidth`` / ``slowdown`` keywords and
+#: ignore what they do not need, so a
+#: :class:`~repro.faults.spec.FaultSpec` can instantiate any of them
+#: (built-in or third-party) the same way.
+FAULTS = Registry("fault plan")
+FAULTS.register(
+    "none", none_plan,
+    description="no faults: the static platform of the paper (default)",
+)
+FAULTS.register(
+    "single-node", single_node_plan,
+    description="independent node crashes on randomly drawn clusters",
+)
+FAULTS.register(
+    "rolling", rolling_plan,
+    description="staggered outage sweeping the clusters in declaration order",
+)
+FAULTS.register(
+    "correlated-cluster", correlated_cluster_plan,
+    description="whole-cluster outages (a failed switch takes every node)",
+)
+
 #: All built-in registries, keyed by the plural nouns the CLI uses
 #: (``repro-ptg list allocators`` etc.).
 REGISTRIES: Dict[str, Registry] = {
@@ -326,4 +360,5 @@ REGISTRIES: Dict[str, Registry] = {
     "platforms": PLATFORMS,
     "families": FAMILIES,
     "arrivals": ARRIVALS,
+    "faults": FAULTS,
 }

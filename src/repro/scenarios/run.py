@@ -125,6 +125,12 @@ def run_scenario(
             f"repro.streaming.run_stream_scenario (CLI: repro-ptg stream / "
             f"repro-ptg run routes it automatically)"
         )
+    if spec.faults is not None:
+        raise ConfigurationError(
+            f"scenario {spec.label()!r} has a faults section but no arrivals: "
+            f"fault injection runs on the streaming path (add an arrivals "
+            f"section, or drop the faults section for a plain batch run)"
+        )
     target = platform if platform is not None else PLATFORMS.create(spec.platform)
     # The scenario starts its own telemetry session only when the caller
     # has not installed one (so ``repro trace`` keeps a single session).

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.registry import STRATEGY_NAMES
 from repro.exceptions import ConfigurationError
+from repro.faults.spec import FaultSpec
 from repro.obs.config import TelemetrySpec
 from repro.scenarios.registry import ALLOCATORS, FAMILIES, MAPPERS, PLATFORMS, STRATEGIES
 from repro.service.spec import ServiceSpec
@@ -255,6 +256,7 @@ class ScenarioSpec:
     arrivals: Optional[ArrivalSpec] = None
     telemetry: Optional[TelemetrySpec] = None
     service: Optional[ServiceSpec] = None
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         """Validate and canonicalise the field values."""
@@ -281,6 +283,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"service must be a ServiceSpec or None, got "
                 f"{type(self.service).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ConfigurationError(
+                f"faults must be a FaultSpec or None, got "
+                f"{type(self.faults).__name__}"
             )
         object.__setattr__(
             self, "strategies", _normalise_strategies(self.strategies)
@@ -350,6 +357,8 @@ class ScenarioSpec:
             payload["telemetry"] = self.telemetry.to_dict()
         if self.service is not None:
             payload["service"] = self.service.to_dict()
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
         return payload
 
     @classmethod
@@ -372,6 +381,7 @@ class ScenarioSpec:
                 "arrivals",
                 "telemetry",
                 "service",
+                "faults",
             ),
             "scenario spec",
         )
@@ -404,6 +414,12 @@ class ScenarioSpec:
             if service is True:
                 service = {}
             kwargs["service"] = ServiceSpec.from_dict(service)
+        if payload.get("faults") is not None:
+            faults = payload["faults"]
+            # {"faults": true} is the shorthand for "all defaults on"
+            if faults is True:
+                faults = {}
+            kwargs["faults"] = FaultSpec.from_dict(faults)
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ #
@@ -433,6 +449,7 @@ class ScenarioSpec:
                 arrivals=self.arrivals,
                 telemetry=self.telemetry,
                 service=self.service,
+                faults=self.faults,
             )
         )
 
@@ -448,6 +465,7 @@ def scenario_hash_payload(
     arrivals: Optional[ArrivalSpec] = None,
     telemetry: Optional[TelemetrySpec] = None,
     service: Optional[ServiceSpec] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> Dict:
     """The canonical payload both spec hashes and shard keys digest.
 
@@ -455,9 +473,9 @@ def scenario_hash_payload(
     :meth:`ScenarioSpec.content_hash` and
     :meth:`repro.campaigns.shards.ExperimentShard.key` can never drift
     apart: equal content produces equal keys on both paths.  The
-    ``arrivals``, ``telemetry`` and ``service`` keys are only present
-    when set, so the hashes of plain batch scenarios (and every
-    pre-existing store) are unchanged.
+    ``arrivals``, ``telemetry``, ``service`` and ``faults`` keys are
+    only present when set, so the hashes of plain batch scenarios (and
+    every pre-existing store) are unchanged.
     """
     payload = {
         "version": SPEC_HASH_VERSION,
@@ -482,6 +500,8 @@ def scenario_hash_payload(
         payload["telemetry"] = telemetry.hash_payload()
     if service is not None:
         payload["service"] = service.hash_payload()
+    if faults is not None:
+        payload["faults"] = faults.hash_payload()
     return payload
 
 

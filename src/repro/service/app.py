@@ -27,6 +27,11 @@ Design points:
   :func:`repro.validate.validate_schedule` over the tenant's schedule
   *before* returning it; an invalid schedule is a 500, never a served
   result.
+* **Degraded tenants, not dead daemons.**  An admission that raises
+  out of a tenant's session marks that tenant *degraded* instead of
+  killing its drain worker: further submissions to it get a 503 with a
+  ``Retry-After`` hint, its status row and ``healthz`` report the
+  error, and every other tenant keeps serving untouched.
 * **Observability.**  The app owns a
   :class:`~repro.obs.meters.MetricsRegistry`: the
   ``service.admission_latency`` histogram (checked against the SLO
@@ -106,6 +111,11 @@ class TenantState:
         self.seen_names: set = set()
         self.slo_violations = 0
         self.admissions = 0
+        #: Set when an admission raised out of the session: a short
+        #: ``TypeName: message`` summary.  A degraded tenant rejects new
+        #: submissions with 503 until the daemon restarts it; the other
+        #: tenants keep serving.
+        self.degraded: Optional[str] = None
 
     @property
     def depth(self) -> int:
@@ -244,10 +254,16 @@ class ServiceApp:
                 if latency > self.service.slo:
                     tenant.slo_violations += 1
                     registry.counter("service.slo_violations").inc()
-            except ReproError:
-                # submit-time guards make this unreachable for well-formed
-                # requests; count it rather than killing the worker
+            except Exception as exc:  # noqa: BLE001 -- the worker must survive
+                # a raising session must not kill the drain worker (that
+                # would silently poison every later submission of this
+                # tenant): mark the tenant degraded, keep the loop alive
+                # and keep every other tenant serving
+                tenant.degraded = f"{type(exc).__name__}: {exc}"
                 registry.counter("service.admission_errors").inc()
+                registry.gauge("service.degraded_tenants").set(
+                    sum(1 for t in self.tenants.values() if t.degraded)
+                )
             finally:
                 tenant.pending.popleft()
                 registry.gauge(f"service.queue_depth.{tenant.name}").set(
@@ -313,7 +329,17 @@ class ServiceApp:
             self.shutdown_event.set()
             return Response(200, {"stopping": True})
         if route == ("GET", "/healthz"):
-            return Response(200, {"ok": True, "tenants": len(self.tenants)})
+            degraded = sorted(
+                name for name, t in self.tenants.items() if t.degraded
+            )
+            return Response(
+                200,
+                {
+                    "ok": not degraded,
+                    "tenants": len(self.tenants),
+                    "degraded": degraded,
+                },
+            )
         raise ServiceError(
             f"no endpoint {request.method} {request.path}", status=404
         )
@@ -333,6 +359,19 @@ class ServiceApp:
 
         registry = self.registry
         registry.counter("service.submissions").inc()
+        if tenant.degraded is not None:
+            registry.counter("service.rejections").inc()
+            return Response(
+                503,
+                {
+                    "error": (
+                        f"tenant {tenant_name!r} is degraded "
+                        f"({tenant.degraded}); not accepting submissions"
+                    ),
+                    "retry_after": self.service.retry_after,
+                },
+                headers={"Retry-After": f"{self.service.retry_after:g}"},
+            )
         name = ptg.name
         if name in tenant.seen_names:
             raise ServiceError(
@@ -386,6 +425,7 @@ class ServiceApp:
             "active": session.active_applications,
             "slo_violations": tenant.slo_violations,
             "completion_times": dict(session.completions),
+            "degraded": tenant.degraded,
         }
 
     async def _status(self, request: Request) -> Response:

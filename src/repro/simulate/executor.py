@@ -17,6 +17,20 @@ by a mapper and *executes* it against the platform model:
 The measured per-application makespans (from submission at t=0 to the
 completion of the application's last task) feed the slowdown, unfairness
 and relative-makespan metrics.
+
+Fault injection
+---------------
+When a :class:`~repro.faults.timeline.FaultTimeline` is passed, the
+replay is **perturbed**: a task running on a processor when a down
+window opens is killed at that instant (a ``killed``
+:class:`~repro.simulate.report.FailureRecord`), a task trying to start
+on a down processor fails immediately (``unavailable``), and tasks
+starved of inputs or processors by an upstream failure are reported as
+``blocked`` instead of raising the deadlock error -- the engine emits
+failure events rather than silently diverging.  Degradation windows
+re-time the run: compute durations are multiplied by the slowdown
+factor and transfer volumes by the bandwidth factor in effect when they
+start.
 """
 
 from __future__ import annotations
@@ -28,9 +42,9 @@ from repro.dag.graph import PTG
 from repro.exceptions import SimulationError
 from repro.mapping.schedule import Schedule, ScheduledTask
 from repro.platform.multicluster import MultiClusterPlatform
-from repro.simulate.engine import SimulationEngine
+from repro.simulate.engine import EventHandle, SimulationEngine
 from repro.simulate.network import FairShareNetwork
-from repro.simulate.report import SimulationReport, TaskRecord
+from repro.simulate.report import FailureRecord, SimulationReport, TaskRecord
 
 TaskKey = Tuple[str, int]
 
@@ -44,8 +58,11 @@ class _TaskState:
     remaining_inputs: int
     started: bool = False
     finished: bool = False
+    failed: bool = False
     start_time: float = 0.0
     finish_time: float = 0.0
+    effective_finish: float = 0.0
+    finish_handle: Optional[EventHandle] = None
 
 
 class ScheduleExecutor:
@@ -76,12 +93,22 @@ class ScheduleExecutor:
         ptgs: Sequence[PTG],
         schedule: Schedule,
         releases: Optional[Dict[str, float]] = None,
+        faults=None,
     ) -> SimulationReport:
         """Simulate the execution of *schedule* for the applications *ptgs*.
 
         *releases* maps application names to submission instants: no
         task of an application starts before its release (the online
         setting).  Applications without an entry release at t=0.
+
+        *faults* is an optional
+        :class:`~repro.faults.timeline.FaultTimeline`.  When set the
+        replay is perturbed (see the module docstring): tasks caught by
+        a down window fail with a
+        :class:`~repro.simulate.report.FailureRecord` instead of
+        finishing, degradation windows stretch compute and transfer
+        times, and a starved run ends with ``blocked`` records rather
+        than a :class:`~repro.exceptions.SimulationError`.
         """
         if not ptgs:
             raise SimulationError("at least one PTG is required")
@@ -139,9 +166,26 @@ class ScheduleExecutor:
         report = SimulationReport(platform_name=self.platform.name)
 
         # ---------------- event callbacks ----------------
+        def fail_task(key: TaskKey, reason: str) -> None:
+            state = states[key]
+            if state.finished or state.failed:
+                return
+            state.failed = True
+            if state.finish_handle is not None:
+                state.finish_handle.cancel()
+            report.add_failure(
+                FailureRecord(
+                    ptg_name=key[0],
+                    task_id=key[1],
+                    cluster_name=state.entry.cluster_name,
+                    time=engine.now,
+                    reason=reason,
+                )
+            )
+
         def try_start(key: TaskKey) -> None:
             state = states[key]
-            if state.started or state.finished:
+            if state.started or state.finished or state.failed:
                 return
             if state.remaining_inputs > 0:
                 return
@@ -154,9 +198,18 @@ class ScheduleExecutor:
             for proc, position in queue_position[key].items():
                 if frontier[proc] != position:
                     return
+            if faults is not None:
+                down = faults.down_processors(state.entry.cluster_name, engine.now)
+                if down and any(p in down for p in state.entry.processors):
+                    fail_task(key, "unavailable")
+                    return
             state.started = True
             state.start_time = engine.now
-            engine.schedule_after(state.duration, finish_task, key)
+            duration = state.duration
+            if faults is not None:
+                duration *= faults.slowdown_factor(state.entry.cluster_name, engine.now)
+            state.effective_finish = engine.now + duration
+            state.finish_handle = engine.schedule_after(duration, finish_task, key)
 
         def input_arrived(key: TaskKey) -> None:
             state = states[key]
@@ -169,6 +222,9 @@ class ScheduleExecutor:
 
         def finish_task(key: TaskKey) -> None:
             state = states[key]
+            if state.failed:
+                # stale completion event of a task killed mid-flight
+                return
             state.finished = True
             state.finish_time = engine.now
             report.add(
@@ -199,6 +255,10 @@ class ScheduleExecutor:
             for succ in ptg.successors(key[1]):
                 succ_key = (key[0], succ)
                 data_bytes = ptg.edge_data(key[1], succ)
+                if faults is not None:
+                    # the factor in effect when the transfer starts
+                    # scales its volume -- a deterministic rule
+                    data_bytes *= faults.bandwidth_factor(engine.now)
                 dst_cluster = states[succ_key].entry.cluster_name
                 network.start_transfer(
                     data_bytes,
@@ -207,18 +267,42 @@ class ScheduleExecutor:
                     lambda sk=succ_key: input_arrived(sk),
                 )
 
+        # ---------------- fault strikes ----------------
+        strike_order = sorted(states)
+
+        def strike(window) -> None:
+            down = set(window.processors)
+            for key in strike_order:
+                state = states[key]
+                if not state.started or state.finished or state.failed:
+                    continue
+                if state.entry.cluster_name != window.cluster_name:
+                    continue
+                if state.effective_finish <= engine.now + 1e-12:
+                    # completes exactly at the strike instant: survives
+                    continue
+                if any(p in down for p in state.entry.processors):
+                    fail_task(key, "killed")
+
         # ---------------- kick-off and run ----------------
         for key, state in states.items():
             if state.remaining_inputs == 0:
                 engine.schedule(releases.get(key[0], 0.0), try_start, key)
+        if faults is not None:
+            for window in faults.windows:
+                engine.schedule(window.start, strike, window)
         engine.run()
 
         unfinished = [key for key, state in states.items() if not state.finished]
         if unfinished:
-            raise SimulationError(
-                f"simulation deadlocked with {len(unfinished)} unfinished tasks, "
-                f"e.g. {unfinished[:5]}"
-            )
+            if faults is None:
+                raise SimulationError(
+                    f"simulation deadlocked with {len(unfinished)} unfinished tasks, "
+                    f"e.g. {unfinished[:5]}"
+                )
+            for key in sorted(unfinished):
+                if not states[key].failed:
+                    fail_task(key, "blocked")
         report.network_bytes = network.total_bytes_transferred
         report.network_flows = network.completed_flows
         return report

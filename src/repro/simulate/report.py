@@ -33,6 +33,23 @@ class TaskRecord:
         return self.start - self.planned_start
 
 
+@dataclass(frozen=True)
+class FailureRecord:
+    """One task that did not complete under fault injection.
+
+    ``reason`` is a stable tag: ``killed`` (a down window opened while
+    the task was running), ``unavailable`` (the task tried to start on
+    a down processor) or ``blocked`` (an upstream failure starved it of
+    inputs or processors).
+    """
+
+    ptg_name: str
+    task_id: int
+    cluster_name: str
+    time: float
+    reason: str
+
+
 @dataclass
 class SimulationReport:
     """Per-task and per-application measurements of one simulated execution."""
@@ -41,10 +58,27 @@ class SimulationReport:
     records: List[TaskRecord] = field(default_factory=list)
     network_bytes: float = 0.0
     network_flows: int = 0
+    failures: List[FailureRecord] = field(default_factory=list)
 
     def add(self, record: TaskRecord) -> None:
         """Append one task record."""
         self.records.append(record)
+
+    def add_failure(self, record: FailureRecord) -> None:
+        """Append one failure record."""
+        self.failures.append(record)
+
+    @property
+    def complete(self) -> bool:
+        """True when every task finished (no fault cut the run short)."""
+        return not self.failures
+
+    def failed_applications(self) -> List[str]:
+        """Applications with at least one failed task, in failure order."""
+        seen: Dict[str, None] = {}
+        for record in self.failures:
+            seen.setdefault(record.ptg_name, None)
+        return list(seen)
 
     # ------------------------------------------------------------------ #
     # aggregation

@@ -32,6 +32,8 @@ from repro import obs
 from repro.campaigns.store import CampaignStore
 from repro.exceptions import CampaignError, ConfigurationError
 from repro.experiments.runner import ProgressCallback
+from repro.faults.repair import repair_schedule
+from repro.faults.spec import compile_timeline
 from repro.mapping.schedule import Schedule, ScheduledTask
 from repro.obs import trace
 from repro.obs.export import TELEMETRY_CHANNEL
@@ -39,6 +41,7 @@ from repro.metrics.utilisation import schedule_utilisation
 from repro.metrics.windows import WindowedMetrics, tenant_stall_times, windowed_metrics
 from repro.scenarios.registry import ALLOCATORS, PLATFORMS, STRATEGIES
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulate.executor import ScheduleExecutor
 from repro.streaming.engine import Arrival, StreamResult, StreamSession
 from repro.streaming.spec import generate_arrivals
 from repro.validate import validate_schedule
@@ -113,10 +116,17 @@ class StreamOutcome:
     packed_tasks: int = 0
     valid: Optional[bool] = None
     schedule_rows: List[List] = field(default_factory=list)
+    #: Fault-injection summary, present only when the scenario carries a
+    #: ``faults`` section: the plan label, the failures observed when
+    #: replaying the planned schedule under the fault timeline, the
+    #: repair's degradation metrics, the perturbed-platform validator
+    #: verdict on the repaired schedule and (with ``keep_schedule``) the
+    #: repaired schedule in row form.
+    faults: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "strategy": self.strategy,
             "n_arrivals": self.n_arrivals,
             "horizon": self.horizon,
@@ -135,6 +145,9 @@ class StreamOutcome:
             "valid": self.valid,
             "schedule_rows": self.schedule_rows,
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "StreamOutcome":
@@ -168,6 +181,7 @@ class StreamOutcome:
                 packed_tasks=int(payload.get("packed_tasks", 0)),
                 valid=payload.get("valid"),
                 schedule_rows=payload.get("schedule_rows") or [],
+                faults=payload.get("faults"),
             )
         except KeyError as exc:
             raise CampaignError(f"stream outcome record misses field {exc}") from None
@@ -179,6 +193,15 @@ class StreamOutcome:
                 f"outcome of {self.strategy!r} was stored without its schedule"
             )
         return schedule_from_rows(self.schedule_rows, platform_name)
+
+    def repaired_schedule(self, platform_name: str = "") -> Schedule:
+        """The stored repaired schedule (fault-injection runs only)."""
+        rows = (self.faults or {}).get("schedule_rows")
+        if not rows:
+            raise CampaignError(
+                f"outcome of {self.strategy!r} carries no repaired schedule"
+            )
+        return schedule_from_rows(rows, platform_name)
 
 
 @dataclass
@@ -277,6 +300,56 @@ def _summarise(
     )
 
 
+def _fault_summary(
+    spec: ScenarioSpec,
+    timeline,
+    result: StreamResult,
+    validate: bool,
+    keep_schedule: bool,
+) -> Dict:
+    """Perturb, repair and summarise one stream run under a fault timeline.
+
+    The planned schedule is replayed through the perturbed executor (so
+    the summary records which tasks the faults actually killed, starved
+    or blocked), then repaired with
+    :func:`repro.faults.repair.repair_schedule`; the repaired schedule
+    is checked with the validator's perturbed-platform mode.
+    """
+    ptgs = [arrival.ptg for arrival in result.arrivals]
+    releases = dict(result.arrival_times)
+    report = ScheduleExecutor(result.platform).execute(
+        ptgs, result.schedule, releases=releases, faults=timeline
+    )
+    repair = repair_schedule(
+        ptgs,
+        result.schedule,
+        result.platform,
+        timeline,
+        releases=releases,
+        enable_packing=spec.pipeline.packing,
+    )
+    valid: Optional[bool] = None
+    if validate:
+        verdict = validate_schedule(
+            repair.schedule,
+            ptgs=ptgs,
+            platform=result.platform,
+            releases=releases,
+            faults=timeline,
+        )
+        valid = verdict.ok
+    return {
+        "plan": spec.faults.label(),
+        "failures": [
+            [f.ptg_name, f.task_id, f.cluster_name, f.time, f.reason]
+            for f in report.failures
+        ],
+        "metrics": repair.metrics(),
+        "valid": valid,
+        "schedule_rows": schedule_to_rows(repair.schedule) if keep_schedule else [],
+    }
+
+
 def run_stream_scenario(
     spec: ScenarioSpec,
     platform=None,
@@ -324,6 +397,9 @@ def run_stream_scenario(
         )
     target = platform if platform is not None else PLATFORMS.create(spec.platform)
     stream = list(arrivals) if arrivals is not None else generate_arrivals(spec.arrivals)
+    timeline = None
+    if spec.faults is not None:
+        timeline = compile_timeline(spec.faults, target)
     scenario = StreamScenarioResult(spec=spec)
     # The scenario starts its own telemetry session only when the caller
     # has not installed one (so ``repro trace`` keeps a single session).
@@ -346,7 +422,7 @@ def run_stream_scenario(
                 session.feed(stream)
             result = session.result()
             scenario.results[name] = result
-            scenario.outcomes[name] = _summarise(
+            outcome = _summarise(
                 name,
                 result,
                 packed_tasks=session.engine.packed_tasks,
@@ -354,6 +430,11 @@ def run_stream_scenario(
                 validate=validate,
                 keep_schedule=keep_schedule,
             )
+            if timeline is not None:
+                outcome.faults = _fault_summary(
+                    spec, timeline, result, validate, keep_schedule
+                )
+            scenario.outcomes[name] = outcome
     finally:
         if obs_session is not None:
             obs.disable()

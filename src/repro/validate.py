@@ -16,7 +16,11 @@ which pipeline produced it:
   processor indices and never more processors than the cluster has
   (when the platform is available);
 * **release**: no task starts before its application's submission time
-  (when the submission times are available -- the online invariant).
+  (when the submission times are available -- the online invariant);
+* **availability**: no entry occupies a processor inside one of the
+  down windows of a :class:`~repro.faults.timeline.FaultTimeline`
+  (when a timeline is provided -- the perturbed-platform mode checking
+  repaired schedules against the capacity that excludes the windows).
 
 :func:`validate_schedule` runs every check the provided context allows
 and returns a :class:`ValidationReport` listing each
@@ -53,7 +57,8 @@ class Violation:
 
     ``kind`` is a stable machine-readable tag (``times``,
     ``precedence``, ``completeness``, ``overlap``, ``capacity``,
-    ``release``, ``metrics``); ``message`` the human-readable detail.
+    ``release``, ``availability``, ``metrics``); ``message`` the
+    human-readable detail.
     """
 
     kind: str
@@ -268,11 +273,32 @@ def _check_releases(
             )
 
 
+def _check_availability(
+    entries: Sequence[ScheduledTask],
+    faults,
+    report: ValidationReport,
+) -> None:
+    """No entry may occupy a processor inside a down window."""
+    for entry in entries:
+        window = faults.entry_conflicts(entry)
+        if window is not None:
+            report.add(
+                "availability",
+                f"runs on cluster {entry.cluster_name!r} during "
+                f"[{entry.start:.6f}, {entry.finish:.6f}] while processors "
+                f"{list(window.processors)[:5]} are down during "
+                f"[{window.start:.6f}, {window.end:.6f}]",
+                entry.ptg_name,
+                entry.task_id,
+            )
+
+
 def validate_schedule(
     schedule: Schedule,
     ptgs: Optional[Sequence] = None,
     platform: Optional[MultiClusterPlatform] = None,
     releases: Optional[Mapping[str, float]] = None,
+    faults=None,
 ) -> ValidationReport:
     """Check every schedule invariant the provided context allows.
 
@@ -288,6 +314,11 @@ def validate_schedule(
     releases:
         Per-application submission instants (``name -> seconds``);
         enables the online release check.
+    faults:
+        Optional :class:`~repro.faults.timeline.FaultTimeline`; enables
+        the perturbed-platform availability check (no entry may overlap
+        a down window on its processors -- the invariant a repaired
+        schedule must satisfy).
 
     Returns
     -------
@@ -311,6 +342,9 @@ def validate_schedule(
     if releases is not None:
         report.checks += ("release",)
         _check_releases(schedule, releases, report)
+    if faults is not None:
+        report.checks += ("availability",)
+        _check_availability(sane, faults, report)
     return report
 
 

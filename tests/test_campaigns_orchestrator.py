@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.campaigns.orchestrator import orchestrate, run_campaign_parallel
-from repro.campaigns.pool import execute_shard, run_shards
+from repro.campaigns.pool import RetryPolicy, execute_shard, run_shards
 from repro.campaigns.shards import ExperimentShard, make_shards
 from repro.campaigns.store import CampaignStore
 from repro.exceptions import CampaignError
@@ -159,14 +159,100 @@ class TestStoreGuards:
             orchestrate(config, store=store, jobs=1, resume=False)
 
 
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay("k", 1) == policy.delay("k", 1)
+        assert policy.delay("k", 1) != policy.delay("other", 1)
+        assert policy.delay("k", 1) != policy.delay("k", 2)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(attempts=8, base_delay=0.5, max_delay=8.0)
+        caps = [min(8.0, 0.5 * 2 ** (attempt - 1)) for attempt in range(1, 8)]
+        for attempt, cap in enumerate(caps, start=1):
+            delay = policy.delay("k", attempt)
+            # jitter keeps every delay within [cap/2, cap]
+            assert 0.5 * cap <= delay <= cap
+        assert policy.delay("k", 7) <= 8.0
+
+    def test_invalid_policies_raise(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=0.1, base_delay=0.5)
+
+    def test_transient_failure_heals_within_the_attempt_budget(
+        self, config, serial, monkeypatch
+    ):
+        """Fails twice, succeeds on the third try: outcome.ok, 2 backoffs."""
+        from repro.campaigns import pool
+
+        original = pool.run_experiment
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise RuntimeError("transient crash")
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(pool, "run_experiment", flaky)
+        slept = []
+        shard = make_shards(config)[0]
+        outcome = execute_shard(
+            shard, retry=RetryPolicy(attempts=3), sleep=slept.append
+        )
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.result == serial.experiments[0]
+        assert len(slept) == 2
+        assert slept[0] < slept[1]  # exponential backoff (jitter < growth)
+
+    def test_exhausted_attempts_report_the_last_error(self, config, monkeypatch):
+        from repro.campaigns import pool
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("permanent crash")
+
+        monkeypatch.setattr(pool, "run_experiment", broken)
+        slept = []
+        shard = make_shards(config)[0]
+        outcome = execute_shard(
+            shard, retry=RetryPolicy(attempts=2), sleep=slept.append
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "permanent crash" in outcome.error
+        assert len(slept) == 1
+
+    def test_no_retry_by_default(self, config, monkeypatch):
+        from repro.campaigns import pool
+
+        calls = {"n": 0}
+
+        def broken(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("crash")
+
+        monkeypatch.setattr(pool, "run_experiment", broken)
+        outcome = execute_shard(make_shards(config)[0])
+        assert not outcome.ok
+        assert outcome.attempts == 1
+        assert calls["n"] == 1
+
+
 class TestFailureHandling:
-    def test_failures_raise_after_all_shards_ran(self, platform, tmp_path, monkeypatch):
-        """One bad shard fails the run, but good shards are persisted first."""
-        config = CampaignConfig(
+    @staticmethod
+    def _flaky_config(platform):
+        return CampaignConfig(
             family="random", ptg_counts=(2, 3), workloads_per_point=1,
             platforms=(platform,), strategy_names=("S",), base_seed=17, max_tasks=8,
         )
-        shards = make_shards(config)
+
+    @staticmethod
+    def _break_3ptg_shards(monkeypatch):
         from repro.campaigns import pool
 
         original = pool.run_experiment
@@ -177,11 +263,51 @@ class TestFailureHandling:
             return original(ptgs, *args, **kwargs)
 
         monkeypatch.setattr(pool, "run_experiment", flaky)
+
+    def test_failed_shard_is_quarantined_not_fatal(
+        self, platform, tmp_path, monkeypatch
+    ):
+        """A persistently failing shard lands in quarantine; the rest complete."""
+        config = self._flaky_config(platform)
+        shards = make_shards(config)
+        self._break_3ptg_shards(monkeypatch)
         store = CampaignStore(tmp_path / "s")
-        with pytest.raises(CampaignError, match="1 shard"):
-            orchestrate(config, store=store, jobs=1)
+        run = orchestrate(config, store=store, jobs=1)
         assert store.completed_keys() == {shards[0].key()}
+        assert run.stats.failed_shards == 1
+        assert run.stats.quarantined == [shards[1].label()]
+        assert len(run.result.experiments) == 1
+        records = store.payloads_by_key("quarantine")
+        assert set(records) == {shards[1].key()}
+        payload = records[shards[1].key()]
+        assert payload["label"] == shards[1].label()
+        assert "boom on the 3-PTG shard" in payload["error"]
+        assert payload["attempts"] == 1
+        # a later resume re-runs the quarantined shard (its result key is
+        # still missing) and heals the campaign
         monkeypatch.undo()
         resumed = orchestrate(config, store=store, jobs=1)
         assert resumed.stats.skipped_shards == 1
         assert resumed.stats.executed_shards == 1
+        assert resumed.stats.failed_shards == 0
+
+    def test_failures_without_store_still_raise(self, platform, monkeypatch):
+        """In-memory runs have nowhere to quarantine: they abort as before."""
+        config = self._flaky_config(platform)
+        self._break_3ptg_shards(monkeypatch)
+        with pytest.raises(CampaignError, match="1 shard"):
+            orchestrate(config, store=None, jobs=1)
+
+    def test_all_shards_failing_raises_even_with_store(
+        self, platform, tmp_path, monkeypatch
+    ):
+        """Zero surviving shards leaves nothing to aggregate: abort."""
+        config = self._flaky_config(platform)
+        from repro.campaigns import pool
+
+        def broken(ptgs, *args, **kwargs):
+            raise RuntimeError("everything burns")
+
+        monkeypatch.setattr(pool, "run_experiment", broken)
+        with pytest.raises(CampaignError, match="2 shard"):
+            orchestrate(config, store=CampaignStore(tmp_path / "s"), jobs=1)

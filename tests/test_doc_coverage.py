@@ -6,8 +6,9 @@ allocation, the beta-distribution strategies, translation to concrete
 clusters, non-insertion placement, allocation packing); the scenarios
 package is the public front door on top of them; the streaming package
 is the online workload engine, ``repro.service`` the admission daemon
-hosting it, and ``repro.validate`` the invariant checker guarding every
-schedule.  Every public class, function, method
+hosting it, ``repro.faults`` the fault-injection and repair layer
+perturbing it, and ``repro.validate`` the invariant checker guarding
+every schedule.  Every public class, function, method
 and property there must carry a docstring explaining what it
 implements.  This test enforces it so the documentation audit cannot
 rot.
@@ -22,6 +23,7 @@ import pytest
 import repro.allocation
 import repro.constraints
 import repro.dag
+import repro.faults
 import repro.mapping
 import repro.obs
 import repro.scenarios
@@ -33,6 +35,7 @@ AUDITED_PACKAGES = (
     repro.dag,
     repro.allocation,
     repro.constraints,
+    repro.faults,
     repro.mapping,
     repro.obs,
     repro.scenarios,

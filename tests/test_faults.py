@@ -1,0 +1,405 @@
+"""Tests for repro.faults: timelines, specs, perturbed execution, repair.
+
+The kill-and-repair goldens pin the full chain on fixed seeds: a
+planned stream schedule meets a seeded fault timeline, the perturbed
+executor reports the killed/blocked tasks, the repair scheduler
+re-maps the affected tail, and the repaired schedule passes the
+validator's perturbed-platform mode -- bit-identically on every run.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, MappingError, SimulationError
+from repro.experiments.workload import WorkloadSpec, make_workload
+from repro.faults.repair import RepairOutcome, repair_schedule
+from repro.faults.spec import FaultSpec, compile_timeline
+from repro.faults.timeline import (
+    DegradationWindow,
+    DownWindow,
+    FaultTimeline,
+    correlated_cluster_plan,
+    none_plan,
+    rolling_plan,
+    single_node_plan,
+)
+from repro.mapping.timeline import ClusterTimeline
+from repro.platform import grid5000
+from repro.platform.cluster import Cluster
+from repro.scenarios.registry import FAULTS, REGISTRIES
+from repro.scenarios.spec import ScenarioSpec
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.simulate.executor import ScheduleExecutor
+from repro.utils.rng import ensure_rng
+from repro.validate import validate_schedule
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return grid5000.rennes()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(WorkloadSpec(family="mixed", n_ptgs=4, seed=3, max_tasks=30))
+
+
+@pytest.fixture(scope="module")
+def planned(platform, workload):
+    return ConcurrentScheduler().schedule(workload, platform).schedule
+
+
+# ---------------------------------------------------------------------- #
+# windows
+# ---------------------------------------------------------------------- #
+class TestDownWindow:
+    def test_processors_are_sorted_and_deduped(self):
+        window = DownWindow("c", (5, 1, 5, 3), 0.0, 10.0)
+        assert window.processors == (1, 3, 5)
+
+    def test_overlap_is_half_open(self):
+        window = DownWindow("c", (0,), 10.0, 20.0)
+        assert window.overlaps(15.0, 25.0)
+        assert window.overlaps(5.0, 10.1)
+        assert not window.overlaps(20.0, 30.0)  # starts exactly at the end
+        assert not window.overlaps(0.0, 10.0)  # finishes exactly at the start
+
+    def test_hits(self):
+        window = DownWindow("c", (2, 4), 0.0, 1.0)
+        assert window.hits((4, 9))
+        assert not window.hits((0, 1, 3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cluster_name="c", processors=(), start=0.0, end=1.0),
+            dict(cluster_name="c", processors=(-1,), start=0.0, end=1.0),
+            dict(cluster_name="c", processors=(0,), start=-1.0, end=1.0),
+            dict(cluster_name="c", processors=(0,), start=2.0, end=1.0),
+        ],
+    )
+    def test_invalid_windows_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DownWindow(**kwargs)
+
+    def test_round_trip(self):
+        window = DownWindow("c", (1, 2), 3.0, 9.0, whole_cluster=True)
+        assert DownWindow.from_dict(window.to_dict()) == window
+
+
+class TestDegradationWindow:
+    def test_active_is_half_open(self):
+        window = DegradationWindow("bandwidth", 10.0, 20.0, 2.0)
+        assert window.active(10.0)
+        assert window.active(19.0)
+        assert not window.active(20.0)
+        assert not window.active(9.0)
+
+    def test_bad_kind_and_factor_raise(self):
+        with pytest.raises(ConfigurationError):
+            DegradationWindow("latency", 0.0, 1.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            DegradationWindow("slowdown", 0.0, 1.0, 0.5)
+
+
+class TestFaultTimeline:
+    def test_windows_are_canonically_sorted(self):
+        timeline = FaultTimeline(
+            "p",
+            windows=(
+                DownWindow("b", (0,), 5.0, 6.0),
+                DownWindow("a", (0,), 5.0, 6.0),
+                DownWindow("a", (0,), 1.0, 2.0),
+            ),
+        )
+        assert [w.start for w in timeline.windows] == [1.0, 5.0, 5.0]
+        assert [w.cluster_name for w in timeline.windows] == ["a", "a", "b"]
+
+    def test_down_processors_start_inclusive_end_exclusive(self):
+        timeline = FaultTimeline("p", windows=(DownWindow("c", (3,), 10.0, 20.0),))
+        assert timeline.down_processors("c", 10.0) == frozenset({3})
+        assert timeline.down_processors("c", 19.99) == frozenset({3})
+        assert timeline.down_processors("c", 20.0) == frozenset()
+        assert timeline.down_processors("other", 15.0) == frozenset()
+
+    def test_factors_multiply_active_windows(self):
+        timeline = FaultTimeline(
+            "p",
+            degradations=(
+                DegradationWindow("bandwidth", 0.0, 10.0, 2.0),
+                DegradationWindow("bandwidth", 5.0, 15.0, 3.0),
+                DegradationWindow("slowdown", 0.0, 10.0, 1.5, cluster_name="c"),
+            ),
+        )
+        assert timeline.bandwidth_factor(7.0) == pytest.approx(6.0)
+        assert timeline.bandwidth_factor(12.0) == pytest.approx(3.0)
+        assert timeline.slowdown_factor("c", 1.0) == pytest.approx(1.5)
+        assert timeline.slowdown_factor("other", 1.0) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        timeline = FaultTimeline(
+            "p",
+            windows=(DownWindow("c", (0, 1), 1.0, 2.0),),
+            degradations=(DegradationWindow("slowdown", 0.0, 9.0, 1.2, "c"),),
+        )
+        payload = json.loads(json.dumps(timeline.to_dict()))
+        assert FaultTimeline.from_dict(payload) == timeline
+
+
+# ---------------------------------------------------------------------- #
+# plans and the registry axis
+# ---------------------------------------------------------------------- #
+class TestFaultPlans:
+    def test_registry_lists_the_builtin_plans(self):
+        assert FAULTS.names() == [
+            "none", "single-node", "rolling", "correlated-cluster",
+        ]
+        assert REGISTRIES["faults"] is FAULTS
+
+    def test_none_plan_is_empty(self, platform):
+        assert none_plan(platform, ensure_rng(0)).is_empty
+
+    def test_plans_are_deterministic_in_the_seed(self, platform):
+        for plan in (single_node_plan, rolling_plan, correlated_cluster_plan):
+            a = plan(platform, ensure_rng(7), count=3)
+            b = plan(platform, ensure_rng(7), count=3)
+            assert a == b, plan.__name__
+
+    def test_rolling_sweeps_clusters_in_order(self):
+        platform = grid5000.composed()
+        timeline = rolling_plan(platform, ensure_rng(0), count=3, gap=100.0)
+        names = [c.name for c in platform]
+        assert [w.cluster_name for w in timeline.windows] == names[:3]
+        starts = sorted(w.start for w in timeline.windows)
+        assert starts[1] - starts[0] == pytest.approx(100.0)
+
+    def test_correlated_plan_takes_the_whole_cluster(self, platform):
+        timeline = correlated_cluster_plan(platform, ensure_rng(1))
+        (window,) = timeline.windows
+        assert window.whole_cluster
+        cluster = platform.cluster(window.cluster_name)
+        assert window.processors == tuple(range(cluster.num_processors))
+
+    def test_degradation_options_attach_windows(self, platform):
+        timeline = single_node_plan(
+            platform, ensure_rng(0), bandwidth=2.0, slowdown=1.5
+        )
+        kinds = sorted(d.kind for d in timeline.degradations)
+        assert kinds == ["bandwidth", "slowdown"]
+
+
+class TestFaultSpec:
+    def test_defaults_and_label(self):
+        spec = FaultSpec()
+        assert spec.plan == "none"
+        assert spec.label() == "none-x1-seed0"
+
+    def test_round_trip(self):
+        spec = FaultSpec(plan="rolling", seed=4, count=2, slowdown=1.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        assert spec.hash_payload() == spec.to_dict()
+
+    def test_unknown_keys_and_bad_values_raise(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            FaultSpec.from_dict({"plan": "none", "blast_radius": 3})
+        with pytest.raises(ConfigurationError):
+            FaultSpec(plan="meteor")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(count=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(bandwidth=0.5)
+
+    def test_compile_is_deterministic(self, platform):
+        spec = FaultSpec(plan="rolling", seed=9, count=2)
+        assert compile_timeline(spec, platform) == compile_timeline(spec, platform)
+        assert len(compile_timeline(spec, platform).windows) == 2
+
+
+class TestScenarioWiring:
+    BASE = {
+        "platform": "rennes",
+        "workload": {"family": "fft", "n_ptgs": 2},
+        "strategies": ["S"],
+    }
+
+    def test_shorthand_and_round_trip(self):
+        spec = ScenarioSpec.from_dict({**self.BASE, "faults": True})
+        assert spec.faults == FaultSpec()
+        spec = ScenarioSpec.from_dict({**self.BASE, "faults": {"plan": "rolling"}})
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_hash_extends_only_when_set(self):
+        plain = ScenarioSpec.from_dict(dict(self.BASE))
+        faulty = ScenarioSpec.from_dict({**self.BASE, "faults": True})
+        assert "faults" not in plain.to_dict()
+        assert plain.content_hash() != faulty.content_hash()
+
+    def test_batch_run_rejects_faults(self):
+        from repro.scenarios.run import run_scenario
+
+        spec = ScenarioSpec.from_dict({**self.BASE, "faults": True})
+        with pytest.raises(ConfigurationError, match="faults section"):
+            run_scenario(spec)
+
+    def test_batch_shard_rejects_faults(self):
+        from repro.campaigns.shards import ExperimentShard
+
+        spec = ScenarioSpec.from_dict({**self.BASE, "faults": True})
+        with pytest.raises(ConfigurationError, match="faults section"):
+            ExperimentShard.from_scenario(spec)
+
+
+# ---------------------------------------------------------------------- #
+# timeline blocking
+# ---------------------------------------------------------------------- #
+class TestTimelineBlock:
+    def test_block_pushes_free_times_monotonically(self):
+        timeline = ClusterTimeline(Cluster("c", 4, 1e9))
+        timeline.block((0, 2), 10.0)
+        assert timeline.earliest_start(4, 0.0) == 10.0
+        assert timeline.earliest_start(2, 0.0) == 0.0  # procs 1 and 3 are free
+        timeline.block((0,), 5.0)  # earlier than the current block: no-op
+        assert timeline.earliest_start(4, 0.0) == 10.0
+
+    def test_block_validates_inputs(self):
+        timeline = ClusterTimeline(Cluster("c", 2, 1e9))
+        with pytest.raises(MappingError):
+            timeline.block((5,), 1.0)
+        with pytest.raises(MappingError):
+            timeline.block((0,), -1.0)
+
+
+# ---------------------------------------------------------------------- #
+# perturbed execution
+# ---------------------------------------------------------------------- #
+def _mid_flight_window(schedule):
+    """A window guaranteed to strike the longest planned task mid-flight."""
+    victim = max(schedule, key=lambda e: e.finish - e.start)
+    mid = 0.5 * (victim.start + victim.finish)
+    return victim, FaultTimeline(
+        schedule.platform_name,
+        windows=(DownWindow(victim.cluster_name, victim.processors[:1], mid, mid + 50.0),),
+    )
+
+
+class TestPerturbedExecutor:
+    def test_without_faults_behaviour_is_unchanged(self, platform, workload, planned):
+        report = ScheduleExecutor(platform).execute(workload, planned)
+        assert report.complete and not report.failures
+
+    def test_strike_kills_and_starves(self, platform, workload, planned):
+        victim, timeline = _mid_flight_window(planned)
+        report = ScheduleExecutor(platform).execute(workload, planned, faults=timeline)
+        assert not report.complete
+        reasons = {f.reason for f in report.failures}
+        assert "killed" in reasons
+        assert reasons <= {"killed", "unavailable", "blocked"}
+        assert victim.ptg_name in report.failed_applications()
+
+    def test_perturbed_replay_is_deterministic(self, platform, workload, planned):
+        _, timeline = _mid_flight_window(planned)
+        runs = [
+            ScheduleExecutor(platform).execute(workload, planned, faults=timeline)
+            for _ in range(2)
+        ]
+        key = lambda r: [(f.ptg_name, f.task_id, f.reason, f.time) for f in r.failures]
+        assert key(runs[0]) == key(runs[1])
+
+    def test_slowdown_stretches_measured_durations(self, platform, workload, planned):
+        timeline = FaultTimeline(
+            platform.name,
+            degradations=(DegradationWindow("slowdown", 0.0, 1e9, 2.0),),
+        )
+        base = ScheduleExecutor(platform).execute(workload, planned)
+        slow = ScheduleExecutor(platform).execute(workload, planned, faults=timeline)
+        assert slow.complete  # degradations stretch, they never kill
+        assert slow.global_makespan() > base.global_makespan()
+
+    def test_bandwidth_degradation_inflates_transferred_bytes(
+        self, platform, workload, planned
+    ):
+        timeline = FaultTimeline(
+            platform.name,
+            degradations=(DegradationWindow("bandwidth", 0.0, 1e9, 3.0),),
+        )
+        base = ScheduleExecutor(platform).execute(workload, planned)
+        slow = ScheduleExecutor(platform).execute(workload, planned, faults=timeline)
+        if base.network_bytes > 0:
+            assert slow.network_bytes == pytest.approx(3.0 * base.network_bytes)
+
+    def test_deadlock_without_faults_still_raises(self, platform, workload, planned):
+        # an empty timeline keeps the strict deadlock error on the
+        # unperturbed path (nothing can fail, so nothing is "blocked")
+        report = ScheduleExecutor(platform).execute(
+            workload, planned, faults=FaultTimeline(platform.name)
+        )
+        assert report.complete
+
+
+# ---------------------------------------------------------------------- #
+# repair
+# ---------------------------------------------------------------------- #
+class TestRepair:
+    def test_empty_timeline_returns_the_original_schedule(
+        self, platform, workload, planned
+    ):
+        outcome = repair_schedule(
+            workload, planned, platform, FaultTimeline(platform.name)
+        )
+        assert outcome.schedule is planned
+        assert outcome.events == []
+        assert outcome.makespan_inflation == pytest.approx(1.0)
+
+    def test_kill_and_repair_golden(self, platform, workload, planned):
+        """Fixed seeds, pinned outcome: the golden for the whole chain."""
+        victim, timeline = _mid_flight_window(planned)
+        outcome = repair_schedule(workload, planned, platform, timeline)
+        assert isinstance(outcome, RepairOutcome)
+        assert len(outcome.killed_tasks) == 1
+        (event,) = outcome.events
+        (killed,) = event.killed
+        assert (killed.ptg_name, killed.task_id) == (victim.ptg_name, victim.task_id)
+        assert killed.work_lost > 0
+        assert killed.work_reexecuted == pytest.approx(
+            (victim.finish - victim.start) * len(victim.processors)
+        )
+        metrics = outcome.metrics()
+        assert set(metrics) == {
+            "events", "killed_tasks", "baseline_makespan", "repaired_makespan",
+            "makespan_inflation", "recovery_latency", "work_lost",
+            "work_reexecuted",
+        }
+
+    def test_repaired_schedule_is_validator_clean_in_perturbed_mode(
+        self, platform, workload, planned
+    ):
+        _, timeline = _mid_flight_window(planned)
+        outcome = repair_schedule(workload, planned, platform, timeline)
+        report = validate_schedule(
+            outcome.schedule, ptgs=workload, platform=platform, faults=timeline
+        )
+        assert report.ok, report.summary()
+        assert "availability" in report.checks
+
+    def test_repair_is_bit_identical_across_runs(self, platform, workload, planned):
+        _, timeline = _mid_flight_window(planned)
+        a = repair_schedule(workload, planned, platform, timeline)
+        b = repair_schedule(workload, planned, platform, timeline)
+        rows = lambda s: [
+            (e.ptg_name, e.task_id, e.cluster_name, e.processors, e.start, e.finish)
+            for e in sorted(s, key=lambda e: (e.ptg_name, e.task_id))
+        ]
+        assert rows(a.schedule) == rows(b.schedule)
+        assert a.metrics() == b.metrics()
+
+    def test_baseline_schedule_violates_perturbed_mode(
+        self, platform, workload, planned
+    ):
+        """The original schedule overlaps the window: perturbed mode rejects it."""
+        _, timeline = _mid_flight_window(planned)
+        report = validate_schedule(
+            planned, ptgs=workload, platform=platform, faults=timeline
+        )
+        assert not report.ok
+        assert any(v.kind == "availability" for v in report.violations)

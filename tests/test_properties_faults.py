@@ -1,0 +1,120 @@
+"""Property-based tests on the fault-injection and repair invariants.
+
+For arbitrary workloads crossed with arbitrary seeded fault plans, the
+repair pass must always produce a schedule that the validator accepts in
+perturbed-platform mode (no placement overlaps a down window, on top of
+the usual completeness / capacity / precedence checks), and the whole
+chain -- plan compilation, perturbed replay, repair -- must be
+bit-identical when replayed with the same seeds.
+
+CI runs this module under the derandomized profile
+(``HYPOTHESIS_PROFILE=ci`` plus ``--hypothesis-seed=0``, see
+``tests/conftest.py``), so the examples drawn are stable across runs.
+"""
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.dag.generator import RandomPTGConfig, generate_random_ptg
+from repro.faults.repair import repair_schedule
+from repro.faults.spec import FaultSpec, compile_timeline
+from repro.platform.builder import heterogeneous_platform
+from repro.scenarios.registry import FAULTS
+from repro.scheduler.concurrent import ConcurrentScheduler
+from repro.simulate.executor import ScheduleExecutor
+from repro.validate import validate_schedule
+
+PLATFORM = heterogeneous_platform((6, 10), (2.0, 4.0), name="prop-platform")
+
+PLAN_NAMES = [name for name in FAULTS.names() if name != "none"]
+
+
+def build_workload(seed, n_apps, n_tasks):
+    return [
+        generate_random_ptg(
+            seed + i, RandomPTGConfig(n_tasks=n_tasks), name=f"fault-{seed}-{i}"
+        )
+        for i in range(n_apps)
+    ]
+
+
+def build_case(seed, n_apps, n_tasks, plan, fault_seed, count):
+    """Schedule one drawn workload and compile its fault timeline."""
+    workload = build_workload(seed, n_apps, n_tasks)
+    planned = ConcurrentScheduler().schedule(workload, PLATFORM).schedule
+    makespan = max((e.finish for e in planned), default=0.0)
+    spec = FaultSpec(
+        plan=plan,
+        seed=fault_seed,
+        count=count,
+        # strike inside the planned span so windows have a chance to hit
+        start=0.25 * makespan,
+        duration=max(1.0, 0.25 * makespan),
+        gap=max(1.0, 0.2 * makespan),
+    )
+    timeline = compile_timeline(spec, PLATFORM)
+    return workload, planned, spec, timeline
+
+
+CASE = dict(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_apps=st.integers(min_value=1, max_value=3),
+    n_tasks=st.integers(min_value=2, max_value=10),
+    plan=st.sampled_from(PLAN_NAMES),
+    fault_seed=st.integers(min_value=0, max_value=1_000),
+    count=st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@example(seed=3, n_apps=3, n_tasks=10, plan="rolling", fault_seed=5, count=3)
+@example(seed=0, n_apps=1, n_tasks=2, plan="correlated-cluster", fault_seed=0, count=1)
+@given(**CASE)
+def test_repaired_schedule_is_validator_clean_in_perturbed_mode(
+    seed, n_apps, n_tasks, plan, fault_seed, count
+):
+    workload, planned, _, timeline = build_case(
+        seed, n_apps, n_tasks, plan, fault_seed, count
+    )
+    outcome = repair_schedule(workload, planned, PLATFORM, timeline)
+    report = validate_schedule(
+        outcome.schedule, ptgs=workload, platform=PLATFORM, faults=timeline
+    )
+    assert report.ok, report.summary()
+    # NOTE: the executor replays schedules work-conservingly (a task starts
+    # as soon as its inputs and queue frontier allow), so a repaired entry
+    # placed after a down window may *start* earlier in replay and still be
+    # struck; the system invariant is the planned placement avoiding every
+    # window, which is exactly what the perturbed validator checks above.
+    metrics = outcome.metrics()
+    # re-planning the tail can *improve* on the baseline packing, so the
+    # inflation ratio is positive but not necessarily >= 1
+    assert metrics["makespan_inflation"] > 0.0
+    assert metrics["work_lost"] <= metrics["work_reexecuted"] + 1e-9
+    assert metrics["recovery_latency"] >= 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@example(seed=3, n_apps=2, n_tasks=8, plan="single-node", fault_seed=7, count=2)
+@given(**CASE)
+def test_same_seed_replay_is_bit_identical(
+    seed, n_apps, n_tasks, plan, fault_seed, count
+):
+    def run_once():
+        workload, planned, _, timeline = build_case(
+            seed, n_apps, n_tasks, plan, fault_seed, count
+        )
+        replay = ScheduleExecutor(PLATFORM).execute(workload, planned, faults=timeline)
+        outcome = repair_schedule(workload, planned, PLATFORM, timeline)
+        failures = [
+            (f.ptg_name, f.task_id, f.cluster_name, f.time, f.reason)
+            for f in replay.failures
+        ]
+        rows = [
+            (e.ptg_name, e.task_id, e.cluster_name, e.processors, e.start, e.finish)
+            for e in sorted(
+                outcome.schedule, key=lambda e: (e.ptg_name, e.task_id)
+            )
+        ]
+        return timeline, failures, rows, outcome.metrics()
+
+    assert run_once() == run_once()

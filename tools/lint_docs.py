@@ -6,7 +6,8 @@ documentation cannot silently rot:
 
 * the required pages exist (``index.md``, ``architecture.md``,
   ``scenarios.md``, ``performance.md``, ``campaigns.md``,
-  ``streaming.md``, ``observability.md``, ``testing.md``, ``cli.md``),
+  ``streaming.md``, ``faults.md``, ``observability.md``,
+  ``testing.md``, ``cli.md``),
 * every page starts with a level-1 heading and has balanced code fences,
 * every relative markdown link resolves to an existing file, and every
   ``#anchor`` fragment matches a heading of the target page
@@ -33,6 +34,7 @@ REQUIRED_PAGES = (
     "campaigns.md",
     "streaming.md",
     "service.md",
+    "faults.md",
     "observability.md",
     "testing.md",
     "cli.md",
