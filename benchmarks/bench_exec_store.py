@@ -1,0 +1,164 @@
+"""Benchmark E10 -- the columnar result store (repro.campaigns.colstore).
+
+Builds a 50k-record synthetic result store, then compares the two read
+paths the orchestrator exercises on every resume:
+
+1. the pre-columnar baseline: parse every JSONL line and materialise
+   every payload just to learn which shard keys are done,
+2. the columnar path: ``compact`` the write-ahead log once, then answer
+   the same question from the segment footers (no payload is decoded)
+   and aggregate the store with the memory-bounded streaming summary.
+
+The benchmark gates on a >= 2x speedup of the footer-index key scan over
+the full JSONL parse and checks that the streaming aggregation peaks
+below the full-load baseline (tracemalloc).  It writes a
+``BENCH_exec.json`` summary with the wall times, the speedup, the peak
+heap of both paths and the segment statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import tracemalloc
+
+from benchmarks.conftest import write_result
+from repro.campaigns.aggregate import StreamingAggregate, summarize_store
+from repro.campaigns.colstore import ColumnStore
+from repro.campaigns.store import STORE_FORMAT_VERSION, CampaignStore
+
+#: Number of synthetic result records (the issue's acceptance scale).
+RECORDS = int(os.environ.get("REPRO_BENCH_EXEC_RECORDS", "50000"))
+
+STRATEGIES = ("S", "ES", "PS-work")
+
+
+def _payload(i: int) -> dict:
+    """One synthetic experiment record (floats dominate, as in real runs)."""
+    return {
+        "platform": f"site-{i % 4}",
+        "n_ptgs": 2 + 2 * (i % 3),
+        "workload_label": f"w{i:05d}",
+        "own_makespans": {f"app{j}": 40.0 + (i % 97) * 0.25 + j for j in range(4)},
+        "outcomes": {
+            name: {
+                "unfairness": 0.001 * ((i + k) % 151),
+                "batch_makespan": 100.0 + ((i * 7 + k) % 211) * 0.5,
+                "mean_application_makespan": 55.0 + ((i + 3 * k) % 83) * 0.75,
+            }
+            for k, name in enumerate(STRATEGIES)
+        },
+    }
+
+
+def _build_store(root: str) -> CampaignStore:
+    """Write RECORDS results as one buffered JSONL pass (synthetic WAL)."""
+    store = CampaignStore(root)
+    with open(store.results_path, "w", encoding="utf-8") as handle:
+        for i in range(RECORDS):
+            record = {
+                "format_version": STORE_FORMAT_VERSION,
+                "key": f"key{i:06d}",
+                "payload": _payload(i),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return store
+
+
+def _full_load_keys(store: CampaignStore) -> set:
+    """The pre-columnar resume check: decode every payload for its key."""
+    keys = set()
+    with open(store.results_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            record["payload"]  # the baseline materialises the whole record
+            keys.add(record["key"])
+    return keys
+
+
+def _full_load_summary(store: CampaignStore) -> dict:
+    """The pre-columnar aggregation: every payload held in memory at once."""
+    payloads = {}
+    with open(store.results_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            payloads[record["key"]] = record["payload"]
+    aggregate = StreamingAggregate()
+    for payload in payloads.values():
+        aggregate.add(payload)
+    return aggregate.summary()
+
+
+def _traced(fn, *args):
+    """(result, seconds, peak_heap_bytes) of one call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn(*args)
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def run_exec_store_bench() -> dict:
+    root = tempfile.mkdtemp(prefix="bench-exec-store-")
+    try:
+        store = _build_store(root)
+        wal_bytes = os.path.getsize(store.results_path)
+
+        baseline_keys, baseline_scan_seconds, _ = _traced(_full_load_keys, store)
+        baseline_summary, full_load_seconds, full_load_peak = _traced(
+            _full_load_summary, store
+        )
+
+        start = time.perf_counter()
+        view = ColumnStore(store)
+        report = view.compact()
+        compact_seconds = time.perf_counter() - start
+
+        fresh = CampaignStore(root)
+        footer_keys, footer_scan_seconds, _ = _traced(fresh.completed_keys)
+        streaming_summary, streaming_seconds, streaming_peak = _traced(
+            summarize_store, CampaignStore(root)
+        )
+
+        stat = ColumnStore(CampaignStore(root)).stat()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "records": RECORDS,
+        "wal_bytes": wal_bytes,
+        "keys_identical": footer_keys == baseline_keys,
+        "summaries_identical": streaming_summary == baseline_summary,
+        "full_parse_key_scan_seconds": round(baseline_scan_seconds, 3),
+        "footer_key_scan_seconds": round(footer_scan_seconds, 3),
+        "key_scan_speedup": round(baseline_scan_seconds / footer_scan_seconds, 2),
+        "compact_seconds": round(compact_seconds, 3),
+        "segments": stat["segments"],
+        "segment_bytes": stat["segment_bytes"],
+        "full_load_summary_seconds": round(full_load_seconds, 3),
+        "streaming_summary_seconds": round(streaming_seconds, 3),
+        "full_load_peak_mb": round(full_load_peak / 1e6, 2),
+        "streaming_peak_mb": round(streaming_peak / 1e6, 2),
+    }
+
+
+def bench_exec_store(benchmark):
+    """Columnar key scan / streaming summary vs. the JSONL full-load path."""
+    summary = benchmark.pedantic(run_exec_store_bench, rounds=1, iterations=1)
+    write_result("BENCH_exec.json", json.dumps(summary, indent=2, sort_keys=True))
+
+    assert summary["keys_identical"]
+    assert summary["summaries_identical"]
+    # the footer index must beat the full JSONL parse by at least 2x
+    assert summary["key_scan_speedup"] >= 2.0, summary
+    # streaming aggregation must stay under the full-load memory peak
+    assert summary["streaming_peak_mb"] < summary["full_load_peak_mb"], summary
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_exec_store_bench(), indent=2, sort_keys=True))

@@ -1,0 +1,488 @@
+"""Columnar segment backend of the campaign store.
+
+The JSONL channels of :class:`~repro.campaigns.store.CampaignStore` are
+perfect *write* paths -- append-only, crash-safe, one fsynced line per
+record -- but poor *read* paths at fleet scale: re-assembling a 50k-row
+campaign means JSON-decoding 50k nested documents even when the reader
+only wants three float columns.  This module treats the JSONL channel
+as a **write-ahead log** and compacts it, in bounded batches, into
+columnar *segments*::
+
+    <store root>/colstore/
+        state.json                 -- WAL offset + ordered segment list
+        segments/seg-000001/
+            skeleton.jsonl         -- one line per row: key + payload
+                                      with float leaves nulled out
+            col-000.npz            -- one file per column group (the
+                                      payload's top-level field): packed
+                                      float64 values + int64 row ids +
+                                      path-vocabulary ids
+            footer.json            -- row count, key index, group map
+
+The split is by *type*, not by field: every ``float`` leaf of a payload
+moves into the packed arrays of its top-level column group (numpy
+``float64`` round-trips Python floats bit-identically), while the
+structural skeleton -- dict shape, strings, ints, bools, ``None``,
+empty containers -- stays as one small JSON line.  Reconstruction walks
+the recorded ``(row, path, value)`` triples back into the skeleton, so
+``rows_by_key`` is *bit-identical* to the JSONL it compacted.
+
+Compaction is crash-safe the same way the WAL is: a segment directory
+is built under a temporary name and renamed into place, ``state.json``
+is replaced atomically after every batch, a partially-written trailing
+WAL line is never consumed, and re-running ``compact`` is idempotent.
+Readers see segments first and the WAL tail (everything past the
+compacted offset) second, preserving the channels' last-record-wins
+semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.campaigns.store import (
+    SUPPORTED_FORMAT_VERSIONS,
+    CampaignStore,
+)
+from repro.exceptions import CampaignError
+
+#: Sub-directory of the store root holding the columnar backend.
+COLSTORE_DIRNAME = "colstore"
+#: Sub-directory of the colstore holding the segments.
+SEGMENTS_DIRNAME = "segments"
+#: The atomically-replaced compaction state file.
+STATE_FILENAME = "state.json"
+#: Version stamp of the segment layout.
+COLSTORE_FORMAT_VERSION = 1
+#: Default rows per segment; bounds compaction (and read) memory.
+DEFAULT_BATCH_SIZE = 1000
+
+_SKELETON_FILENAME = "skeleton.jsonl"
+_FOOTER_FILENAME = "footer.json"
+
+
+# ---------------------------------------------------------------------- #
+# payload <-> skeleton + float columns
+# ---------------------------------------------------------------------- #
+def split_payload(payload: Any) -> Tuple[Any, List[Tuple[Tuple, float]]]:
+    """Separate a payload into its skeleton and its float leaves.
+
+    Returns ``(skeleton, leaves)`` where every ``float`` leaf of
+    *payload* is replaced by ``None`` in the skeleton and listed in
+    *leaves* as ``(path, value)`` -- *path* being the tuple of dict keys
+    and list indices leading to it.  Everything else (ints, bools,
+    strings, ``None``, container shapes) stays in the skeleton.
+
+    >>> skeleton, leaves = split_payload({"n": 3, "m": {"a": 1.5}})
+    >>> skeleton
+    {'n': 3, 'm': {'a': None}}
+    >>> leaves
+    [(('m', 'a'), 1.5)]
+    """
+    leaves: List[Tuple[Tuple, float]] = []
+
+    def walk(node: Any, path: Tuple) -> Any:
+        if isinstance(node, bool):  # bool is an int subtype: keep inline
+            return node
+        if isinstance(node, float):
+            leaves.append((path, node))
+            return None
+        if isinstance(node, dict):
+            return {key: walk(value, path + (key,)) for key, value in node.items()}
+        if isinstance(node, list):
+            return [walk(value, path + (index,)) for index, value in enumerate(node)]
+        return node
+
+    return walk(payload, ()), leaves
+
+
+def merge_payload(skeleton: Any, leaves: List[Tuple[Tuple, float]]) -> Any:
+    """Reinsert float *leaves* into a :func:`split_payload` skeleton.
+
+    The skeleton is modified in place (its ``None`` placeholders are
+    overwritten) and returned.  Genuine ``None`` values survive: they
+    have no leaf entry, so nothing ever touches them.
+    """
+    for path, value in leaves:
+        if not path:
+            return value  # the whole payload was one float
+        node = skeleton
+        for component in path[:-1]:
+            node = node[component]
+        node[path[-1]] = value
+    return skeleton
+
+
+def _group_of(path: Tuple) -> str:
+    """The column group of one float path: its first component."""
+    if path and isinstance(path[0], str):
+        return path[0]
+    return ""
+
+
+# ---------------------------------------------------------------------- #
+# segments
+# ---------------------------------------------------------------------- #
+def _write_segment(directory: Path, rows: List[Tuple[str, Any]]) -> None:
+    """Materialise one segment from ``(key, payload)`` rows.
+
+    The segment is built under a temporary sibling name and renamed into
+    *directory* atomically, so readers never observe a half-written
+    segment and a crash leaves only an orphan temporary directory that
+    the next compaction overwrites.
+    """
+    tmp = directory.parent / f".{directory.name}.tmp-{os.getpid()}"
+    if tmp.exists():  # pragma: no cover - leftover of a crashed run
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    groups: Dict[str, Dict[str, List]] = {}
+    keys: List[str] = []
+    with open(tmp / _SKELETON_FILENAME, "w", encoding="utf-8") as handle:
+        for row, (key, payload) in enumerate(rows):
+            keys.append(key)
+            skeleton, leaves = split_payload(payload)
+            handle.write(
+                json.dumps({"key": key, "skeleton": skeleton}, sort_keys=True)
+                + "\n"
+            )
+            for path, value in leaves:
+                group = groups.setdefault(
+                    _group_of(path), {"rows": [], "paths": [], "values": [],
+                                      "vocab": [], "vocab_index": {}}
+                )
+                encoded = json.dumps(list(path))
+                path_id = group["vocab_index"].get(encoded)
+                if path_id is None:
+                    path_id = len(group["vocab"])
+                    group["vocab_index"][encoded] = path_id
+                    group["vocab"].append(encoded)
+                group["rows"].append(row)
+                group["paths"].append(path_id)
+                group["values"].append(value)
+    footer_groups: Dict[str, Dict] = {}
+    for index, (name, group) in enumerate(sorted(groups.items())):
+        filename = f"col-{index:03d}.npz"
+        np.savez(
+            tmp / filename,
+            rows=np.asarray(group["rows"], dtype=np.int64),
+            paths=np.asarray(group["paths"], dtype=np.int64),
+            values=np.asarray(group["values"], dtype=np.float64),
+        )
+        footer_groups[name] = {"file": filename, "paths": group["vocab"]}
+    footer = {
+        "format_version": COLSTORE_FORMAT_VERSION,
+        "rows": len(rows),
+        "keys": keys,
+        "groups": footer_groups,
+    }
+    with open(tmp / _FOOTER_FILENAME, "w", encoding="utf-8") as handle:
+        json.dump(footer, handle, sort_keys=True)
+    os.replace(tmp, directory)
+
+
+class Segment:
+    """One immutable columnar segment of a compacted channel."""
+
+    def __init__(self, directory) -> None:
+        """Open the segment at *directory* (reads only the footer)."""
+        self.directory = Path(directory)
+        try:
+            with open(self.directory / _FOOTER_FILENAME, encoding="utf-8") as handle:
+                self.footer = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"unreadable segment footer in {self.directory}: {exc}"
+            ) from None
+        version = self.footer.get("format_version")
+        if version != COLSTORE_FORMAT_VERSION:
+            raise CampaignError(
+                f"{self.directory}: unsupported segment format version {version!r}"
+            )
+
+    @property
+    def rows(self) -> int:
+        """Number of rows in the segment."""
+        return int(self.footer["rows"])
+
+    def keys(self) -> List[str]:
+        """Record keys of the segment, in row order (footer only, no I/O)."""
+        return [str(key) for key in self.footer["keys"]]
+
+    def _leaves_by_row(self) -> Dict[int, List[Tuple[Tuple, float]]]:
+        """Float leaves of every row, decoded from the column groups."""
+        by_row: Dict[int, List[Tuple[Tuple, float]]] = {}
+        for group in self.footer["groups"].values():
+            vocab = [tuple(json.loads(encoded)) for encoded in group["paths"]]
+            with np.load(self.directory / group["file"]) as arrays:
+                rows = arrays["rows"]
+                paths = arrays["paths"]
+                values = arrays["values"]
+                for row, path_id, value in zip(rows, paths, values):
+                    by_row.setdefault(int(row), []).append(
+                        (vocab[int(path_id)], float(value))
+                    )
+        return by_row
+
+    def iter_rows(self) -> Iterator[Tuple[str, Any]]:
+        """Yield ``(key, payload)`` rows, reconstructed bit-identically.
+
+        Memory is bounded by the segment's own size (compaction batches
+        are bounded), never by the whole channel.
+        """
+        leaves = self._leaves_by_row()
+        with open(self.directory / _SKELETON_FILENAME, encoding="utf-8") as handle:
+            for row, line in enumerate(handle):
+                record = json.loads(line)
+                payload = merge_payload(record["skeleton"], leaves.get(row, []))
+                yield str(record["key"]), payload
+
+
+# ---------------------------------------------------------------------- #
+# the columnar view of one channel
+# ---------------------------------------------------------------------- #
+class ColumnStore:
+    """Columnar (segments + WAL tail) view of one store channel.
+
+    The view is purely additive: the JSONL channel stays the write path
+    and the durable source of truth; :meth:`compact` folds its settled
+    prefix into segments, and every reader merges segments with the WAL
+    tail so compaction can run at any time -- including concurrently
+    with an appending campaign.
+    """
+
+    def __init__(self, store, channel: str = "results") -> None:
+        """Bind to *store* (a :class:`CampaignStore` or its root path)."""
+        self.store = store if isinstance(store, CampaignStore) else CampaignStore(store)
+        self.channel = channel
+        self.store.channel_path(channel)  # validate the channel name
+
+    # -- layout -------------------------------------------------------- #
+    @property
+    def root(self) -> Path:
+        """Root directory of the columnar backend for this channel."""
+        base = self.store.root / COLSTORE_DIRNAME
+        return base if self.channel == "results" else base / self.channel
+
+    @property
+    def segments_dir(self) -> Path:
+        """Directory holding the segments."""
+        return self.root / SEGMENTS_DIRNAME
+
+    @property
+    def state_path(self) -> Path:
+        """Path of the compaction state file."""
+        return self.root / STATE_FILENAME
+
+    # -- state --------------------------------------------------------- #
+    def load_state(self) -> Dict:
+        """The compaction state (a fresh default when never compacted)."""
+        try:
+            with open(self.state_path, encoding="utf-8") as handle:
+                state = json.load(handle)
+        except OSError:
+            return {
+                "format_version": COLSTORE_FORMAT_VERSION,
+                "channel": self.channel,
+                "wal_offset": 0,
+                "wal_lines": 0,
+                "segment_seq": 0,
+                "segments": [],
+            }
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"corrupt colstore state {self.state_path}: {exc}"
+            ) from None
+        if state.get("format_version") != COLSTORE_FORMAT_VERSION:
+            raise CampaignError(
+                f"{self.state_path}: unsupported colstore format "
+                f"version {state.get('format_version')!r}"
+            )
+        return state
+
+    def _write_state(self, state: Dict) -> None:
+        """Replace the state file atomically."""
+        tmp = self.state_path.with_name(f".{STATE_FILENAME}.tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.state_path)
+
+    # -- compaction ---------------------------------------------------- #
+    def compact(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_batches: Optional[int] = None,
+    ) -> Dict:
+        """Fold settled WAL records into segments, in bounded batches.
+
+        At most *batch_size* rows are held in memory at a time; each
+        full batch becomes one segment and advances the durable WAL
+        offset, so an interrupted compaction loses at most the batch in
+        flight (which the next run simply redoes).  *max_batches* bounds
+        one invocation (``None``: drain the settled WAL entirely).  The
+        partial trailing line of a mid-append crash is never consumed.
+
+        Returns a report dict (``segments_written``, ``rows_compacted``,
+        ``wal_offset``).
+        """
+        if batch_size < 1:
+            raise CampaignError(f"batch_size must be at least 1, got {batch_size}")
+        state = self.load_state()
+        report = {"segments_written": 0, "rows_compacted": 0}
+        wal = self.store.channel_path(self.channel)
+        if not wal.exists():
+            return {**report, "wal_offset": state["wal_offset"]}
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+
+        def flush(batch: List[Tuple[str, Any]], consumed: int, lines: int) -> None:
+            if batch:
+                state["segment_seq"] += 1
+                name = f"seg-{state['segment_seq']:06d}"
+                _write_segment(self.segments_dir / name, batch)
+                state["segments"].append(name)
+                report["segments_written"] += 1
+                report["rows_compacted"] += len(batch)
+            state["wal_offset"] += consumed
+            state["wal_lines"] += lines
+            self._write_state(state)
+
+        with open(wal, "rb") as handle:
+            handle.seek(state["wal_offset"])
+            batch: List[Tuple[str, Any]] = []
+            consumed = 0
+            lines = 0
+            while max_batches is None or report["segments_written"] < max_batches:
+                raw = handle.readline()
+                if not raw.endswith(b"\n"):
+                    break  # EOF, or a partial line still being written
+                consumed += len(raw)
+                lines += 1
+                record = _parse_wal_line(
+                    raw, wal, state["wal_lines"] + lines
+                )
+                if record is not None:
+                    batch.append(record)
+                if len(batch) >= batch_size:
+                    flush(batch, consumed, lines)
+                    batch, consumed, lines = [], 0, 0
+            if batch or consumed:
+                flush(batch, consumed, lines)
+        return {**report, "wal_offset": state["wal_offset"]}
+
+    # -- reading ------------------------------------------------------- #
+    def segments(self) -> List[Segment]:
+        """The committed segments, in compaction order."""
+        state = self.load_state()
+        return [Segment(self.segments_dir / name) for name in state["segments"]]
+
+    def _iter_wal_tail(self, state: Dict) -> Iterator[Tuple[str, Any]]:
+        """Records appended after the compacted offset, streaming."""
+        wal = self.store.channel_path(self.channel)
+        if not wal.exists():
+            return
+        with open(wal, "rb") as handle:
+            handle.seek(state["wal_offset"])
+            lineno = state["wal_lines"]
+            while True:
+                raw = handle.readline()
+                if not raw.endswith(b"\n"):
+                    return
+                lineno += 1
+                record = _parse_wal_line(raw, wal, lineno)
+                if record is not None:
+                    yield record
+
+    def iter_rows(self) -> Iterator[Tuple[str, Any]]:
+        """Yield every ``(key, payload)``: segments first, WAL tail second.
+
+        Rows stream in durable order (compaction preserved append
+        order), so dict-building readers keep the channels'
+        last-record-wins semantics; memory stays bounded by one segment.
+        """
+        state = self.load_state()
+        for name in state["segments"]:
+            segment = Segment(self.segments_dir / name)
+            for key, payload in segment.iter_rows():
+                yield key, payload
+        for key, payload in self._iter_wal_tail(state):
+            yield key, payload
+
+    def rows_by_key(self) -> Dict[str, Any]:
+        """All payloads keyed by record key (last record wins)."""
+        return {key: payload for key, payload in self.iter_rows()}
+
+    def iter_keys(self) -> Iterator[str]:
+        """Yield every record key in durable order, without payloads.
+
+        Segment footers index their keys directly (no column or
+        skeleton I/O), and the WAL tail scan discards payloads without
+        building domain objects -- the resume fast path.
+        """
+        state = self.load_state()
+        for name in state["segments"]:
+            for key in Segment(self.segments_dir / name).keys():
+                yield key
+        for key, _ in self._iter_wal_tail(state):
+            yield key
+
+    def completed_keys(self) -> Set[str]:
+        """Keys present in the channel (footers + WAL tail, no payloads)."""
+        return set(self.iter_keys())
+
+    def stat(self) -> Dict:
+        """A summary of the columnar view (for ``repro store stat``)."""
+        state = self.load_state()
+        wal = self.store.channel_path(self.channel)
+        wal_size = wal.stat().st_size if wal.exists() else 0
+        segment_rows = 0
+        segment_bytes = 0
+        for name in state["segments"]:
+            segment = Segment(self.segments_dir / name)
+            segment_rows += segment.rows
+            segment_bytes += sum(
+                entry.stat().st_size
+                for entry in (self.segments_dir / name).iterdir()
+            )
+        pending = sum(1 for _ in self._iter_wal_tail(state))
+        return {
+            "channel": self.channel,
+            "segments": len(state["segments"]),
+            "segment_rows": segment_rows,
+            "segment_bytes": segment_bytes,
+            "wal_bytes": wal_size,
+            "wal_compacted_bytes": state["wal_offset"],
+            "wal_pending_records": pending,
+        }
+
+
+def _parse_wal_line(raw: bytes, path: Path, lineno: int) -> Optional[Tuple[str, Any]]:
+    """Parse one complete WAL line into ``(key, payload)``.
+
+    Unparsable lines are crash artefacts and yield ``None`` (the same
+    self-healing rule as :meth:`CampaignStore.iter_payloads`); a parsable
+    record with an unsupported format version still raises.
+    """
+    line = raw.decode("utf-8", errors="replace").strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if record.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
+        raise CampaignError(
+            f"{path}:{lineno}: unsupported format "
+            f"version {record.get('format_version')!r}"
+        )
+    if "payload" in record:
+        payload = record["payload"]
+    else:
+        payload = record.get("result")
+    return str(record["key"]), payload

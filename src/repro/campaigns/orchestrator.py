@@ -6,9 +6,11 @@ the serial :func:`repro.experiments.runner.run_campaign`:
 1. the campaign is split into deterministic shards
    (:func:`repro.campaigns.shards.make_shards`),
 2. shards whose key is already present in the result store are skipped
-   (resume-after-interrupt),
-3. the remaining shards are executed across worker processes
-   (:func:`repro.campaigns.pool.run_shards`), each completed shard being
+   (resume-after-interrupt; the check is a key-only scan, no result is
+   deserialised),
+3. the remaining shards are handed to a pluggable *executor*
+   (:data:`repro.scenarios.registry.EXECUTORS`: ``serial`` /
+   ``process-pool`` / ``local-cluster``), each completed shard being
    appended to the store -- results, archived workload and own-makespan
    cache -- the moment it arrives,
 4. the :class:`~repro.experiments.runner.CampaignResult` is re-assembled
@@ -24,13 +26,15 @@ bit-identical aggregates.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.campaigns.pool import RetryPolicy, default_jobs, run_shards
+from repro.campaigns.pool import RetryPolicy, default_jobs
 from repro.campaigns.shards import ExperimentShard, campaign_signature, make_shards
 from repro.campaigns.store import CampaignStore
+from repro.exec.base import ExecutionPolicy, Executor
 from repro.exceptions import CampaignError
 from repro.experiments.runner import (
     CampaignConfig,
@@ -121,6 +125,17 @@ def _check_store(
         store.write_meta(_campaign_meta(config, shards))
 
 
+def _resolve_executor(executor: Optional[Union[str, Executor]]) -> Executor:
+    """An executor instance from a registry name (default: process-pool)."""
+    if executor is None:
+        executor = "process-pool"
+    if isinstance(executor, str):
+        from repro.scenarios.registry import EXECUTORS
+
+        return EXECUTORS.create(executor)
+    return executor
+
+
 def orchestrate(
     config: CampaignConfig,
     store: Optional[Union[CampaignStore, str]] = None,
@@ -129,6 +144,8 @@ def orchestrate(
     resume: bool = True,
     archive_workloads: bool = True,
     retry: Optional[RetryPolicy] = None,
+    executor: Optional[Union[str, Executor]] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> CampaignRun:
     """Run *config* in parallel with persistence, returning result + stats.
 
@@ -160,36 +177,52 @@ def orchestrate(
         appended to the store's ``quarantine`` channel and the campaign
         completes over the surviving shards instead of aborting; a
         later resume re-runs them (their result key is still missing).
+    executor:
+        Which execution engine fans the shards out: a name from
+        :data:`repro.scenarios.registry.EXECUTORS` (``serial`` /
+        ``process-pool`` / ``local-cluster``) or an
+        :class:`~repro.exec.base.Executor` instance.  The default is
+        ``process-pool`` -- exactly the pre-executor behaviour.
+    policy:
+        Optional :class:`~repro.exec.base.ExecutionPolicy` with the
+        cross-executor knobs (lease timeouts, poll intervals...).  The
+        explicit *jobs* / *retry* arguments fill its corresponding
+        fields when those are unset, and ``return_workload`` always
+        follows *archive_workloads*.
     """
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = CampaignStore(store)
     shards = make_shards(config)
     stats = CampaignRunStats(total_shards=len(shards))
+    engine = _resolve_executor(executor)
+    policy = dataclasses.replace(
+        policy if policy is not None else ExecutionPolicy(),
+        jobs=jobs if jobs is not None else (policy.jobs if policy else None),
+        retry=retry if retry is not None else (policy.retry if policy else None),
+        return_workload=store is not None and archive_workloads,
+    )
 
     results: Dict[str, ExperimentResult] = {}
+    completed = set()
     cache = None
     if store is not None:
-        results = store.results_by_key()
-        _check_store(store, config, shards, resume, completed=len(results))
+        completed = store.completed_keys()
+        _check_store(store, config, shards, resume, completed=len(completed))
         cache = store.load_cache()
 
-    pending = [s for s in shards if s.key() not in results]
+    pending = [s for s in shards if s.key() not in completed]
     stats.skipped_shards = len(shards) - len(pending)
     if progress is not None and stats.skipped_shards:
         progress(f"resuming: {stats.skipped_shards}/{len(shards)} shards already done")
     _LOG.debug(
-        "campaign: %d shard(s), %d pending, %d skipped",
-        len(shards), len(pending), stats.skipped_shards,
+        "campaign: %d shard(s), %d pending, %d skipped (executor: %s)",
+        len(shards), len(pending), stats.skipped_shards, engine.name,
     )
 
     registry = meters.active()
     wall_start = time.perf_counter()
-    for outcome in run_shards(
-        pending,
-        jobs=jobs,
-        cache=cache,
-        return_workload=store is not None and archive_workloads,
-        retry=retry,
+    for outcome in engine.submit_shards(
+        pending, store=store, policy=policy, cache=cache
     ):
         if not outcome.ok:
             stats.failed_shards += 1
@@ -264,6 +297,14 @@ def orchestrate(
                 f"(see the store's {QUARANTINE_CHANNEL!r} channel)"
             )
 
+    if store is not None and stats.skipped_shards:
+        # resumed shards were never deserialised on the way in (the
+        # resume check is key-only); load them once for the aggregate
+        stored = store.results_by_key()
+        for key in completed:
+            if key not in results and key in stored:
+                results[key] = stored[key]
+
     experiments = [results[shard.key()] for shard in shards if shard.key() in results]
     result = CampaignResult(config=config, experiments=experiments)
     return CampaignRun(result=result, stats=stats)
@@ -275,13 +316,16 @@ def run_campaign_parallel(
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     resume: bool = True,
+    executor: Optional[Union[str, Executor]] = None,
 ) -> CampaignResult:
     """Parallel, persistent, resumable drop-in for ``run_campaign``.
 
     Same aggregates as the serial runner (bit-identical for a given
-    *config*); see :func:`orchestrate` for the parameters and for access
-    to the run statistics.
+    *config*, whichever *executor* fans the shards out); see
+    :func:`orchestrate` for the parameters and for access to the run
+    statistics.
     """
     return orchestrate(
-        config, store=store, jobs=jobs, progress=progress, resume=resume
+        config, store=store, jobs=jobs, progress=progress, resume=resume,
+        executor=executor,
     ).result

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -170,6 +171,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.resume and not args.store:
         raise ConfigurationError("--resume requires --store")
+    if getattr(args, "compact", False) and not args.store:
+        raise ConfigurationError("--compact requires --store")
     retry = None
     if getattr(args, "retries", 1) > 1:
         retry = RetryPolicy(attempts=args.retries)
@@ -189,6 +192,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         progress=progress,
         resume=args.resume,
         retry=retry,
+        executor=getattr(args, "executor", None),
     )
     print(render_campaign_summary(run.result))
     stats = run.stats
@@ -197,6 +201,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{stats.executed_shards} executed; own-makespan cache hit rate "
         f"{100.0 * stats.cache_hit_rate:.1f}%"
     )
+    if getattr(args, "compact", False):
+        from repro.campaigns.colstore import ColumnStore
+
+        report = ColumnStore(args.store).compact()
+        print(
+            f"compacted {report['rows_compacted']} record(s) into "
+            f"{report['segments_written']} segment(s)"
+        )
     if stats.quarantined:
         print(
             f"\nquarantined {len(stats.quarantined)} shard(s) "
@@ -610,6 +622,59 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.campaigns.aggregate import summarize_store
+    from repro.campaigns.colstore import DEFAULT_BATCH_SIZE, ColumnStore
+
+    if not os.path.isdir(args.store):
+        raise ConfigurationError(
+            f"store directory {args.store} does not exist"
+        )
+    view = ColumnStore(args.store, channel=args.channel)
+    if args.action == "compact":
+        batch = args.batch_size if args.batch_size else DEFAULT_BATCH_SIZE
+        report = view.compact(batch_size=batch)
+        if args.format == "json":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"compacted {report['rows_compacted']} record(s) into "
+                f"{report['segments_written']} new segment(s); write-ahead "
+                f"log settled up to byte {report['wal_offset']}"
+            )
+        return 0
+    if args.action == "stat":
+        stat = view.stat()
+        if args.format == "json":
+            print(json.dumps(stat, indent=2, sort_keys=True))
+        else:
+            print(f"channel:            {stat['channel']}")
+            print(f"segments:           {stat['segments']} "
+                  f"({stat['segment_rows']} row(s), {stat['segment_bytes']} bytes)")
+            print(f"write-ahead log:    {stat['wal_bytes']} bytes "
+                  f"({stat['wal_compacted_bytes']} compacted, "
+                  f"{stat['wal_pending_records']} pending record(s))")
+        return 0
+    summary = summarize_store(view.store, channel=args.channel)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{summary['experiments']} experiment(s), "
+        f"PTG counts {summary['ptg_counts']}"
+    )
+    for metric in (
+        "average_unfairness",
+        "average_relative_makespan",
+        "average_mean_application_makespan",
+    ):
+        print(f"{metric}:")
+        for name in summary["strategies"]:
+            series = ", ".join(f"{v:.4f}" for v in summary[metric][name])
+            print(f"  {name:<10} {series}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.scenarios.registry import REGISTRIES
 
@@ -1008,7 +1073,7 @@ def build_parser() -> argparse.ArgumentParser:
         "kind", nargs="?", default=None,
         choices=[
             "allocators", "mappers", "strategies", "platforms", "families",
-            "arrivals", "faults",
+            "arrivals", "faults", "executors",
         ],
         help="which registry to list (omitted: all of them)",
     )
@@ -1044,8 +1109,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1, metavar="N",
         help="attempts per shard before quarantining it (default: 1, no retry)",
     )
+    camp.add_argument(
+        "--executor", default=None, metavar="NAME",
+        choices=["serial", "process-pool", "local-cluster"],
+        help="execution engine for the shards (default: process-pool; "
+             "see 'repro-ptg list executors')",
+    )
+    camp.add_argument(
+        "--compact", action="store_true",
+        help="compact the store's results into columnar segments after the run "
+             "(requires --store)",
+    )
     _add_scale_arguments(camp)
     _add_parallel_arguments(camp)
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="inspect or compact a campaign result store",
+    )
+    store_cmd.add_argument(
+        "action", choices=["compact", "stat", "summarize"],
+        help="compact: fold the JSONL write-ahead log into columnar segments; "
+             "stat: report segment/WAL sizes; summarize: stream the paper "
+             "aggregates out of the store",
+    )
+    store_cmd.add_argument("store", metavar="DIR", help="store directory")
+    store_cmd.add_argument(
+        "--channel", default="results",
+        help="record channel to operate on (default: results)",
+    )
+    store_cmd.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="rows per columnar segment when compacting "
+             "(default: 1000; bounds compaction memory)",
+    )
+    store_cmd.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format",
+    )
 
     sched = sub.add_parser("schedule", help="schedule one workload with one strategy")
     sched.add_argument("--family", default="random", choices=list(APPLICATION_FAMILIES))
@@ -1220,6 +1321,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_figure(int(args.command[-1]), args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
     if args.command == "generate":

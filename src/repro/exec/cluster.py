@@ -1,0 +1,339 @@
+"""The ``local-cluster`` executor: worker processes over a spool.
+
+This is the distributed-executor stub: N independent **operating-system
+processes** (not pool children -- each is a fresh ``python -m
+repro.exec.worker``) that share nothing with the orchestrator but a
+spool directory and the lease board.  That is the same contract an
+ssh- or queue-backed executor would have, so everything that matters
+about distribution is exercised for real:
+
+* workers *claim* shards through durable leases (first-come
+  ``O_EXCL``), so no dispatcher decides placement -- idle workers pull;
+* a worker that dies mid-shard stops heartbeating and its shard is
+  **stolen** by any idle survivor once the lease goes stale
+  (:class:`~repro.exec.leases.LeaseBoard`), so stragglers and crashes
+  rebalance without orchestrator intervention;
+* the orchestrating process only *collects*: it tails the outcome
+  directory, merges cache entries, folds the lease event log into obs
+  meters (``exec.steals``, ``exec.lease_expiries``,
+  ``exec.worker.<id>.shards``) and yields outcomes as they land.
+
+If **every** worker dies with shards unfinished, the collector finishes
+the remainder inline (and says so via the ``exec.inline_fallback``
+counter) -- the campaign never loses shards to worker mortality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.campaigns.cache import OwnMakespanCache
+from repro.campaigns.pool import ShardOutcome, execute_shard
+from repro.campaigns.shards import ExperimentShard
+from repro.campaigns.store import CampaignStore
+from repro.exec.base import DEFAULT_POLICY, ExecutionPolicy
+from repro.exec.leases import LEASES_DIRNAME
+from repro.exec.worker import (
+    CACHE_FILENAME,
+    CONFIG_FILENAME,
+    EVENTS_FILENAME,
+    FAULTS_FILENAME,
+    OUTCOMES_DIRNAME,
+    SHARDS_DIRNAME,
+)
+from repro.obs import meters
+from repro.obs.logs import get_logger
+
+_LOG = get_logger("exec.cluster")
+
+#: Default worker-process count (kept deliberately small: every worker
+#: is a full interpreter, and campaign shards are coarse units).
+DEFAULT_WORKERS = 2
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child environment with this ``repro`` importable on the path."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    current = env.get("PYTHONPATH", "")
+    if package_root not in current.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + current if current else "")
+        )
+    return env
+
+
+class LocalClusterExecutor:
+    """Spawn N worker processes over a spool directory with shard leases."""
+
+    name = "local-cluster"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        spool: Optional[str] = None,
+        faults: Optional[Dict] = None,
+        keep_spool: bool = False,
+    ) -> None:
+        """Configure the cluster stub.
+
+        Parameters
+        ----------
+        workers:
+            Worker-process count; ``None`` defers to the submission
+            policy's ``jobs`` and finally to :data:`DEFAULT_WORKERS`.
+        spool:
+            Spool directory to use (default: a fresh temporary one,
+            removed after the run).
+        faults:
+            Optional fault-injection spec written to the spool's
+            ``faults.json`` (see :mod:`repro.exec.worker`; tests only).
+        keep_spool:
+            Keep the spool directory after the run (for post-mortems).
+        """
+        self.workers = workers
+        self.spool = spool
+        self.faults = faults
+        self.keep_spool = keep_spool
+        #: The worker processes of the most recent submission (exposed
+        #: so supervision tests can kill one mid-run).
+        self.processes: List[subprocess.Popen] = []
+
+    # ------------------------------------------------------------------ #
+    # spool setup
+    # ------------------------------------------------------------------ #
+    def _setup_spool(
+        self,
+        spool: Path,
+        shards: Sequence[ExperimentShard],
+        leases_dir: Path,
+        policy: ExecutionPolicy,
+        cache: Optional[OwnMakespanCache],
+    ) -> List[str]:
+        """Write config, cache snapshot and shard files; return the keys."""
+        (spool / SHARDS_DIRNAME).mkdir(parents=True, exist_ok=True)
+        (spool / OUTCOMES_DIRNAME).mkdir(parents=True, exist_ok=True)
+        leases_dir.mkdir(parents=True, exist_ok=True)
+        config = {
+            "leases_dir": str(leases_dir),
+            "lease_timeout": policy.lease_timeout,
+            "heartbeat_interval": policy.effective_heartbeat(),
+            "poll_interval": policy.poll_interval,
+            "max_lease_attempts": policy.max_lease_attempts,
+            "return_workload": policy.return_workload,
+            "retry": None if policy.retry is None else {
+                "attempts": policy.retry.attempts,
+                "base_delay": policy.retry.base_delay,
+                "max_delay": policy.retry.max_delay,
+                "seed": policy.retry.seed,
+            },
+        }
+        (spool / CONFIG_FILENAME).write_text(
+            json.dumps(config, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        entries = {} if cache is None else dict(cache.entries)
+        (spool / CACHE_FILENAME).write_text(
+            json.dumps(entries, sort_keys=True), encoding="utf-8"
+        )
+        if self.faults:
+            (spool / FAULTS_FILENAME).write_text(
+                json.dumps(self.faults, indent=2, sort_keys=True), encoding="utf-8"
+            )
+        keys: List[str] = []
+        for shard in shards:
+            key = shard.key()
+            if key in keys:
+                continue  # identical shards collapse to one execution
+            keys.append(key)
+            with open(spool / SHARDS_DIRNAME / f"{key}.pkl", "wb") as handle:
+                pickle.dump(shard, handle)
+        return keys
+
+    def _spawn(self, spool: Path, count: int) -> List[subprocess.Popen]:
+        """Start *count* worker processes over the spool."""
+        env = _worker_env()
+        processes = []
+        for index in range(count):
+            processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-c",
+                        "import sys; from repro.exec.worker import main; "
+                        "sys.exit(main(sys.argv[1:]))",
+                        str(spool), "--worker-id", f"w{index}",
+                    ],
+                    env=env,
+                )
+            )
+        return processes
+
+    # ------------------------------------------------------------------ #
+    # collection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _drain_events(spool: Path, offset: int) -> "tuple[List[Dict], int]":
+        """New event-log lines since *offset*, plus the new offset."""
+        path = spool / EVENTS_FILENAME
+        events: List[Dict] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            return events, offset
+        consumed = 0
+        for line in chunk.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                break  # partial write: re-read next drain
+            consumed += len(line.encode("utf-8"))
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:  # pragma: no cover - torn write
+                continue
+        return events, offset + consumed
+
+    @staticmethod
+    def _meter_events(events: List[Dict]) -> None:
+        """Fold worker lease events into the active obs meters."""
+        registry = meters.active()
+        for event in events:
+            kind = event.get("event")
+            if kind == "steal":
+                _LOG.warning(
+                    "lease steal: shard %s re-leased by %s (attempt %s)",
+                    str(event.get("key", ""))[:12], event.get("worker"),
+                    event.get("attempt"),
+                )
+            if registry is None:
+                continue
+            if kind == "steal":
+                registry.counter("exec.steals").inc()
+            elif kind == "lease_expiry":
+                registry.counter("exec.lease_expiries").inc()
+
+    def submit_shards(
+        self,
+        shards: Sequence[ExperimentShard],
+        store: Optional[CampaignStore] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        cache: Optional[OwnMakespanCache] = None,
+    ) -> Iterator[ShardOutcome]:
+        """Run *shards* across worker processes, yielding outcomes as they land.
+
+        Leases live in the store's ``leases/`` directory when a *store*
+        is given (so they survive next to the results they guard), in
+        the spool otherwise.  Outcomes arrive in **completion order**;
+        the orchestrator reassembles campaign order from shard keys.
+        """
+        policy = DEFAULT_POLICY if policy is None else policy
+        if not shards:
+            return
+        spool = Path(self.spool) if self.spool else Path(
+            tempfile.mkdtemp(prefix="repro-exec-spool-")
+        )
+        leases_dir = (
+            store.root / LEASES_DIRNAME if store is not None
+            else spool / LEASES_DIRNAME
+        )
+        count = self.workers or policy.jobs or DEFAULT_WORKERS
+        count = max(1, min(int(count), len(shards)))
+        keys = self._setup_spool(spool, shards, leases_dir, policy, cache)
+        by_key = {shard.key(): shard for shard in shards}
+        registry = meters.active()
+        events_offset = 0
+        try:
+            self.processes = self._spawn(spool, count)
+            remaining = set(keys)
+            while remaining:
+                progressed = False
+                for key in [k for k in keys if k in remaining]:
+                    path = spool / OUTCOMES_DIRNAME / f"{key}.pkl"
+                    if not path.exists():
+                        continue
+                    try:
+                        with open(path, "rb") as handle:
+                            envelope = pickle.load(handle)
+                    except (OSError, EOFError, pickle.UnpicklingError):
+                        continue  # racing the rename; retry next scan
+                    remaining.discard(key)
+                    progressed = True
+                    outcome: ShardOutcome = envelope["outcome"]
+                    if cache is not None:
+                        cache.merge(outcome.cache_entries)
+                        cache.hits += outcome.cache_hits
+                        cache.misses += outcome.cache_misses
+                    if registry is not None:
+                        registry.counter(
+                            f"exec.worker.{envelope.get('worker', '?')}.shards"
+                        ).inc()
+                    yield outcome
+                events, events_offset = self._drain_events(spool, events_offset)
+                self._meter_events(events)
+                if remaining and all(p.poll() is not None for p in self.processes):
+                    yield from self._inline_fallback(
+                        spool, [k for k in keys if k in remaining], by_key,
+                        policy, cache,
+                    )
+                    remaining.clear()
+                elif remaining and not progressed:
+                    time.sleep(policy.poll_interval)
+            events, events_offset = self._drain_events(spool, events_offset)
+            self._meter_events(events)
+        finally:
+            for process in self.processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process in self.processes:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait()
+            if not self.keep_spool:
+                shutil.rmtree(spool, ignore_errors=True)
+
+    def _inline_fallback(
+        self,
+        spool: Path,
+        keys: List[str],
+        by_key: Dict[str, ExperimentShard],
+        policy: ExecutionPolicy,
+        cache: Optional[OwnMakespanCache],
+    ) -> Iterator[ShardOutcome]:
+        """Finish leftover shards inline after every worker died.
+
+        The campaign still completes with zero lost shards even when
+        worker mortality outruns stealing (e.g. every worker was
+        OOM-killed); the orchestrator's quarantine path still sees any
+        genuine shard failures.
+        """
+        _LOG.warning(
+            "all %d local-cluster worker(s) exited with %d shard(s) "
+            "unfinished; finishing them inline",
+            len(self.processes), len(keys),
+        )
+        registry = meters.active()
+        if registry is not None:
+            registry.counter("exec.inline_fallback").inc(len(keys))
+        entries = {} if cache is None else dict(cache.entries)
+        for key in keys:
+            outcome = execute_shard(
+                by_key[key],
+                entries,
+                return_workload=policy.return_workload,
+                retry=policy.retry,
+            )
+            if cache is not None:
+                cache.merge(outcome.cache_entries)
+                cache.hits += outcome.cache_hits
+                cache.misses += outcome.cache_misses
+            yield outcome

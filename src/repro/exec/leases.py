@@ -1,0 +1,227 @@
+"""Durable work-stealing shard leases.
+
+A *lease* marks one shard as in-flight: a small JSON file named after
+the shard key, carrying the owner's worker id, the attempt count and a
+heartbeat timestamp the owner refreshes while it works.  Leases are the
+crash-tolerance mechanism of the distributed executors
+(:mod:`repro.exec.cluster`): a worker that vanishes -- killed, OOMed,
+disconnected -- simply stops heartbeating, so any *other* worker that
+finds the lease older than the staleness timeout can **steal** the
+shard and run it itself.  The design follows the
+disconnection-tolerant-transfer argument: assume workers disappear,
+make claimed work durable and stealable instead of waiting for the
+owner to come back.
+
+The board lives in a plain directory (by default ``leases/`` inside the
+campaign store), so it needs nothing but a shared filesystem:
+
+* *acquire* is an ``O_CREAT | O_EXCL`` file creation -- atomic on every
+  platform, exactly one worker wins a fresh shard;
+* *heartbeat* rewrites the lease through an atomic rename, so readers
+  never observe a torn record;
+* *steal* is guarded by a per-attempt sentinel file (again
+  ``O_EXCL``), so even when several workers notice the same expired
+  lease at the same moment, exactly one wins each steal attempt.
+
+Because shard keys are content-derived and shard execution is
+deterministic, a shard that does get executed twice (its first owner
+was merely slow, not dead) writes the *same* result bytes -- last-wins
+record semantics keep the store correct.
+
+Examples
+--------
+>>> import tempfile
+>>> board = LeaseBoard(tempfile.mkdtemp())
+>>> lease = board.acquire("shard-a", "w0")
+>>> lease.owner, lease.attempt
+('w0', 1)
+>>> board.acquire("shard-a", "w1") is None  # already leased
+True
+>>> stolen = board.steal("shard-a", "w1", timeout=0.0)  # instantly stale
+>>> stolen.owner, stolen.attempt
+('w1', 2)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+#: Directory (inside a campaign store or a spool) holding the leases.
+LEASES_DIRNAME = "leases"
+
+#: Version stamp of the lease-file format.
+LEASE_FORMAT_VERSION = 1
+
+
+@dataclass
+class Lease:
+    """One durable claim on an in-flight shard."""
+
+    #: Content-derived key of the claimed shard.
+    key: str
+    #: Worker id of the current owner.
+    owner: str
+    #: How many times the shard has been (re-)leased, 1 on first acquire.
+    attempt: int
+    #: Wall-clock time (``time.time()``) of the original acquisition.
+    acquired: float
+    #: Wall-clock time of the owner's most recent heartbeat.
+    heartbeat: float
+
+    def to_dict(self) -> dict:
+        """Serialise the lease to plain JSON types."""
+        return {
+            "format_version": LEASE_FORMAT_VERSION,
+            "key": self.key,
+            "owner": self.owner,
+            "attempt": self.attempt,
+            "acquired": self.acquired,
+            "heartbeat": self.heartbeat,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Lease":
+        """Rebuild a lease from :meth:`to_dict`."""
+        return cls(
+            key=str(payload["key"]),
+            owner=str(payload["owner"]),
+            attempt=int(payload["attempt"]),
+            acquired=float(payload["acquired"]),
+            heartbeat=float(payload["heartbeat"]),
+        )
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Seconds since the last heartbeat (never negative)."""
+        now = time.time() if now is None else now
+        return max(0.0, now - self.heartbeat)
+
+    def is_stale(self, timeout: float, now: Optional[float] = None) -> bool:
+        """Whether the owner has missed heartbeats for longer than *timeout*."""
+        return self.age(now) > timeout
+
+
+class LeaseBoard:
+    """Directory of lease files, one per in-flight shard."""
+
+    def __init__(self, root) -> None:
+        """Open (and create if needed) the lease directory at *root*."""
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        """Lease file of one shard key."""
+        return self.root / f"{key}.lease"
+
+    def _sentinel_path(self, key: str, attempt: int) -> Path:
+        return self.root / f"{key}.attempt-{attempt}"
+
+    def _write(self, lease: Lease) -> None:
+        """Atomically (re)write one lease file."""
+        path = self.path(lease.key)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(lease.to_dict(), sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # the lease lifecycle
+    # ------------------------------------------------------------------ #
+    def acquire(self, key: str, owner: str) -> Optional[Lease]:
+        """Claim an unleased shard; ``None`` when someone else holds it.
+
+        The claim is an ``O_CREAT | O_EXCL`` creation of the lease file,
+        so exactly one of any number of concurrent acquirers wins.
+        """
+        now = time.time()
+        lease = Lease(key=key, owner=owner, attempt=1, acquired=now, heartbeat=now)
+        try:
+            fd = os.open(self.path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        try:
+            os.write(fd, json.dumps(lease.to_dict(), sort_keys=True).encode("utf-8"))
+        finally:
+            os.close(fd)
+        return lease
+
+    def load(self, key: str) -> Optional[Lease]:
+        """The current lease of *key*, or ``None`` when absent/torn."""
+        try:
+            payload = json.loads(self.path(key).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return Lease.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def beat(self, lease: Lease, now: Optional[float] = None) -> None:
+        """Refresh the heartbeat of a held lease (atomic rewrite)."""
+        lease.heartbeat = time.time() if now is None else now
+        self._write(lease)
+
+    def steal(
+        self,
+        key: str,
+        owner: str,
+        timeout: float,
+        now: Optional[float] = None,
+    ) -> Optional[Lease]:
+        """Take over a stale lease; ``None`` when it is fresh or contested.
+
+        A steal only succeeds when the current lease has missed
+        heartbeats for longer than *timeout* **and** this caller wins
+        the per-attempt sentinel (one winner per attempt number, even
+        under concurrent steal races).
+        """
+        current = self.load(key)
+        if current is None or not current.is_stale(timeout, now):
+            return None
+        next_attempt = current.attempt + 1
+        try:
+            fd = os.open(
+                self._sentinel_path(key, next_attempt),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return None  # another worker won this steal attempt
+        os.close(fd)
+        stamp = time.time() if now is None else now
+        lease = Lease(
+            key=key, owner=owner, attempt=next_attempt,
+            acquired=current.acquired, heartbeat=stamp,
+        )
+        self._write(lease)
+        return lease
+
+    def release(self, key: str) -> None:
+        """Drop the lease (and its steal sentinels) of a finished shard."""
+        for path in self.root.glob(f"{key}.attempt-*"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            self.path(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def active(self) -> List[Lease]:
+        """Every currently-held lease, in key order."""
+        leases = []
+        for path in sorted(self.root.glob("*.lease")):
+            lease = self.load(path.name[: -len(".lease")])
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    def stale(self, timeout: float, now: Optional[float] = None) -> List[Lease]:
+        """The active leases whose owner has missed the *timeout*."""
+        return [lease for lease in self.active() if lease.is_stale(timeout, now)]

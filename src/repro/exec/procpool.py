@@ -1,0 +1,55 @@
+"""The multiprocessing executor: shards fan out across a process pool.
+
+``process-pool`` wraps the original campaign fan-out
+(:func:`repro.campaigns.pool.run_shards`) behind the
+:class:`~repro.exec.base.Executor` protocol.  It is the default
+executor of :func:`repro.campaigns.orchestrator.orchestrate`: same
+worker seeding, same cache snapshot/merge discipline, same ordered
+``imap`` progress as before the executor axis existed -- so default
+campaigns behave (and benchmark) exactly as they always did.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.campaigns.cache import OwnMakespanCache
+from repro.campaigns.pool import ShardOutcome, run_shards
+from repro.campaigns.shards import ExperimentShard
+from repro.campaigns.store import CampaignStore
+from repro.exec.base import DEFAULT_POLICY, ExecutionPolicy
+
+
+class ProcessPoolExecutor:
+    """Fan shards out across a :mod:`multiprocessing` pool."""
+
+    name = "process-pool"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        """Create the executor with an optional default worker count."""
+        self.jobs = jobs
+
+    def submit_shards(
+        self,
+        shards: Sequence[ExperimentShard],
+        store: Optional[CampaignStore] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        cache: Optional[OwnMakespanCache] = None,
+    ) -> Iterator[ShardOutcome]:
+        """Yield one outcome per shard from the worker pool, in shard order.
+
+        The policy's ``jobs`` wins over the constructor default;
+        ``jobs=1`` degenerates to the inline path (no pool at all).
+        *store* is unused: pool workers are children of this process,
+        so their failure modes are handled by the retry policy, not by
+        leases.
+        """
+        policy = DEFAULT_POLICY if policy is None else policy
+        jobs = policy.jobs if policy.jobs is not None else self.jobs
+        return run_shards(
+            shards,
+            jobs=jobs,
+            cache=cache,
+            return_workload=policy.return_workload,
+            retry=policy.retry,
+        )

@@ -1,0 +1,48 @@
+"""The inline executor: every shard runs in the calling process.
+
+``serial`` is the reference implementation the other executors are
+proven against: no processes, no leases, no reordering -- just
+:func:`repro.campaigns.pool.execute_shard` in submission order.  It is
+also the right tool for debugging (breakpoints work) and for tiny
+campaigns where process start-up would dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.campaigns.cache import OwnMakespanCache
+from repro.campaigns.pool import ShardOutcome, run_shards
+from repro.campaigns.shards import ExperimentShard
+from repro.campaigns.store import CampaignStore
+from repro.exec.base import DEFAULT_POLICY, ExecutionPolicy
+
+
+class SerialExecutor:
+    """Run every shard inline, in submission order."""
+
+    name = "serial"
+
+    def submit_shards(
+        self,
+        shards: Sequence[ExperimentShard],
+        store: Optional[CampaignStore] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        cache: Optional[OwnMakespanCache] = None,
+    ) -> Iterator[ShardOutcome]:
+        """Yield one outcome per shard, executing each in this process.
+
+        Delegates to :func:`repro.campaigns.pool.run_shards` with
+        ``jobs=1`` (the inline path), which also merges cache entries
+        between shards so later shards reuse earlier reference
+        makespans.  *store* is unused: an executor that never loses a
+        worker needs no leases.
+        """
+        policy = DEFAULT_POLICY if policy is None else policy
+        return run_shards(
+            shards,
+            jobs=1,
+            cache=cache,
+            return_workload=policy.return_workload,
+            retry=policy.retry,
+        )

@@ -1,0 +1,284 @@
+"""Spool-directory worker: one process of the ``local-cluster`` executor.
+
+Runnable as ``python -m repro.exec.worker SPOOL --worker-id W``.  The
+worker talks to the orchestrating process through the filesystem only
+-- a *spool* directory of shard files plus the lease board -- which is
+exactly the coupling a real ssh/queue backend would have, so this stub
+exercises the same failure modes (vanishing workers, stale leases,
+stolen shards) without needing a cluster:
+
+* ``spool/config.json``  -- lease timeouts, retry policy, knobs,
+* ``spool/cache.json``   -- own-makespan cache snapshot (read-only),
+* ``spool/shards/``      -- one pickled shard per pending key,
+* ``spool/outcomes/``    -- one pickled outcome envelope per finished
+  key, written via atomic rename,
+* ``spool/events.jsonl`` -- append-only lease event log (steals,
+  expiries, completions) the parent folds into obs meters,
+* ``spool/faults.json``  -- optional test-only fault injection.
+
+The claim loop: scan the shard files in key order, skip keys that
+already have an outcome, try to *acquire* the lease, and -- when the
+lease is held by someone else -- try to *steal* it if its heartbeat is
+older than the staleness timeout.  A claimed shard executes through
+:func:`repro.campaigns.pool.execute_shard` (same retry policy and
+failure capture as every other executor) under a background heartbeat
+thread; the outcome lands in ``outcomes/`` before the lease is
+released, so a crash between the two just makes later claimers skip
+the key.  Workers exit when every key has an outcome.
+
+Fault injection (tests only): ``faults.json`` maps a worker id (or
+``"*"`` for any worker) to ``{"die_after_lease": KEY}`` or
+``{"stall_after_lease": KEY, "stall_seconds": S}``.  Faults fire only
+on *first* acquisition (``attempt == 1``), so a stolen re-execution is
+never re-killed -- which makes "kill the first owner, let a survivor
+steal" deterministic regardless of which worker wins the initial race.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.campaigns.pool import RetryPolicy, ShardOutcome, execute_shard
+from repro.exec.leases import Lease, LeaseBoard
+
+#: Spool sub-directory holding one pickled shard per pending key.
+SHARDS_DIRNAME = "shards"
+#: Spool sub-directory receiving one pickled outcome envelope per key.
+OUTCOMES_DIRNAME = "outcomes"
+#: Spool file the workers append lease events to (one JSON per line).
+EVENTS_FILENAME = "events.jsonl"
+#: Spool file holding the executor configuration.
+CONFIG_FILENAME = "config.json"
+#: Spool file holding the own-makespan cache snapshot.
+CACHE_FILENAME = "cache.json"
+#: Spool file holding the optional fault-injection spec (tests only).
+FAULTS_FILENAME = "faults.json"
+
+#: Exit code of a fault-injected worker death (distinguishable in waits).
+FAULT_EXIT_CODE = 17
+
+
+def _load_json(path: Path, default):
+    """Read one JSON spool file, tolerating absence."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return default
+
+
+def append_event(spool: Path, payload: Dict) -> None:
+    """Append one event line to the spool's shared event log.
+
+    The single ``O_APPEND`` write keeps concurrent workers' lines
+    intact on POSIX filesystems.
+    """
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    fd = os.open(spool / EVENTS_FILENAME, os.O_CREAT | os.O_WRONLY | os.O_APPEND)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def write_outcome(spool: Path, key: str, envelope: Dict) -> None:
+    """Persist one outcome envelope under its key, via atomic rename."""
+    outcomes = spool / OUTCOMES_DIRNAME
+    tmp = outcomes / f"{key}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump(envelope, handle)
+    os.replace(tmp, outcomes / f"{key}.pkl")
+
+
+class SpoolWorker:
+    """The claim-execute-heartbeat loop of one worker process."""
+
+    def __init__(self, spool, worker_id: str) -> None:
+        """Bind the worker to a spool directory under a worker id."""
+        self.spool = Path(spool)
+        self.worker_id = worker_id
+        config = _load_json(self.spool / CONFIG_FILENAME, {})
+        self.lease_timeout = float(config.get("lease_timeout", 5.0))
+        self.heartbeat_interval = float(config.get("heartbeat_interval", 1.0))
+        self.poll_interval = float(config.get("poll_interval", 0.05))
+        self.max_lease_attempts = int(config.get("max_lease_attempts", 5))
+        self.return_workload = bool(config.get("return_workload", True))
+        retry = config.get("retry")
+        self.retry: Optional[RetryPolicy] = (
+            RetryPolicy(**retry) if isinstance(retry, dict) else None
+        )
+        self.board = LeaseBoard(config.get("leases_dir", self.spool / "leases"))
+        self.cache_entries = _load_json(self.spool / CACHE_FILENAME, {})
+        faults = _load_json(self.spool / FAULTS_FILENAME, {})
+        self.faults = {**faults.get("*", {}), **faults.get(worker_id, {})}
+
+    # ------------------------------------------------------------------ #
+    # spool bookkeeping
+    # ------------------------------------------------------------------ #
+    def shard_keys(self) -> List[str]:
+        """Keys of every shard in the spool, sorted for scan determinism."""
+        return sorted(p.stem for p in (self.spool / SHARDS_DIRNAME).glob("*.pkl"))
+
+    def outcome_exists(self, key: str) -> bool:
+        """Whether some worker already finished *key*."""
+        return (self.spool / OUTCOMES_DIRNAME / f"{key}.pkl").exists()
+
+    def _event(self, event: str, key: str, **extra) -> None:
+        append_event(
+            self.spool,
+            {"event": event, "key": key, "worker": self.worker_id, **extra},
+        )
+
+    # ------------------------------------------------------------------ #
+    # claiming
+    # ------------------------------------------------------------------ #
+    def claim(self, key: str) -> Optional[Lease]:
+        """Try to lease *key*: a fresh acquire, else a steal when stale."""
+        lease = self.board.acquire(key, self.worker_id)
+        if lease is not None:
+            return lease
+        current = self.board.load(key)
+        if current is None or not current.is_stale(self.lease_timeout):
+            return None
+        stolen = self.board.steal(key, self.worker_id, self.lease_timeout)
+        if stolen is None:
+            return None
+        self._event(
+            "lease_expiry", key,
+            previous_owner=current.owner, age=current.age(),
+        )
+        self._event("steal", key, attempt=stolen.attempt)
+        return stolen
+
+    def _inject_fault(self, lease: Lease) -> None:
+        """Apply the configured fault after a *first* acquisition."""
+        if lease.attempt != 1:
+            return
+        key = lease.key
+        if self.faults.get("die_after_lease") in ("*", key):
+            self._event("fault_exit", key)
+            os._exit(FAULT_EXIT_CODE)
+        if self.faults.get("stall_after_lease") in ("*", key):
+            seconds = float(self.faults.get("stall_seconds", 2 * self.lease_timeout))
+            self._event("fault_stall", key, seconds=seconds)
+            time.sleep(seconds)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, lease: Lease) -> None:
+        """Run the claimed shard under a heartbeat, persist the outcome."""
+        key = lease.key
+        if lease.attempt > self.max_lease_attempts:
+            self._exhausted(lease)
+            return
+        self._inject_fault(lease)
+        with open(self.spool / SHARDS_DIRNAME / f"{key}.pkl", "rb") as handle:
+            shard = pickle.load(handle)
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(self.heartbeat_interval):
+                try:
+                    self.board.beat(lease)
+                except OSError:  # pragma: no cover - transient fs hiccup
+                    pass
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+        try:
+            outcome = execute_shard(
+                shard,
+                self.cache_entries,
+                return_workload=self.return_workload,
+                retry=self.retry,
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=self.heartbeat_interval + 1.0)
+        write_outcome(
+            self.spool, key,
+            {
+                "outcome": outcome,
+                "worker": self.worker_id,
+                "lease_attempt": lease.attempt,
+                "stolen": lease.attempt > 1,
+            },
+        )
+        self.board.release(key)
+        self._event("done", key, attempt=lease.attempt, ok=outcome.ok)
+
+    def _exhausted(self, lease: Lease) -> None:
+        """Report a shard whose lease expired too many times as failed."""
+        key = lease.key
+        with open(self.spool / SHARDS_DIRNAME / f"{key}.pkl", "rb") as handle:
+            shard = pickle.load(handle)
+        outcome = ShardOutcome(
+            key=key,
+            label=shard.label(),
+            index=shard.index,
+            error=(
+                f"lease expired {lease.attempt - 1} time(s); "
+                f"gave up after max_lease_attempts={self.max_lease_attempts}"
+            ),
+            attempts=lease.attempt,
+        )
+        write_outcome(
+            self.spool, key,
+            {
+                "outcome": outcome,
+                "worker": self.worker_id,
+                "lease_attempt": lease.attempt,
+                "stolen": True,
+            },
+        )
+        self.board.release(key)
+        self._event("exhausted", key, attempt=lease.attempt)
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> int:
+        """Claim and execute shards until every key has an outcome."""
+        keys = self.shard_keys()
+        while True:
+            progressed = False
+            pending = False
+            for key in keys:
+                if self.outcome_exists(key):
+                    continue
+                pending = True
+                lease = self.claim(key)
+                if lease is None:
+                    continue
+                self.execute(lease)
+                progressed = True
+            if not pending:
+                return 0
+            if not progressed:
+                # everything left is leased by someone else; wait for
+                # them to finish -- or for their lease to go stale
+                time.sleep(self.poll_interval)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.exec.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exec-worker",
+        description="spool-directory worker of the local-cluster executor",
+    )
+    parser.add_argument("spool", help="spool directory set up by the executor")
+    parser.add_argument("--worker-id", required=True, help="unique worker id")
+    args = parser.parse_args(argv)
+    return SpoolWorker(args.spool, args.worker_id).run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -351,6 +351,47 @@ FAULTS.register(
     description="whole-cluster outages (a failed switch takes every node)",
 )
 
+#: Campaign executors: how :func:`repro.campaigns.orchestrator.orchestrate`
+#: fans shards out.  Factories are lazy (the :mod:`repro.exec` modules
+#: import the campaign pool, which imports the scenario layer) and
+#: forward keyword arguments to the executor constructors.
+EXECUTORS = Registry("executor")
+
+
+def _serial_executor(**kwargs: Any) -> Any:
+    """Build a :class:`repro.exec.serial.SerialExecutor` (lazy import)."""
+    from repro.exec.serial import SerialExecutor
+
+    return SerialExecutor(**kwargs)
+
+
+def _process_pool_executor(**kwargs: Any) -> Any:
+    """Build a :class:`repro.exec.procpool.ProcessPoolExecutor` (lazy import)."""
+    from repro.exec.procpool import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(**kwargs)
+
+
+def _local_cluster_executor(**kwargs: Any) -> Any:
+    """Build a :class:`repro.exec.cluster.LocalClusterExecutor` (lazy import)."""
+    from repro.exec.cluster import LocalClusterExecutor
+
+    return LocalClusterExecutor(**kwargs)
+
+
+EXECUTORS.register(
+    "serial", _serial_executor,
+    description="run every shard inline in the calling process",
+)
+EXECUTORS.register(
+    "process-pool", _process_pool_executor,
+    description="multiprocessing fan-out across pool workers (default)",
+)
+EXECUTORS.register(
+    "local-cluster", _local_cluster_executor,
+    description="N worker processes over a spool with work-stealing shard leases",
+)
+
 #: All built-in registries, keyed by the plural nouns the CLI uses
 #: (``repro-ptg list allocators`` etc.).
 REGISTRIES: Dict[str, Registry] = {
@@ -361,4 +402,5 @@ REGISTRIES: Dict[str, Registry] = {
     "families": FAMILIES,
     "arrivals": ARRIVALS,
     "faults": FAULTS,
+    "executors": EXECUTORS,
 }

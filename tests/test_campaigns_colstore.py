@@ -1,0 +1,279 @@
+"""Tests for the columnar store backend and streaming aggregation."""
+
+import json
+
+import pytest
+
+from repro.campaigns.aggregate import StreamingAggregate, summarize_store
+from repro.campaigns.colstore import (
+    COLSTORE_FORMAT_VERSION,
+    ColumnStore,
+    Segment,
+    merge_payload,
+    split_payload,
+)
+from repro.campaigns.shards import make_shards
+from repro.campaigns.store import CampaignStore
+from repro.exceptions import CampaignError
+from repro.exec.serial import SerialExecutor
+from repro.experiments.runner import CampaignConfig, CampaignResult
+
+
+def payload(i, n_ptgs=2):
+    """A synthetic experiment-like payload with mixed leaf types."""
+    return {
+        "platform": f"site-{i % 3}",
+        "n_ptgs": n_ptgs,
+        "flags": [True, i, "tag", 0.5 * i],
+        "comment": None,
+        "own_makespans": {f"app{j}": 1.0 + i * 0.001 + j for j in range(3)},
+        "outcomes": {
+            "S": {"unfairness": 0.01 * i, "batch_makespan": 100.0 + i,
+                  "mean_application_makespan": 50.0 + 0.5 * i},
+        },
+    }
+
+
+def fill(store, count, channel="results"):
+    payloads = {}
+    for i in range(count):
+        key = f"key{i:04d}"
+        store.append_payload(channel, key, payload(i))
+        payloads[key] = payload(i)
+    return payloads
+
+
+class TestSplitMerge:
+    def test_floats_move_to_leaves(self):
+        skeleton, leaves = split_payload({"a": 1.5, "b": {"c": 2.5}})
+        assert skeleton == {"a": None, "b": {"c": None}}
+        assert dict(leaves) == {("a",): 1.5, ("b", "c"): 2.5}
+
+    def test_non_floats_stay_in_the_skeleton(self):
+        source = {"i": 7, "s": "x", "t": True, "f": False, "n": None, "l": []}
+        skeleton, leaves = split_payload(source)
+        assert skeleton == source
+        assert leaves == []
+
+    def test_floats_inside_lists(self):
+        skeleton, leaves = split_payload({"l": [1, 2.5, "x", [3.5]]})
+        assert skeleton == {"l": [1, None, "x", [None]]}
+        assert dict(leaves) == {("l", 1): 2.5, ("l", 3, 0): 3.5}
+
+    def test_merge_restores_the_original(self):
+        source = payload(7)
+        skeleton, leaves = split_payload(source)
+        assert merge_payload(skeleton, leaves) == source
+
+    def test_genuine_none_survives_the_round_trip(self):
+        source = {"x": None, "y": 1.5}
+        skeleton, leaves = split_payload(source)
+        restored = merge_payload(skeleton, leaves)
+        assert restored["x"] is None
+        assert restored["y"] == 1.5
+
+    def test_scalar_float_payload(self):
+        skeleton, leaves = split_payload(3.25)
+        assert skeleton is None
+        assert merge_payload(skeleton, leaves) == 3.25
+
+
+class TestCompaction:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 23)
+        view = ColumnStore(store)
+        report = view.compact(batch_size=10)
+        assert report["rows_compacted"] == 23
+        assert report["segments_written"] == 3
+        assert view.rows_by_key() == payloads
+
+    def test_wal_tail_is_merged_after_compaction(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 5)
+        ColumnStore(store).compact()
+        store.append_payload("results", "tail-key", payload(99))
+        payloads["tail-key"] = payload(99)
+        assert ColumnStore(store).rows_by_key() == payloads
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 8)
+        view = ColumnStore(store)
+        view.compact()
+        again = view.compact()
+        assert again["rows_compacted"] == 0
+        assert again["segments_written"] == 0
+        assert view.rows_by_key() == payloads
+
+    def test_last_record_wins_across_segments_and_wal(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append_payload("results", "k", {"v": 1.0})
+        store.append_payload("results", "k", {"v": 2.0})
+        view = ColumnStore(store)
+        view.compact(batch_size=1)  # the duplicates land in separate segments
+        assert view.rows_by_key() == {"k": {"v": 2.0}}
+        store.append_payload("results", "k", {"v": 3.0})
+        assert view.rows_by_key() == {"k": {"v": 3.0}}
+
+    def test_partial_trailing_line_is_never_consumed(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 3)
+        with open(store.channel_path("results"), "a", encoding="utf-8") as fh:
+            fh.write('{"format_version": 2, "key": "torn"')  # no newline
+        view = ColumnStore(store)
+        view.compact()
+        assert view.completed_keys() == set(payloads)
+        # the next append repairs the line; the torn record stays skipped
+        store.append_payload("results", "after", payload(50))
+        view.compact()
+        assert "torn" not in view.completed_keys()
+        assert "after" in view.completed_keys()
+
+    def test_max_batches_bounds_one_invocation(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        fill(store, 10)
+        view = ColumnStore(store)
+        first = view.compact(batch_size=3, max_batches=1)
+        assert first["segments_written"] == 1
+        assert first["rows_compacted"] == 3
+        rest = view.compact(batch_size=3)
+        assert rest["rows_compacted"] == 7
+        assert len(view.load_state()["segments"]) == 4
+
+    def test_state_commits_after_every_batch(self, tmp_path):
+        """An interrupted compaction resumes from the last committed batch."""
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 9)
+        view = ColumnStore(store)
+        view.compact(batch_size=4, max_batches=1)  # "crash" after one batch
+        state = view.load_state()
+        assert len(state["segments"]) == 1
+        assert state["wal_offset"] > 0
+        # a fresh view (fresh process) finishes the job without re-reading
+        resumed = ColumnStore(CampaignStore(tmp_path))
+        resumed.compact(batch_size=4)
+        assert resumed.rows_by_key() == payloads
+
+    def test_invalid_batch_size_is_refused(self, tmp_path):
+        with pytest.raises(CampaignError, match="batch_size"):
+            ColumnStore(CampaignStore(tmp_path)).compact(batch_size=0)
+
+    def test_unsupported_state_version_is_refused(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        fill(store, 2)
+        view = ColumnStore(store)
+        view.compact()
+        state = view.load_state()
+        state["format_version"] = 99
+        view.state_path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(CampaignError, match="unsupported colstore format"):
+            ColumnStore(store).load_state()
+
+    def test_non_results_channels_compact_into_their_own_tree(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        fill(store, 4, channel="stream")
+        view = ColumnStore(store, channel="stream")
+        view.compact()
+        assert view.root != ColumnStore(store).root
+        assert len(view.rows_by_key()) == 4
+
+
+class TestSegment:
+    def test_footer_keys_need_no_column_io(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        fill(store, 6)
+        view = ColumnStore(store)
+        view.compact(batch_size=6)
+        [segment] = view.segments()
+        assert segment.rows == 6
+        assert segment.keys() == [f"key{i:04d}" for i in range(6)]
+
+    def test_segment_version_is_checked(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        fill(store, 2)
+        view = ColumnStore(store)
+        view.compact()
+        name = view.load_state()["segments"][0]
+        footer_path = view.segments_dir / name / "footer.json"
+        footer = json.loads(footer_path.read_text(encoding="utf-8"))
+        footer["format_version"] = 99
+        footer_path.write_text(json.dumps(footer), encoding="utf-8")
+        with pytest.raises(CampaignError, match="unsupported segment format"):
+            Segment(view.segments_dir / name)
+
+    def test_format_version_constant(self):
+        assert COLSTORE_FORMAT_VERSION == 1
+
+
+class TestStoreIntegration:
+    def test_store_reads_prefer_segments_after_compaction(self, tmp_path):
+        """CampaignStore.results_by_key round-trips through the segments."""
+        config = CampaignConfig(ptg_counts=(2,), workloads_per_point=2,
+                                base_seed=3, max_tasks=14)
+        shards = make_shards(config)
+        store = CampaignStore(tmp_path)
+        expected = {}
+        for outcome in SerialExecutor().submit_shards(shards):
+            store.append(outcome.key, outcome.result)
+            expected[outcome.key] = outcome.result
+        before = store.results_by_key()
+        ColumnStore(store).compact(batch_size=3)
+        after = CampaignStore(tmp_path).results_by_key()
+        assert after == before == expected
+
+    def test_completed_keys_uses_the_footer_index(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        payloads = fill(store, 12)
+        ColumnStore(store).compact(batch_size=5)
+        fresh = CampaignStore(tmp_path)
+        assert fresh.completed_keys() == set(payloads)
+
+
+class TestStreamingAggregation:
+    def test_matches_campaign_result_bit_for_bit(self, tmp_path):
+        config = CampaignConfig(ptg_counts=(2, 4), workloads_per_point=2,
+                                base_seed=3, max_tasks=14)
+        shards = make_shards(config)
+        store = CampaignStore(tmp_path)
+        experiments = []
+        for outcome in SerialExecutor().submit_shards(shards):
+            store.append(outcome.key, outcome.result)
+            experiments.append(outcome.result)
+        reference = CampaignResult(config=config, experiments=experiments)
+        for compact in (False, True):
+            if compact:
+                ColumnStore(store).compact(batch_size=3)
+            summary = summarize_store(CampaignStore(tmp_path))
+            assert summary["experiments"] == len(shards)
+            assert summary["average_unfairness"] == reference.average_unfairness()
+            assert summary["average_relative_makespan"] == (
+                reference.average_relative_makespan()
+            )
+            assert summary["average_mean_application_makespan"] == (
+                reference.average_mean_application_makespan()
+            )
+
+    def test_duplicate_keys_keep_last_record_wins(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        first = payload(1)
+        second = payload(2)
+        store.append_payload("results", "k", first)
+        store.append_payload("results", "k", second)
+        summary = summarize_store(store)
+        assert summary["experiments"] == 1
+        expected = StreamingAggregate()
+        expected.add(second)
+        assert summary == expected.summary()
+
+    def test_mismatched_strategy_sets_are_refused(self):
+        aggregate = StreamingAggregate()
+        aggregate.add(payload(1))
+        bad = payload(2)
+        bad["outcomes"]["EXTRA"] = bad["outcomes"]["S"]
+        with pytest.raises(CampaignError, match="same strategies"):
+            aggregate.add(bad)
+
+    def test_malformed_payload_is_refused(self):
+        with pytest.raises(CampaignError, match="misses"):
+            StreamingAggregate().add({"no": "fields"})

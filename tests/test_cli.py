@@ -424,3 +424,97 @@ class TestServeAndClientCommands:
         # not a traceback
         assert main(["client", "status", "--port", "1"]) == 2
         assert "failed" in capsys.readouterr().err
+
+
+class TestExecutorFlags:
+    CAMPAIGN_ARGS = TestCampaignCommand.CAMPAIGN_ARGS
+
+    def test_list_executors(self, capsys):
+        assert main(["list", "executors"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "process-pool", "local-cluster"):
+            assert name in out
+
+    def test_campaign_accepts_an_executor(self, capsys):
+        assert main(self.CAMPAIGN_ARGS + ["--executor", "serial"]) == 0
+        assert "shards: 1 total" in capsys.readouterr().out
+
+    def test_campaign_rejects_an_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.CAMPAIGN_ARGS + ["--executor", "slurm"])
+
+    def test_campaign_compact_flag_compacts_the_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = self.CAMPAIGN_ARGS + [
+            "--executor", "serial", "--store", store, "--compact",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 record(s)" in out
+        from repro.campaigns.colstore import ColumnStore
+        from repro.campaigns.store import CampaignStore
+
+        assert ColumnStore(CampaignStore(store)).load_state()["segments"]
+
+    def test_compact_without_store_is_a_clean_error(self, capsys):
+        assert main(self.CAMPAIGN_ARGS + ["--compact"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--store" in err
+
+
+class TestStoreCommand:
+    def _populated_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            TestCampaignCommand.CAMPAIGN_ARGS + ["--store", store]
+        ) == 0
+        capsys.readouterr()
+        return store
+
+    def test_store_stat(self, capsys, tmp_path):
+        store = self._populated_store(tmp_path, capsys)
+        assert main(["store", "stat", store]) == 0
+        out = capsys.readouterr().out
+        assert "segments:" in out
+        assert "1 pending record(s)" in out
+
+    def test_store_compact_then_stat(self, capsys, tmp_path):
+        store = self._populated_store(tmp_path, capsys)
+        assert main(["store", "compact", store]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 record(s) into 1 new segment(s)" in out
+        assert main(["store", "stat", store, "--format", "json"]) == 0
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["segments"] == 1
+        assert stat["wal_pending_records"] == 0
+
+    def test_store_compact_round_trips_bit_identically(self, capsys, tmp_path):
+        from repro.campaigns.store import CampaignStore
+
+        store = self._populated_store(tmp_path, capsys)
+        before = CampaignStore(store).results_by_key()
+        assert main(["store", "compact", store]) == 0
+        capsys.readouterr()
+        assert CampaignStore(store).results_by_key() == before
+
+    def test_store_summarize(self, capsys, tmp_path):
+        store = self._populated_store(tmp_path, capsys)
+        assert main(["store", "summarize", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 experiment(s)" in out
+        assert "average_unfairness:" in out
+
+    def test_store_summarize_matches_after_compaction(self, capsys, tmp_path):
+        store = self._populated_store(tmp_path, capsys)
+        assert main(["store", "summarize", store, "--format", "json"]) == 0
+        before = json.loads(capsys.readouterr().out)
+        assert main(["store", "compact", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "summarize", store, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == before
+
+    def test_store_command_on_a_missing_store_is_a_clean_error(
+        self, capsys, tmp_path
+    ):
+        assert main(["store", "stat", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err.startswith("error:")

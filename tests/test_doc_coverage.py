@@ -27,6 +27,7 @@ import repro.faults
 import repro.mapping
 import repro.obs
 import repro.scenarios
+import repro.exec
 import repro.service
 import repro.streaming
 import repro.validate
@@ -35,6 +36,7 @@ AUDITED_PACKAGES = (
     repro.dag,
     repro.allocation,
     repro.constraints,
+    repro.exec,
     repro.faults,
     repro.mapping,
     repro.obs,

@@ -1,0 +1,150 @@
+"""Unit tests for the work-stealing lease board (repro.exec.leases)."""
+
+import json
+
+import pytest
+
+from repro.exec.leases import LEASES_DIRNAME, Lease, LeaseBoard
+
+
+@pytest.fixture()
+def board(tmp_path):
+    return LeaseBoard(tmp_path / LEASES_DIRNAME)
+
+
+class TestAcquire:
+    def test_first_acquire_wins(self, board):
+        lease = board.acquire("shard-a", "w0")
+        assert lease is not None
+        assert lease.owner == "w0"
+        assert lease.attempt == 1
+        assert lease.key == "shard-a"
+
+    def test_second_acquire_loses(self, board):
+        assert board.acquire("shard-a", "w0") is not None
+        assert board.acquire("shard-a", "w1") is None
+
+    def test_distinct_keys_are_independent(self, board):
+        assert board.acquire("shard-a", "w0") is not None
+        assert board.acquire("shard-b", "w1") is not None
+
+    def test_lease_is_durable(self, board):
+        board.acquire("shard-a", "w0")
+        loaded = board.load("shard-a")
+        assert loaded is not None
+        assert loaded.owner == "w0"
+        assert loaded.attempt == 1
+
+    def test_acquire_creates_the_directory(self, tmp_path):
+        board = LeaseBoard(tmp_path / "deep" / "leases")
+        assert board.acquire("k", "w0") is not None
+
+
+class TestLoad:
+    def test_missing_lease_loads_none(self, board):
+        assert board.load("nope") is None
+
+    def test_torn_lease_file_loads_none(self, board):
+        board.acquire("shard-a", "w0")
+        path = board.path("shard-a")
+        path.write_text("{ torn", encoding="utf-8")
+        assert board.load("shard-a") is None
+
+
+class TestHeartbeat:
+    def test_beat_advances_the_heartbeat(self, board):
+        lease = board.acquire("shard-a", "w0")
+        board.beat(lease, now=lease.heartbeat + 10.0)
+        assert board.load("shard-a").heartbeat == pytest.approx(
+            lease.heartbeat + 10.0
+        )
+
+    def test_staleness_follows_the_heartbeat_age(self, board):
+        lease = board.acquire("shard-a", "w0")
+        assert not lease.is_stale(timeout=5.0, now=lease.heartbeat + 4.0)
+        assert lease.is_stale(timeout=5.0, now=lease.heartbeat + 6.0)
+
+
+class TestSteal:
+    def test_fresh_lease_is_not_stealable(self, board):
+        board.acquire("shard-a", "w0")
+        assert board.steal("shard-a", "w1", timeout=60.0) is None
+
+    def test_stale_lease_is_stolen_with_attempt_bump(self, board):
+        lease = board.acquire("shard-a", "w0")
+        stolen = board.steal(
+            "shard-a", "w1", timeout=1.0, now=lease.heartbeat + 5.0
+        )
+        assert stolen is not None
+        assert stolen.owner == "w1"
+        assert stolen.attempt == 2
+
+    def test_missing_lease_is_not_stealable(self, board):
+        assert board.steal("shard-a", "w1", timeout=0.0) is None
+
+    def test_each_attempt_is_stolen_at_most_once(self, board):
+        lease = board.acquire("shard-a", "w0")
+        later = lease.heartbeat + 100.0
+        assert board.steal("shard-a", "w1", timeout=1.0, now=later) is not None
+        # same attempt: the sentinel blocks a second thief
+        assert board.steal("shard-a", "w2", timeout=1000.0, now=later) is None
+
+    def test_restolen_after_the_thief_goes_stale_too(self, board):
+        lease = board.acquire("shard-a", "w0")
+        t1 = lease.heartbeat + 10.0
+        stolen = board.steal("shard-a", "w1", timeout=1.0, now=t1)
+        restolen = board.steal("shard-a", "w2", timeout=1.0, now=t1 + 10.0)
+        assert restolen is not None
+        assert restolen.owner == "w2"
+        assert restolen.attempt == 3
+        assert stolen.attempt == 2
+
+
+class TestRelease:
+    def test_release_frees_the_key(self, board):
+        board.acquire("shard-a", "w0")
+        board.release("shard-a")
+        assert board.load("shard-a") is None
+        assert board.acquire("shard-a", "w1") is not None
+
+    def test_release_removes_steal_sentinels(self, board):
+        lease = board.acquire("shard-a", "w0")
+        board.steal("shard-a", "w1", timeout=1.0, now=lease.heartbeat + 10.0)
+        board.release("shard-a")
+        leftovers = [p.name for p in board.root.iterdir()]
+        assert leftovers == []
+
+    def test_release_of_unknown_key_is_a_no_op(self, board):
+        board.release("never-leased")
+
+
+class TestListing:
+    def test_active_lists_held_leases(self, board):
+        board.acquire("shard-a", "w0")
+        board.acquire("shard-b", "w1")
+        assert {lease.key for lease in board.active()} == {"shard-a", "shard-b"}
+
+    def test_stale_lists_only_expired_leases(self, board):
+        a = board.acquire("shard-a", "w0")
+        board.acquire("shard-b", "w1")
+        board.beat(a, now=a.heartbeat - 100.0)  # age shard-a artificially
+        stale = board.stale(timeout=50.0)
+        assert [lease.key for lease in stale] == ["shard-a"]
+
+
+class TestLeaseSerialisation:
+    def test_round_trip(self, board):
+        lease = Lease(key="k", owner="w0", attempt=3, acquired=1.0, heartbeat=2.0)
+        assert Lease.from_dict(lease.to_dict()) == lease
+
+    def test_lease_file_is_json(self, board):
+        board.acquire("shard-a", "w0")
+        payload = json.loads(
+            board.path("shard-a").read_text(encoding="utf-8")
+        )
+        assert payload["owner"] == "w0"
+        assert payload["attempt"] == 1
+
+    def test_age(self):
+        lease = Lease(key="k", owner="w", attempt=1, acquired=0.0, heartbeat=5.0)
+        assert lease.age(now=12.5) == pytest.approx(7.5)

@@ -105,7 +105,7 @@ class TestBuiltinRegistries:
 
     def test_registries_index(self):
         assert sorted(REGISTRIES) == [
-            "allocators", "arrivals", "families", "faults", "mappers",
-            "platforms", "strategies",
+            "allocators", "arrivals", "executors", "families", "faults",
+            "mappers", "platforms", "strategies",
         ]
         assert REGISTRIES["allocators"] is ALLOCATORS
