@@ -45,10 +45,15 @@ class ScrapAllocator(AllocationProcedure):
     name = "SCRAP"
 
     def __init__(
-        self, use_balance_stop: bool = True, efficiency_threshold: float = 0.0
+        self,
+        use_balance_stop: bool = True,
+        efficiency_threshold: float = 0.0,
+        fast: bool = True,
     ) -> None:
+        """*fast* selects the fused loop (bit-identical; see fastloop)."""
         self.use_balance_stop = use_balance_stop
         self.efficiency_threshold = efficiency_threshold
+        self.fast = fast
         self.last_stats: Optional[IterationStats] = None
 
     def allocate(
@@ -65,6 +70,7 @@ class ScrapAllocator(AllocationProcedure):
             constraint=constraint,
             use_balance_stop=self.use_balance_stop,
             efficiency_threshold=self.efficiency_threshold,
+            fast=self.fast,
         )
         self.last_stats = stats
         return allocation
@@ -84,10 +90,15 @@ class ScrapMaxAllocator(AllocationProcedure):
     name = "SCRAP-MAX"
 
     def __init__(
-        self, use_balance_stop: bool = True, efficiency_threshold: float = 0.0
+        self,
+        use_balance_stop: bool = True,
+        efficiency_threshold: float = 0.0,
+        fast: bool = True,
     ) -> None:
+        """*fast* selects the fused loop (bit-identical; see fastloop)."""
         self.use_balance_stop = use_balance_stop
         self.efficiency_threshold = efficiency_threshold
+        self.fast = fast
         self.last_stats: Optional[IterationStats] = None
 
     def allocate(
@@ -104,6 +115,7 @@ class ScrapMaxAllocator(AllocationProcedure):
             constraint=constraint,
             use_balance_stop=self.use_balance_stop,
             efficiency_threshold=self.efficiency_threshold,
+            fast=self.fast,
         )
         self.last_stats = stats
         return allocation

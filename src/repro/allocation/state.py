@@ -43,7 +43,7 @@ families and betas.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,6 +52,81 @@ from repro.allocation.reference import ReferenceCluster
 from repro.dag.arrays import SMALL_GRAPH_CUTOFF
 from repro.dag.graph import PTG
 from repro.exceptions import AllocationError
+
+#: Key under which batched Amdahl tables are parked in ``PTG._cache``
+#: (cleared automatically on any structural mutation of the graph).
+_TABLE_CACHE_KEY = "alloc_tables"
+
+
+def prepare_allocation_tables(
+    ptgs: Sequence[PTG], reference: ReferenceCluster, cap: int
+) -> None:
+    """Precompute the Amdahl tables of a whole batch in one sweep.
+
+    Stacks the ``alpha`` / ``flops`` columns of every graph in *ptgs*
+    and evaluates the duration, area and CPA-gain tables of the entire
+    batch with a single vectorized pass each, then parks each graph's row
+    block in its cache where :class:`AllocationState` picks it up.  All
+    three tables are **elementwise** expressions, so a row of the stacked
+    result is bit-identical to the row the per-graph construction
+    computes -- only the NumPy dispatch overhead is amortized.
+
+    Graphs whose tables are already cached for this ``(reference, cap)``
+    are skipped.  Call :func:`discard_allocation_tables` once a graph's
+    allocation has been materialised to keep a long stream's memory
+    high-water mark flat.
+    """
+    if cap < 1:
+        raise AllocationError(f"allocation cap must be >= 1, got {cap}")
+    cap = int(cap)
+    pending: List[PTG] = []
+    seen_ids = set()
+    for ptg in ptgs:
+        if id(ptg) in seen_ids:
+            continue
+        seen_ids.add(id(ptg))
+        cached = ptg._cache.get(_TABLE_CACHE_KEY)
+        if isinstance(cached, dict) and (reference, cap) in cached:
+            continue
+        pending.append(ptg)
+    if not pending:
+        return
+
+    arrays = [ptg.arrays() for ptg in pending]
+    alpha_col = np.concatenate([a.alpha for a in arrays])[:, None]
+    flops_col = np.concatenate([a.flops for a in arrays])[:, None]
+    procs_row = np.arange(1, cap + 1, dtype=np.float64)
+    durations = (
+        (alpha_col + (1.0 - alpha_col) / procs_row)
+        * flops_col
+        / reference.speed_flops
+    )
+    areas = procs_row * durations
+    gain = (
+        durations[:, :-1] / procs_row[:-1] - durations[:, 1:] / procs_row[1:]
+    )
+
+    row = 0
+    for ptg, a in zip(pending, arrays):
+        n = a.n_tasks
+        bucket = ptg._cache.setdefault(_TABLE_CACHE_KEY, {})
+        bucket[(reference, cap)] = (
+            durations[row : row + n],
+            areas[row : row + n],
+            gain[row : row + n],
+        )
+        row += n
+
+
+def discard_allocation_tables(ptg: PTG) -> None:
+    """Drop any batched Amdahl tables cached on *ptg*.
+
+    The tables only serve the admissions of one batch; dropping them
+    afterwards (the streaming session does it on commit) keeps the
+    per-graph cache from pinning ``O(n_tasks * cap)`` floats for the
+    lifetime of the stream.  A graph without cached tables is a no-op.
+    """
+    ptg._cache.pop(_TABLE_CACHE_KEY, None)
 
 
 class AllocationState:
@@ -87,21 +162,32 @@ class AllocationState:
         # order of AmdahlTaskModel.time: (alpha + (1-alpha)/p) * w / s.
         # Synthetic (zero-flop) rows are exactly 0.0 because the zero
         # sequential cost multiplies out, matching Task.execution_time.
+        # A batch admission may have prebuilt the tables for the whole
+        # arrival chunk (prepare_allocation_tables); the stacked sweep is
+        # elementwise, so its row blocks are bit-identical to the ones
+        # computed here.
         procs_row = np.arange(1, self.cap + 1, dtype=np.float64)
-        alpha_col = self.arrays.alpha[:, None]
-        flops_col = self.arrays.flops[:, None]
-        self.durations_table = (
-            (alpha_col + (1.0 - alpha_col) / procs_row)
-            * flops_col
-            / reference.speed_flops
+        bucket = ptg._cache.get(_TABLE_CACHE_KEY)
+        prepared: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+            bucket.get((reference, self.cap)) if isinstance(bucket, dict) else None
         )
-        #: Area table p * T(v, p), the operation order of AmdahlTaskModel.area.
-        self.areas_table = procs_row * self.durations_table
-        #: CPA benefit table T(v,p)/p - T(v,p+1)/(p+1) for p = 1..cap-1.
-        self.gain_table = (
-            self.durations_table[:, :-1] / procs_row[:-1]
-            - self.durations_table[:, 1:] / procs_row[1:]
-        )
+        if prepared is not None:
+            self.durations_table, self.areas_table, self.gain_table = prepared
+        else:
+            alpha_col = self.arrays.alpha[:, None]
+            flops_col = self.arrays.flops[:, None]
+            self.durations_table = (
+                (alpha_col + (1.0 - alpha_col) / procs_row)
+                * flops_col
+                / reference.speed_flops
+            )
+            #: Area table p * T(v, p), operation order of AmdahlTaskModel.area.
+            self.areas_table = procs_row * self.durations_table
+            #: CPA benefit table T(v,p)/p - T(v,p+1)/(p+1) for p = 1..cap-1.
+            self.gain_table = (
+                self.durations_table[:, :-1] / procs_row[:-1]
+                - self.durations_table[:, 1:] / procs_row[1:]
+            )
         self._procs_row = procs_row
         self._eff_table: Optional[np.ndarray] = None
 
@@ -141,6 +227,10 @@ class AllocationState:
     def gain_row(self, index: int) -> List[float]:
         """Marginal gains of the task at *index* for ``p = 1..cap-1``."""
         return self._row(self._gain_rows, self.gain_table, index)
+
+    def area_row(self, index: int) -> List[float]:
+        """Areas ``p * T(v, p)`` of the task at *index* for ``p = 1..cap``."""
+        return self._row(self._area_rows, self.areas_table, index)
 
     def efficiency_row(self, index: int) -> List[float]:
         """Parallel efficiencies of the task at *index* for ``p = 1..cap``."""

@@ -41,9 +41,9 @@ semantics -- never the pairwise-summing :func:`numpy.sum`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -101,10 +101,6 @@ class DagArrays:
     entries: np.ndarray
     #: Indices of the tasks without successors, in insertion order.
     exits: np.ndarray
-    #: Level-batched plan for the reverse (bottom-level) DP: one
-    #: ``(with_succ, reduce_offsets, succ_flat, without_succ)`` tuple per
-    #: precedence level, deepest level first.
-    dp_plan: Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray], ...]
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -154,6 +150,16 @@ class DagArrays:
         return tuple(self.synthetic.tolist())
 
     @cached_property
+    def flops_tuple(self) -> Tuple[float, ...]:
+        """:attr:`flops` as a tuple of Python floats."""
+        return tuple(self.flops.tolist())
+
+    @cached_property
+    def alpha_tuple(self) -> Tuple[float, ...]:
+        """:attr:`alpha` as a tuple of Python floats."""
+        return tuple(self.alpha.tolist())
+
+    @cached_property
     def levels_tuple(self) -> Tuple[int, ...]:
         """:attr:`levels` as a tuple of Python ints."""
         return tuple(self.levels.tolist())
@@ -175,6 +181,48 @@ class DagArrays:
         return tuple(
             tuple(idx[ptr[i] : ptr[i + 1]]) for i in range(self.n_tasks)
         )
+
+    @cached_property
+    def pred_tuples(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-task predecessor tuples (tid-sorted), indexed like :attr:`task_ids`."""
+        ptr, idx = self.pred_ptr.tolist(), self.pred_idx.tolist()
+        return tuple(
+            tuple(idx[ptr[i] : ptr[i + 1]]) for i in range(self.n_tasks)
+        )
+
+    @cached_property
+    def dp_plan(
+        self,
+    ) -> Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray], ...]:
+        """Level-batched plan for the reverse (bottom-level) DP.
+
+        One ``(with_succ, reduce_offsets, succ_flat, without_succ)`` tuple
+        per precedence level, deepest level first.  Built lazily: small
+        graphs that only ever run the scalar
+        :meth:`bottom_levels_py` specialization never pay for it.
+        """
+        succ_ptr, succ_idx = self.succ_ptr, self.succ_idx
+        level_members, level_offsets = self.level_members, self.level_offsets
+        plan: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for level in range(self.depth - 1, -1, -1):
+            nodes = level_members[level_offsets[level] : level_offsets[level + 1]]
+            counts = succ_ptr[nodes + 1] - succ_ptr[nodes]
+            with_succ = nodes[counts > 0]
+            without_succ = nodes[counts == 0]
+            if with_succ.size:
+                succ_flat = np.concatenate(
+                    [succ_idx[succ_ptr[i] : succ_ptr[i + 1]] for i in with_succ]
+                )
+                offsets = np.zeros(with_succ.size, dtype=np.int64)
+                np.cumsum(
+                    (succ_ptr[with_succ + 1] - succ_ptr[with_succ])[:-1],
+                    out=offsets[1:],
+                )
+            else:
+                succ_flat = np.empty(0, dtype=np.int64)
+                offsets = np.empty(0, dtype=np.int64)
+            plan.append((with_succ, offsets, succ_flat, without_succ))
+        return tuple(plan)
 
     @cached_property
     def level_tuples(self) -> Tuple[Tuple[int, ...], ...]:
@@ -290,6 +338,86 @@ class DagArrays:
 
 
 
+#: Per-graph list fields gathered by :func:`_gather`, with the dtype the
+#: concatenated arena (or the single-graph array) is built with.
+_FIELD_DTYPES: Tuple[Tuple[str, type], ...] = (
+    ("task_ids", np.int64),
+    ("flops", np.float64),
+    ("alpha", np.float64),
+    ("synthetic", bool),
+    ("topo", np.int64),
+    ("levels", np.int64),
+    ("level_members", np.int64),
+    ("level_offsets", np.int64),
+    ("pred_ptr", np.int64),
+    ("pred_idx", np.int64),
+    ("succ_ptr", np.int64),
+    ("succ_idx", np.int64),
+    ("entries", np.int64),
+    ("exits", np.int64),
+)
+
+
+def _gather(ptg: "PTG") -> Dict[str, object]:
+    """Collect one graph's compilation data as plain Python lists.
+
+    Shared by :func:`compile_arrays` (which wraps each list in its own
+    array) and :func:`compile_arrays_batch` (which concatenates the lists
+    of a whole batch into one arena per field).  All indices are local to
+    the graph, so a slice of the concatenated arena is exactly the array
+    the single-graph compilation would have produced.
+    """
+    tasks = ptg.tasks()
+    n = len(tasks)
+    task_ids = [t.task_id for t in tasks]
+    index_of = {tid: i for i, tid in enumerate(task_ids)}
+
+    # the graph's cached topological order and precedence levels; their
+    # iteration order defines the per-level member order reproduced below
+    topo = [index_of[tid] for tid in ptg.topological_order()]
+    level_of = ptg.precedence_levels()
+    levels = [level_of[t.task_id] for t in tasks]
+    depth = max(levels) + 1 if n else 0
+    members_per_level: List[List[int]] = [[] for _ in range(depth)]
+    for tid, level in level_of.items():  # dict order == tasks_by_level order
+        members_per_level[level].append(index_of[tid])
+    level_members: List[int] = []
+    level_offsets: List[int] = [0]
+    for members in members_per_level:
+        level_members.extend(members)
+        level_offsets.append(len(level_members))
+
+    # CSR adjacency, each list sorted by neighbour task id so vectorized
+    # argmax tie-breaks match the reference sorted() iteration
+    pred_ptr: List[int] = [0]
+    succ_ptr: List[int] = [0]
+    pred_idx: List[int] = []
+    succ_idx: List[int] = []
+    for task in tasks:
+        pred_idx.extend(index_of[p] for p in sorted(ptg.predecessors(task.task_id)))
+        succ_idx.extend(index_of[s] for s in sorted(ptg.successors(task.task_id)))
+        pred_ptr.append(len(pred_idx))
+        succ_ptr.append(len(succ_idx))
+
+    return {
+        "task_ids": task_ids,
+        "index_of": index_of,
+        "flops": [t.flops for t in tasks],
+        "alpha": [t.alpha for t in tasks],
+        "synthetic": [t.is_synthetic for t in tasks],
+        "topo": topo,
+        "levels": levels,
+        "level_members": level_members,
+        "level_offsets": level_offsets,
+        "pred_ptr": pred_ptr,
+        "pred_idx": pred_idx,
+        "succ_ptr": succ_ptr,
+        "succ_idx": succ_idx,
+        "entries": [i for i in range(n) if pred_ptr[i] == pred_ptr[i + 1]],
+        "exits": [i for i in range(n) if succ_ptr[i] == succ_ptr[i + 1]],
+    }
+
+
 def compile_arrays(ptg: "PTG") -> DagArrays:
     """Compile *ptg* into a :class:`DagArrays`.
 
@@ -300,90 +428,58 @@ def compile_arrays(ptg: "PTG") -> DagArrays:
     """
     if ptg.n_tasks == 0:
         raise InvalidGraphError(f"PTG {ptg.name!r} is empty")
-    tasks = ptg.tasks()
-    n = len(tasks)
-    task_ids = np.array([t.task_id for t in tasks], dtype=np.int64)
-    index_of = {int(tid): i for i, tid in enumerate(task_ids)}
-    flops = np.array([t.flops for t in tasks], dtype=np.float64)
-    alpha = np.array([t.alpha for t in tasks], dtype=np.float64)
-    synthetic = np.array([t.is_synthetic for t in tasks], dtype=bool)
-
-    # the graph's cached topological order and precedence levels; their
-    # iteration order defines the per-level member order reproduced below
-    topo = np.array([index_of[tid] for tid in ptg.topological_order()], dtype=np.int64)
-    level_of = ptg.precedence_levels()
-    levels = np.array([level_of[t.task_id] for t in tasks], dtype=np.int64)
-    depth = int(levels.max()) + 1 if n else 0
-    members_per_level: List[List[int]] = [[] for _ in range(depth)]
-    for tid, level in level_of.items():  # dict order == tasks_by_level order
-        members_per_level[level].append(index_of[tid])
-    level_offsets = np.zeros(depth + 1, dtype=np.int64)
-    for level, members in enumerate(members_per_level):
-        level_offsets[level + 1] = level_offsets[level] + len(members)
-    level_members = np.array(
-        [i for members in members_per_level for i in members], dtype=np.int64
-    )
-
-    # CSR adjacency, each list sorted by neighbour task id so vectorized
-    # argmax tie-breaks match the reference sorted() iteration
-    pred_ptr = np.zeros(n + 1, dtype=np.int64)
-    succ_ptr = np.zeros(n + 1, dtype=np.int64)
-    pred_lists: List[List[int]] = []
-    succ_lists: List[List[int]] = []
-    for i, task in enumerate(tasks):
-        preds = sorted(ptg.predecessors(task.task_id))
-        succs = sorted(ptg.successors(task.task_id))
-        pred_lists.append([index_of[p] for p in preds])
-        succ_lists.append([index_of[s] for s in succs])
-        pred_ptr[i + 1] = pred_ptr[i] + len(preds)
-        succ_ptr[i + 1] = succ_ptr[i] + len(succs)
-    pred_idx = np.array([i for lst in pred_lists for i in lst], dtype=np.int64)
-    succ_idx = np.array([i for lst in succ_lists for i in lst], dtype=np.int64)
-
-    entries = np.array(
-        [i for i in range(n) if pred_ptr[i] == pred_ptr[i + 1]], dtype=np.int64
-    )
-    exits = np.array(
-        [i for i in range(n) if succ_ptr[i] == succ_ptr[i + 1]], dtype=np.int64
-    )
-
-    # level-batched plan for the reverse bottom-level DP, deepest first
-    plan: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-    for level in range(depth - 1, -1, -1):
-        nodes = level_members[level_offsets[level] : level_offsets[level + 1]]
-        counts = succ_ptr[nodes + 1] - succ_ptr[nodes]
-        with_succ = nodes[counts > 0]
-        without_succ = nodes[counts == 0]
-        if with_succ.size:
-            succ_flat = np.concatenate(
-                [succ_lists_arr for succ_lists_arr in (
-                    succ_idx[succ_ptr[i] : succ_ptr[i + 1]] for i in with_succ
-                )]
-            )
-            offsets = np.zeros(with_succ.size, dtype=np.int64)
-            np.cumsum(
-                (succ_ptr[with_succ + 1] - succ_ptr[with_succ])[:-1], out=offsets[1:]
-            )
-        else:
-            succ_flat = np.empty(0, dtype=np.int64)
-            offsets = np.empty(0, dtype=np.int64)
-        plan.append((with_succ, offsets, succ_flat, without_succ))
-
+    gathered = _gather(ptg)
     return DagArrays(
-        task_ids=task_ids,
-        index_of=index_of,
-        flops=flops,
-        alpha=alpha,
-        synthetic=synthetic,
-        topo=topo,
-        levels=levels,
-        level_members=level_members,
-        level_offsets=level_offsets,
-        pred_ptr=pred_ptr,
-        pred_idx=pred_idx,
-        succ_ptr=succ_ptr,
-        succ_idx=succ_idx,
-        entries=entries,
-        exits=exits,
-        dp_plan=tuple(plan),
+        index_of=gathered["index_of"],
+        **{
+            name: np.array(gathered[name], dtype=dtype)
+            for name, dtype in _FIELD_DTYPES
+        },
     )
+
+
+def compile_arrays_batch(ptgs: Sequence["PTG"]) -> List[DagArrays]:
+    """Compile a batch of PTGs at once, sharing one backing arena.
+
+    For every graph without a cached compilation, the per-field data of
+    the whole batch is concatenated and converted with **one**
+    list-to-array pass per field; each graph's :class:`DagArrays` then
+    views its slice of the shared buffers.  Amortizing the array
+    construction this way makes admitting a :meth:`StreamSession.feed
+    <repro.streaming.engine.StreamSession.feed>` chunk or a campaign
+    shard noticeably cheaper than compiling arrival-by-arrival, while the
+    per-graph values stay identical to :func:`compile_arrays` (the same
+    Python lists feed the same dtype conversion).
+
+    Results are seeded into each graph's cache, so a later
+    :meth:`~repro.dag.graph.PTG.arrays` call reuses them; graphs already
+    compiled are left untouched.  Raises
+    :class:`~repro.exceptions.InvalidGraphError` on an empty or cyclic
+    graph, like the single-graph compilation.
+    """
+    pending: List["PTG"] = []
+    seen_ids = set()
+    for ptg in ptgs:
+        if id(ptg) in seen_ids or "arrays" in ptg._cache:
+            continue
+        seen_ids.add(id(ptg))
+        if ptg.n_tasks == 0:
+            raise InvalidGraphError(f"PTG {ptg.name!r} is empty")
+        pending.append(ptg)
+
+    if pending:
+        gathered = [_gather(ptg) for ptg in pending]
+        views: List[Dict[str, np.ndarray]] = [{} for _ in pending]
+        for name, dtype in _FIELD_DTYPES:
+            flat: List[object] = []
+            offsets = [0]
+            for g in gathered:
+                flat.extend(g[name])
+                offsets.append(len(flat))
+            arena = np.array(flat, dtype=dtype)
+            for i in range(len(pending)):
+                views[i][name] = arena[offsets[i] : offsets[i + 1]]
+        for ptg, g, kwargs in zip(pending, gathered, views):
+            ptg._cache["arrays"] = DagArrays(index_of=g["index_of"], **kwargs)
+
+    return [ptg.arrays() for ptg in ptgs]

@@ -49,11 +49,30 @@ class ReferenceClusterTimeline:
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self._free_at = np.zeros(cluster.num_processors, dtype=float)
+        self._txn_active = False
+        self._txn_saved = None
 
     @property
     def num_processors(self) -> int:
         """Number of processors of the underlying cluster."""
         return self.cluster.num_processors
+
+    def begin_transaction(self) -> None:
+        """Start recording reservations so they can be rolled back."""
+        self._txn_active = True
+        self._txn_saved = None
+
+    def commit_transaction(self) -> None:
+        """Keep the reservations made since :meth:`begin_transaction`."""
+        self._txn_active = False
+        self._txn_saved = None
+
+    def rollback_transaction(self) -> None:
+        """Restore the timeline to its :meth:`begin_transaction` state."""
+        if self._txn_saved is not None:
+            self._free_at = self._txn_saved
+        self._txn_active = False
+        self._txn_saved = None
 
     def free_times(self) -> np.ndarray:
         """A copy of the per-processor free times."""
@@ -90,6 +109,8 @@ class ReferenceClusterTimeline:
         start = self.earliest_start(processors, ready_time)
         indices = self.select_processors(processors)
         finish = start + duration
+        if self._txn_active and self._txn_saved is None:
+            self._txn_saved = self._free_at.copy()
         self._free_at[indices] = finish
         return indices, start, finish
 
@@ -152,11 +173,15 @@ class ReferencePlacementEngine(PlacementEngine):
     to the uncached :class:`ReferenceCommunicationEstimator`.
     """
 
-    def __init__(self, platform, enable_packing=True, comm=None):
+    def __init__(self, platform, enable_packing=True, comm=None, delta=False):
+        # ``delta`` is accepted for signature compatibility but always
+        # disabled: the reference engine must take the full per-cluster
+        # evaluation below (the delta path never calls _evaluate_cluster).
         super().__init__(
             platform,
             enable_packing=enable_packing,
             comm=comm or ReferenceCommunicationEstimator(platform),
+            delta=False,
         )
 
     def _evaluate_cluster(self, task, allocation, cluster_name, ready_time):

@@ -9,6 +9,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.allocation.base import Allocation
+from repro.dag.arrays import SMALL_GRAPH_CUTOFF
 from repro.dag.graph import PTG
 from repro.exceptions import MappingError
 from repro.platform.multicluster import MultiClusterPlatform
@@ -55,20 +56,30 @@ class AllocatedPTG:
         """
         arrays = self.ptg.arrays()
         allocation = self.allocation
+        task_ids = arrays.task_ids_tuple
+        processors = allocation.processors
+        speed = allocation.reference.speed_flops
+        if arrays.n_tasks < SMALL_GRAPH_CUTOFF:
+            # scalar specialization: below the cutoff the NumPy dispatch
+            # overhead dominates; both formulations are bit-identical
+            alpha = arrays.alpha_tuple
+            flops = arrays.flops_tuple
+            durations_py = [
+                (alpha[i] + (1.0 - alpha[i]) / processors(tid)) * flops[i] / speed
+                for i, tid in enumerate(task_ids)
+            ]
+            return dict(zip(task_ids, arrays.bottom_levels_py(durations_py)))
         procs = np.array(
-            [allocation.processors(tid) for tid in arrays.task_ids_tuple],
-            dtype=np.float64,
+            [processors(tid) for tid in task_ids], dtype=np.float64
         )
         # (alpha + (1 - alpha)/p) * w / s, the scalar Amdahl order; the
         # zero sequential cost of synthetic tasks multiplies out to the
         # exact 0.0 that Task.execution_time short-circuits to
         durations = (
-            (arrays.alpha + (1.0 - arrays.alpha) / procs)
-            * arrays.flops
-            / allocation.reference.speed_flops
+            (arrays.alpha + (1.0 - arrays.alpha) / procs) * arrays.flops / speed
         )
         bl = arrays.bottom_levels(durations)
-        return dict(zip(arrays.task_ids_tuple, bl.tolist()))
+        return dict(zip(task_ids, bl.tolist()))
 
 
 class Mapper(abc.ABC):

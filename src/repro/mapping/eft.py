@@ -23,10 +23,25 @@ pass against the timeline's incrementally sorted free-time array
 (:meth:`~repro.mapping.timeline.ClusterTimeline.kth_free_times`) and a
 vectorized Amdahl duration table, and the packing search walks the
 allocation sizes ``p-1 .. 1`` over those precomputed candidates instead
-of re-querying the timeline per size.  The arithmetic is performed with
-the same IEEE-754 operation order as the scalar formulation, so the
-produced schedules are bit-identical (asserted by
-``tests/test_mapping_golden.py``).
+of re-querying the timeline per size.
+
+On top of that sits the **delta-EFT** fast path (``delta=True``, the
+default): instead of fully evaluating every cluster, it derives an exact
+per-cluster *lower bound* on the achievable finish time from the cached
+free-time frontier (``max(ready lower bound, first free time) +
+duration at the translated allocation``), evaluates clusters in
+ascending bound order and stops as soon as the next bound exceeds the
+best finish found -- dominated clusters are skipped without computing
+their candidates.  The per-cluster evaluation itself runs on the plain
+Python frontier mirror (:meth:`~repro.mapping.timeline.ClusterTimeline.
+kth_free_list`, invalidated incrementally on reserve) with memoized
+allocation translations, and the packing sweep short-circuits once the
+remaining (monotonically non-decreasing) candidate finishes can no
+longer be accepted.  Every cutoff is justified by an exact inequality
+on the same IEEE-754 quantities the full pass computes, so both paths
+-- and the scalar formulation they accelerate -- produce bit-identical
+schedules (asserted by ``tests/test_mapping_golden.py`` and
+``tests/test_delta_golden.py``).
 """
 
 from __future__ import annotations
@@ -76,15 +91,34 @@ class PlacementEngine:
         platform: MultiClusterPlatform,
         enable_packing: bool = True,
         comm: Optional[CommunicationEstimator] = None,
+        delta: bool = True,
     ) -> None:
         self.platform = platform
         self.enable_packing = enable_packing
         self.comm = comm or CommunicationEstimator(platform)
         self.timelines = PlatformTimeline(platform)
         self.packed_tasks = 0
+        #: When True, ``place`` uses the delta-EFT fast path (bound-ordered
+        #: cluster evaluation with early cutoffs); when False, the full
+        #: PR-2 evaluation of every cluster -- the golden fallback.
+        self.delta = delta
         # Cluster objects in declaration order, cached once: ``place`` is
         # called for every task of every application.
         self._clusters = list(platform)
+        # Per-cluster evaluation context of the delta path, in declaration
+        # order: (cluster, timeline, speed_flops, translation memo).  The
+        # memo caches ``ReferenceCluster.translate`` results keyed by
+        # (reference speed, reference processors) -- translation is pure
+        # integer arithmetic repeated for every task of every admission.
+        self._cluster_info = [
+            (
+                cluster,
+                self.timelines.timeline(cluster.name),
+                cluster.speed_flops,
+                {},
+            )
+            for cluster in self._clusters
+        ]
 
     # ------------------------------------------------------------------ #
     # ready-time computation
@@ -191,6 +225,203 @@ class PlacementEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # cluster selection
+    # ------------------------------------------------------------------ #
+    def _select_full(
+        self,
+        ptg_name: str,
+        task: Task,
+        allocation: Allocation,
+        predecessors: List[Tuple[int, float]],
+        schedule: Schedule,
+        not_before: float,
+    ) -> PlacementDecision:
+        """Evaluate every cluster (the ``delta=False`` golden fallback).
+
+        The earliest ``(finish, start)`` wins with ties broken by the
+        platform's cluster declaration order.
+        """
+        best_decision: Optional[PlacementDecision] = None
+        for cluster in self._clusters:
+            ready = self.data_ready_time(
+                ptg_name, task.task_id, predecessors, schedule, cluster.name, not_before
+            )
+            procs, start, finish, packed, original = self._evaluate_cluster(
+                task, allocation, cluster.name, ready
+            )
+            decision = PlacementDecision(
+                cluster_name=cluster.name,
+                processors=procs,
+                start=start,
+                finish=finish,
+                packed=packed,
+                original_processors=original,
+            )
+            if best_decision is None or (decision.finish, decision.start) < (
+                best_decision.finish,
+                best_decision.start,
+            ):
+                best_decision = decision
+        if best_decision is None:  # pragma: no cover - platform is never empty
+            raise MappingError("platform has no cluster to place the task on")
+        return best_decision
+
+    def _select_delta(
+        self,
+        ptg_name: str,
+        task: Task,
+        allocation: Allocation,
+        predecessors: List[Tuple[int, float]],
+        schedule: Schedule,
+        not_before: float,
+    ) -> PlacementDecision:
+        """Delta-EFT cluster selection: bound-ordered with early cutoff.
+
+        Bit-identical to :meth:`_select_full`.  For every cluster,
+        ``max(ready lower bound, first free time) + T(translated procs)``
+        is an exact lower bound on any achievable finish there -- packed
+        candidates included, since shrinking the allocation only raises
+        the duration and the ``k``-th free time is minimal at ``k = 1``.
+        Clusters are evaluated in ascending bound order, so once a bound
+        exceeds the best finish found the rest are dominated and skipped
+        without computing their data-ready times or candidates.  The
+        winner is picked by the (unique) lexicographic minimum of
+        ``(finish, start, declaration index)``, which equals the full
+        pass's first-wins declaration-order scan.
+        """
+        if not_before < 0:
+            raise MappingError(f"ready_time must be non-negative, got {not_before}")
+        # Resolve predecessor placements once (the full pass re-reads the
+        # schedule per cluster); their maximal finish joins ``not_before``
+        # as a transfer-free lower bound on every cluster's ready time.
+        preds: List[Tuple[float, str, float]] = []
+        ready_floor = not_before
+        for pred_id, data_bytes in predecessors:
+            entry = schedule.entry(ptg_name, pred_id)
+            preds.append((entry.finish, entry.cluster_name, data_bytes))
+            if entry.finish > ready_floor:
+                ready_floor = entry.finish
+
+        synthetic = task.is_synthetic
+        if synthetic:
+            alpha = one_minus = flops = 0.0
+            ref_procs = 1
+        else:
+            alpha = task.alpha
+            one_minus = 1.0 - alpha
+            flops = task.flops
+            ref_procs = allocation.processors(task.task_id)
+        ref_speed = allocation.reference.speed_gflops
+        memo_key = (ref_speed, ref_procs)
+
+        candidates = []
+        for decl_index, (cluster, timeline, speed, memo) in enumerate(
+            self._cluster_info
+        ):
+            if synthetic:
+                requested = 1
+                dur_req = 0.0
+            else:
+                requested = memo.get(memo_key)
+                if requested is None:
+                    # translate() clips to [1, cluster size], matching the
+                    # full pass's cluster_processors + min()
+                    requested = memo[memo_key] = allocation.reference.translate(
+                        ref_procs, cluster
+                    )
+                dur_req = (alpha + one_minus / requested) * flops / speed
+            frontier = timeline.kth_free_list()
+            kth0 = frontier[0]
+            lower_start = ready_floor if ready_floor >= kth0 else kth0
+            candidates.append(
+                (
+                    lower_start + dur_req,
+                    decl_index,
+                    cluster,
+                    requested,
+                    dur_req,
+                    frontier,
+                    speed,
+                )
+            )
+        candidates.sort(key=lambda c: (c[0], c[1]))
+
+        comm = self.comm
+        enable_packing = self.enable_packing
+        best_finish = best_start = float("inf")
+        best_decl = len(candidates)
+        best: Optional[Tuple[int, float, float, bool, int, str]] = None
+        for bound, decl_index, cluster, requested, dur_req, frontier, speed in (
+            candidates
+        ):
+            if bound > best_finish:
+                # every remaining candidate finishes at or above its bound
+                break
+            cname = cluster.name
+            ready = not_before
+            for pred_finish, pred_cluster, data_bytes in preds:
+                if pred_cluster == cname:
+                    t = pred_finish  # intra-cluster transfer is exactly 0.0
+                else:
+                    t = pred_finish + comm.transfer_time(
+                        data_bytes, pred_cluster, cname
+                    )
+                if t > ready:
+                    ready = t
+            kth = frontier[requested - 1]
+            start = ready if ready >= kth else kth
+            finish = start + dur_req
+
+            procs, pstart, pfinish, packed = requested, start, finish, False
+            if enable_packing and requested > 1 and start > ready + 1e-12:
+                p = requested - 1
+                while p >= 1:
+                    kthp = frontier[p - 1]
+                    if kthp > ready:
+                        alt_finish = kthp + (alpha + one_minus / p) * flops / speed
+                        if kthp < start - 1e-12 and alt_finish <= finish + 1e-12:
+                            if alt_finish < pfinish - 1e-12 or (
+                                abs(alt_finish - pfinish) <= 1e-12 and kthp < pstart
+                            ):
+                                procs, pstart, pfinish, packed = (
+                                    p, kthp, alt_finish, True,
+                                )
+                        p -= 1
+                        continue
+                    # the frontier is ascending in p, so from here down
+                    # every candidate starts exactly at ``ready`` ...
+                    if not ready < start - 1e-12:
+                        break  # ... which never satisfies "starts earlier"
+                    while p >= 1:
+                        alt_finish = ready + (alpha + one_minus / p) * flops / speed
+                        if alt_finish > finish + 1e-12 or alt_finish > pfinish + 1e-12:
+                            # durations only grow as p shrinks, so neither
+                            # acceptance bound can be met again: done
+                            break
+                        if alt_finish < pfinish - 1e-12 or (
+                            abs(alt_finish - pfinish) <= 1e-12 and ready < pstart
+                        ):
+                            procs, pstart, pfinish, packed = (
+                                p, ready, alt_finish, True,
+                            )
+                        p -= 1
+                    break
+
+            if (pfinish, pstart, decl_index) < (best_finish, best_start, best_decl):
+                best_finish, best_start, best_decl = pfinish, pstart, decl_index
+                best = (procs, pstart, pfinish, packed, requested, cname)
+        if best is None:  # pragma: no cover - platform is never empty
+            raise MappingError("platform has no cluster to place the task on")
+        return PlacementDecision(
+            cluster_name=best[5],
+            processors=best[0],
+            start=best[1],
+            finish=best[2],
+            packed=best[3],
+            original_processors=best[4],
+        )
+
+    # ------------------------------------------------------------------ #
     # placement
     # ------------------------------------------------------------------ #
     def place(
@@ -221,32 +452,14 @@ class PlacementEngine:
             Lower bound on the start time (the instant the task became
             ready in the event-driven mapper).
         """
-        # Evaluate every cluster against its precomputed candidates; the
-        # earliest (finish, start) wins with ties broken by the
-        # platform's cluster declaration order.
-        best_decision: Optional[PlacementDecision] = None
-        for cluster in self._clusters:
-            ready = self.data_ready_time(
-                ptg_name, task.task_id, predecessors, schedule, cluster.name, not_before
+        if self.delta:
+            best_decision = self._select_delta(
+                ptg_name, task, allocation, predecessors, schedule, not_before
             )
-            procs, start, finish, packed, original = self._evaluate_cluster(
-                task, allocation, cluster.name, ready
+        else:
+            best_decision = self._select_full(
+                ptg_name, task, allocation, predecessors, schedule, not_before
             )
-            decision = PlacementDecision(
-                cluster_name=cluster.name,
-                processors=procs,
-                start=start,
-                finish=finish,
-                packed=packed,
-                original_processors=original,
-            )
-            if best_decision is None or (decision.finish, decision.start) < (
-                best_decision.finish,
-                best_decision.start,
-            ):
-                best_decision = decision
-        if best_decision is None:  # pragma: no cover - platform is never empty
-            raise MappingError("platform has no cluster to place the task on")
 
         timeline = self.timelines.timeline(best_decision.cluster_name)
         cluster = self.platform.cluster(best_decision.cluster_name)

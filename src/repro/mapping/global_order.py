@@ -28,8 +28,12 @@ class GlobalOrderMapper(Mapper):
 
     name = "global-order"
 
-    def __init__(self, enable_packing: bool = True) -> None:
+    def __init__(self, enable_packing: bool = True, delta: bool = True) -> None:
+        """*delta* selects the delta-EFT candidate evaluation of the
+        placement engine (bit-identical; ``False`` is the golden
+        fallback that evaluates every cluster in declaration order)."""
         self.enable_packing = enable_packing
+        self.delta = delta
 
     def map(
         self, allocated: Sequence[AllocatedPTG], platform: MultiClusterPlatform
@@ -37,7 +41,9 @@ class GlobalOrderMapper(Mapper):
         """Map all applications onto *platform* with a single global task order."""
         self._check_inputs(allocated)
         schedule = Schedule(platform.name)
-        engine = PlacementEngine(platform, enable_packing=self.enable_packing)
+        engine = PlacementEngine(
+            platform, enable_packing=self.enable_packing, delta=self.delta
+        )
 
         apps: Dict[str, AllocatedPTG] = {a.name: a for a in allocated}
 

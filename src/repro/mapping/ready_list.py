@@ -51,8 +51,12 @@ class ReadyListMapper(Mapper):
 
     name = "ready-list"
 
-    def __init__(self, enable_packing: bool = True) -> None:
+    def __init__(self, enable_packing: bool = True, delta: bool = True) -> None:
+        """*delta* selects the delta-EFT candidate evaluation of the
+        placement engine (bit-identical; ``False`` is the golden
+        fallback that evaluates every cluster in declaration order)."""
         self.enable_packing = enable_packing
+        self.delta = delta
 
     def map(
         self, allocated: Sequence[AllocatedPTG], platform: MultiClusterPlatform
@@ -64,7 +68,9 @@ class ReadyListMapper(Mapper):
         """
         self._check_inputs(allocated)
         schedule = Schedule(platform.name)
-        engine = PlacementEngine(platform, enable_packing=self.enable_packing)
+        engine = PlacementEngine(
+            platform, enable_packing=self.enable_packing, delta=self.delta
+        )
 
         apps: Dict[str, AllocatedPTG] = {a.name: a for a in allocated}
         bottom_levels: Dict[str, Dict[int, float]] = {

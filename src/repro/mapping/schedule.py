@@ -92,6 +92,19 @@ class Schedule:
             )
         self._entries[key] = entry
 
+    def remove_application(self, ptg_name: str) -> int:
+        """Drop every placement of one application; returns the count.
+
+        Used to roll back a partially-mapped application when an
+        admission fails mid-placement (the streaming session's
+        transactional :meth:`~repro.streaming.engine.StreamSession.admit`).
+        Removing an application that was never placed is a no-op.
+        """
+        keys = [key for key in self._entries if key[0] == ptg_name]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #

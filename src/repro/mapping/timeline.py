@@ -24,7 +24,7 @@ one shot through :meth:`ClusterTimeline.kth_free_times`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +58,17 @@ class ClusterTimeline:
         # Sorted copy of ``_free_at`` (values only), kept in sync by
         # ``reserve`` with a searchsorted insert instead of re-sorting.
         self._sorted_free = np.zeros(cluster.num_processors, dtype=float)
+        # Plain-Python mirror of ``_sorted_free``, materialised on demand
+        # by :meth:`kth_free_list` and spliced incrementally on reserve:
+        # the delta-EFT engine reads individual entries thousands of
+        # times, where NumPy scalar boxing would dominate.  ``None``
+        # means "rebuild from ``_sorted_free`` on next access".
+        self._sorted_list: Optional[List[float]] = None
+        # Transaction support (:meth:`begin_transaction`): when active,
+        # the first mutation snapshots the pre-transaction state so a
+        # rollback can restore it bitwise.
+        self._txn_active = False
+        self._txn_saved: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def num_processors(self) -> int:
@@ -81,6 +92,55 @@ class ClusterTimeline:
         not mutate it (take a ``.copy()`` to keep it across reservations).
         """
         return self._sorted_free
+
+    def kth_free_list(self) -> List[float]:
+        """The sorted processor free times as a plain Python list.
+
+        Same values as :meth:`kth_free_times` (entry ``k-1`` is the
+        earliest time ``k`` processors are simultaneously free), kept in
+        sync incrementally across reservations so the delta-EFT engine
+        can read frontier entries without per-access NumPy boxing.  The
+        returned list is internal state: callers must not mutate it.
+        """
+        cached = self._sorted_list
+        if cached is None:
+            cached = self._sorted_list = self._sorted_free.tolist()
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # transactions (used by the streaming session's atomic admission)
+    # ------------------------------------------------------------------ #
+    def begin_transaction(self) -> None:
+        """Start recording mutations so they can be rolled back.
+
+        The snapshot is lazy: nothing is copied until the first
+        :meth:`reserve`/:meth:`block` inside the transaction, so clusters
+        an admission never touches cost nothing.
+        """
+        if self._txn_active:
+            raise MappingError(
+                f"timeline of cluster {self.cluster.name!r} is already in a "
+                "transaction"
+            )
+        self._txn_active = True
+        self._txn_saved = None
+
+    def _txn_snapshot(self) -> None:
+        if self._txn_active and self._txn_saved is None:
+            self._txn_saved = (self._free_at.copy(), self._sorted_free.copy())
+
+    def commit_transaction(self) -> None:
+        """Keep the mutations made since :meth:`begin_transaction`."""
+        self._txn_active = False
+        self._txn_saved = None
+
+    def rollback_transaction(self) -> None:
+        """Restore the timeline to its :meth:`begin_transaction` state."""
+        if self._txn_saved is not None:
+            self._free_at, self._sorted_free = self._txn_saved
+            self._sorted_list = None
+        self._txn_active = False
+        self._txn_saved = None
 
     def _check_processors(self, processors: int) -> None:
         """Validate a requested processor count (paper: ``1 <= p <= P``)."""
@@ -141,6 +201,7 @@ class ClusterTimeline:
         start = self.earliest_start(processors, ready_time)
         indices = self.select_processors(processors)
         finish = start + duration
+        self._txn_snapshot()
         self._free_at[indices] = finish
         # Incremental sorted-array update: the removed values are exactly
         # the ``processors`` smallest, and the inserted value is >= all of
@@ -152,6 +213,12 @@ class ClusterTimeline:
         updated[pos : pos + processors] = finish
         updated[pos + processors :] = remaining[pos:]
         self._sorted_free = updated
+        cached = self._sorted_list
+        if cached is not None:
+            # same splice on the Python mirror: drop the p smallest,
+            # insert p copies of ``finish`` at the searchsorted position
+            del cached[:processors]
+            cached[pos:pos] = [finish] * processors
         return indices, start, finish
 
     def block(self, processors: Sequence[int], until: float) -> None:
@@ -177,8 +244,10 @@ class ClusterTimeline:
                     f"cannot block processor {index} on cluster "
                     f"{self.cluster.name!r} (0..{self.num_processors - 1})"
                 )
+        self._txn_snapshot()
         self._free_at[indices] = np.maximum(self._free_at[indices], until)
         self._sorted_free = np.sort(self._free_at)
+        self._sorted_list = None
 
     def utilisation(self, horizon: float) -> float:
         """Fraction of processor time booked up to *horizon* (diagnostics)."""
@@ -209,6 +278,21 @@ class PlatformTimeline:
     def timelines(self) -> Sequence[ClusterTimeline]:
         """All cluster timelines, in platform declaration order."""
         return [self._timelines[c.name] for c in self.platform]
+
+    def begin_transaction(self) -> None:
+        """Start a rollback-capable transaction on every cluster timeline."""
+        for timeline in self._timelines.values():
+            timeline.begin_transaction()
+
+    def commit_transaction(self) -> None:
+        """Keep the reservations made since :meth:`begin_transaction`."""
+        for timeline in self._timelines.values():
+            timeline.commit_transaction()
+
+    def rollback_transaction(self) -> None:
+        """Undo every reservation made since :meth:`begin_transaction`."""
+        for timeline in self._timelines.values():
+            timeline.rollback_transaction()
 
     def reset(self) -> None:
         """Forget all reservations (used when re-mapping from scratch)."""

@@ -110,7 +110,11 @@ class ReferenceOnlineScheduler:
     ) -> OnlineScheduleResult:
         """Schedule all submissions in arrival order."""
         ordered = self._check_arrivals(arrivals)
-        engine = PlacementEngine(platform, enable_packing=self.enable_packing)
+        # the preserved replay stays on the full per-cluster evaluation:
+        # it is the baseline the delta-EFT session is compared against
+        engine = PlacementEngine(
+            platform, enable_packing=self.enable_packing, delta=False
+        )
         schedule = Schedule(platform.name)
 
         betas: Dict[str, float] = {}

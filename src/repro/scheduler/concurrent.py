@@ -22,9 +22,12 @@ import time
 from typing import Dict, Optional, Sequence
 
 from repro.allocation.base import Allocation, AllocationProcedure
+from repro.allocation.reference import ReferenceCluster
 from repro.allocation.scrap import ScrapMaxAllocator
+from repro.allocation.state import discard_allocation_tables, prepare_allocation_tables
 from repro.constraints.base import ConstraintStrategy
 from repro.constraints.strategies import EqualShareStrategy
+from repro.dag.arrays import compile_arrays_batch
 from repro.dag.graph import PTG
 from repro.exceptions import ConfigurationError
 from repro.mapping.base import AllocatedPTG, Mapper
@@ -60,6 +63,14 @@ class ConcurrentScheduler:
             )
         for ptg in ptgs:
             ptg.validate()
+        if len(ptgs) > 1:
+            # amortize graph compilation and the Amdahl table sweeps over
+            # the whole submission (bit-identical per-graph results)
+            compile_arrays_batch(ptgs)
+            reference = ReferenceCluster.of(platform)
+            prepare_allocation_tables(
+                ptgs, reference, reference.max_allocation(platform)
+            )
 
         # per-phase timers only tick while a metrics registry is active;
         # the disabled path adds two None checks per schedule() call
@@ -83,6 +94,8 @@ class ConcurrentScheduler:
                 allocation = self.allocator.allocate(ptg, platform, beta=betas[ptg.name])
                 allocations[ptg.name] = allocation
                 allocated.append(AllocatedPTG(ptg, allocation))
+                # the prebuilt Amdahl tables served their one allocation
+                discard_allocation_tables(ptg)
         if registry is not None:
             now = time.perf_counter()
             registry.histogram("allocation.phase_seconds").observe(now - started)

@@ -44,16 +44,24 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.allocation.base import Allocation, AllocationProcedure
+from repro.allocation.reference import ReferenceCluster
 from repro.allocation.scrap import ScrapMaxAllocator
+from repro.allocation.state import discard_allocation_tables, prepare_allocation_tables
 from repro.constraints.base import ConstraintStrategy
 from repro.constraints.strategies import EqualShareStrategy
+from repro.dag.arrays import compile_arrays_batch
 from repro.dag.graph import PTG
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, MappingError, ReproError
 from repro.mapping.base import AllocatedPTG
 from repro.mapping.eft import PlacementEngine
 from repro.mapping.schedule import Schedule
 from repro.obs import meters, trace
 from repro.platform.multicluster import MultiClusterPlatform
+
+#: Arrival batches are compiled in chunks of this many graphs: large
+#: enough to amortize the batched-kernel dispatch, small enough to keep
+#: the transient stacked buffers off the high-water mark.
+BATCH_COMPILE_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -104,12 +112,19 @@ class OnlineScheduleResult:
 
     def completion_time(self, name: str) -> float:
         """Absolute completion time of one application."""
-        return self.schedule.makespan(name)
+        try:
+            return self.schedule.makespan(name)
+        except MappingError:
+            raise ConfigurationError(
+                f"no application named {name!r} in this result"
+            ) from None
 
     def makespan(self, name: str) -> float:
         """Makespan measured from the application's own submission time."""
-        arrival = next(a for a in self.arrivals if a.ptg.name == name)
-        return self.completion_time(name) - arrival.time
+        for arrival in self.arrivals:
+            if arrival.ptg.name == name:
+                return self.completion_time(name) - arrival.time
+        raise ConfigurationError(f"no application named {name!r} in this result")
 
     def makespans(self) -> Dict[str, float]:
         """Per-application makespans measured from their submission times."""
@@ -132,18 +147,30 @@ class StreamResult(OnlineScheduleResult):
     arrival_times: Dict[str, float] = field(default_factory=dict)
     tenants: Dict[str, str] = field(default_factory=dict)
 
-    def completion_time(self, name: str) -> float:
-        """Absolute completion time of one application (O(1))."""
+    def _lookup(self, table: Dict[str, float], name: str) -> float:
+        """One tracked quantity of one application, with the error contract.
+
+        Every accessor funnels through this helper so an unknown
+        application name always surfaces as a
+        :class:`~repro.exceptions.ConfigurationError` naming the
+        application -- never a raw ``KeyError``.
+        """
         try:
-            return self.completion_times[name]
+            return table[name]
         except KeyError:
             raise ConfigurationError(
                 f"no application named {name!r} in this result"
             ) from None
 
+    def completion_time(self, name: str) -> float:
+        """Absolute completion time of one application (O(1))."""
+        return self._lookup(self.completion_times, name)
+
     def makespan(self, name: str) -> float:
         """Makespan measured from the application's own submission (O(1))."""
-        return self.completion_time(name) - self.arrival_times[name]
+        return self._lookup(self.completion_times, name) - self._lookup(
+            self.arrival_times, name
+        )
 
     def makespans(self) -> Dict[str, float]:
         """Per-application makespans measured from their submission times."""
@@ -154,7 +181,9 @@ class StreamResult(OnlineScheduleResult):
 
     def waiting_time(self, name: str) -> float:
         """Stall of one application: first task start minus submission."""
-        return self.first_starts[name] - self.arrival_times[name]
+        return self._lookup(self.first_starts, name) - self._lookup(
+            self.arrival_times, name
+        )
 
     def waiting_times(self) -> Dict[str, float]:
         """Per-application stall times (first task start minus submission)."""
@@ -208,6 +237,14 @@ class StreamSession:
         paper's choice).
     enable_packing:
         Whether the mapper may shrink delayed allocations (paper: on).
+    delta:
+        Whether the placement engine uses the delta-EFT fast path
+        (default) or the full per-cluster evaluation; both are
+        bit-identical, the flag exists as the golden fallback.
+    batch_compile:
+        Whether :meth:`feed` batch-compiles the arrival chunk's graph
+        arrays and allocation tables through the stacked multi-PTG
+        kernels before admitting (bit-identical; golden fallback).
     """
 
     def __init__(
@@ -216,13 +253,23 @@ class StreamSession:
         strategy: Optional[ConstraintStrategy] = None,
         allocator: Optional[AllocationProcedure] = None,
         enable_packing: bool = True,
+        delta: bool = True,
+        batch_compile: bool = True,
     ) -> None:
         self.platform = platform
         self.strategy = strategy or EqualShareStrategy()
         self.allocator = allocator or ScrapMaxAllocator()
         self.enable_packing = enable_packing
-        self.engine = PlacementEngine(platform, enable_packing=enable_packing)
+        self.delta = delta
+        self.batch_compile = batch_compile
+        self.engine = PlacementEngine(
+            platform, enable_packing=enable_packing, delta=delta
+        )
         self.schedule = Schedule(platform.name)
+        # reference view + allocation cap of this platform, precomputed
+        # once for the batched allocation-table preparation of ``feed``
+        self._reference = ReferenceCluster.of(platform)
+        self._allocation_cap = self._reference.max_allocation(platform)
         self._arrivals: List[Arrival] = []
         self._betas: Dict[str, float] = {}
         self._allocations: Dict[str, Allocation] = {}
@@ -289,8 +336,32 @@ class StreamSession:
         scheduler cannot revisit the past.
         """
         batch = sorted(arrivals, key=lambda a: (a.time, a.ptg.name))
+        if self.batch_compile and len(batch) > 1:
+            self._prepare_batch([arrival.ptg for arrival in batch])
         for arrival in batch:
             self.admit(arrival)
+
+    def _prepare_batch(self, ptgs: List[PTG]) -> None:
+        """Batch-compile the graphs of one feed chunk (pure warm-up).
+
+        Stacks the chunk's graphs into shared-arena
+        :class:`~repro.dag.arrays.DagArrays` and prebuilds their
+        allocation tables in one vectorized pass each, so the admission
+        loop below finds everything cached.  Invalid graphs are skipped
+        here -- :meth:`admit` raises for them at the right arrival, with
+        the session state it would have had without batching.
+        """
+        fresh = []
+        for ptg in ptgs:
+            try:
+                ptg.validate()
+            except ReproError:
+                continue
+            fresh.append(ptg)
+        for begin in range(0, len(fresh), BATCH_COMPILE_CHUNK):
+            chunk = fresh[begin : begin + BATCH_COMPILE_CHUNK]
+            compile_arrays_batch(chunk)
+            prepare_allocation_tables(chunk, self._reference, self._allocation_cap)
 
     def admit(self, arrival: Arrival) -> float:
         """Admit one application and return its planned completion time.
@@ -300,6 +371,15 @@ class StreamSession:
         compute the newcomer's constraint over the remaining active set,
         allocate, and place its tasks (released no earlier than the
         submission time) without touching existing reservations.
+
+        Admission is **transactional**: every per-application bookkeeping
+        write (and the retirement of completed applications) is staged on
+        copies, the timeline reservations run inside a rollback-capable
+        transaction, and everything is committed only after the mapping
+        succeeded.  A raising constraint strategy, allocator or placement
+        therefore leaves the session bit-identical to one that never saw
+        the arrival -- which is what lets the degraded-mode service drain
+        worker retry a failed admission against a clean session.
         """
         name = arrival.ptg.name
         key = (arrival.time, name)
@@ -323,42 +403,84 @@ class StreamSession:
 
         with trace.span("stream.admit", app=name, tenant=arrival.tenant):
             now = arrival.time
-            running = self._running
+            # stage the retirement of completed applications on copies:
+            # committing it only with the admission keeps a failed admit
+            # from changing what a later retry (at the same instant)
+            # observes
+            staged_running: Optional[List[Tuple[float, str]]] = None
             active_apps = self._active
-            while running and running[0][0] <= now:
-                _, expired = heapq.heappop(running)
-                active_apps.pop(expired, None)
+            if self._running and self._running[0][0] <= now:
+                staged_running = self._running[:]
+                retired = set()
+                while staged_running and staged_running[0][0] <= now:
+                    _, expired = heapq.heappop(staged_running)
+                    retired.add(expired)
+                active_apps = {
+                    app_name: ptg
+                    for app_name, ptg in self._active.items()
+                    if app_name not in retired
+                }
             # applications still in the system at this instant, in arrival
             # order (the order the constraint strategies see)
             active = list(active_apps.values())
             concurrent = active + [arrival.ptg]
             strategy_betas = self.strategy.compute_betas(concurrent, self.platform)
             beta = strategy_betas[name]
-            self._betas[name] = beta
-            self._active_log[name] = [p.name for p in active]
 
             allocation = self.allocator.allocate(arrival.ptg, self.platform, beta=beta)
-            self._allocations[name] = allocation
-            first_start, done = self._map_application(
+            first_start, done = self._map_transactional(
                 AllocatedPTG(arrival.ptg, allocation), now
             )
+
+            # ---- commit: the mapping succeeded, publish everything ----
+            if staged_running is not None:
+                self._running = staged_running
+                self._active = active_apps
+            self._betas[name] = beta
+            self._active_log[name] = [p.name for p in active]
+            self._allocations[name] = allocation
             self._completions[name] = done
             self._first_starts[name] = first_start
             self._arrival_times[name] = now
             self._tenants[name] = arrival.tenant
             self._arrivals.append(arrival)
-            heapq.heappush(running, (done, name))
-            active_apps[name] = arrival.ptg
+            heapq.heappush(self._running, (done, name))
+            self._active[name] = arrival.ptg
             self._last_key = key
+            # the batched allocation tables served their one admission;
+            # drop them so a long stream's high-water mark stays flat
+            discard_allocation_tables(arrival.ptg)
 
         if registry is not None:
             registry.histogram("stream.admission_latency").observe(
                 time.perf_counter() - started
             )
             registry.counter("stream.admissions").inc()
-            registry.gauge("stream.active_applications").set(len(active_apps))
-            registry.gauge("stream.running_depth").set(len(running))
+            registry.gauge("stream.active_applications").set(len(self._active))
+            registry.gauge("stream.running_depth").set(len(self._running))
         return done
+
+    def _map_transactional(
+        self, allocated: AllocatedPTG, release_time: float
+    ) -> Tuple[float, float]:
+        """Run :meth:`_map_application` inside a timeline transaction.
+
+        On any failure the timeline reservations, the engine's packing
+        counter and the partially placed schedule entries are all rolled
+        back before the exception propagates.
+        """
+        engine = self.engine
+        packed_before = engine.packed_tasks
+        engine.timelines.begin_transaction()
+        try:
+            result = self._map_application(allocated, release_time)
+        except BaseException:
+            engine.timelines.rollback_transaction()
+            engine.packed_tasks = packed_before
+            self.schedule.remove_application(allocated.name)
+            raise
+        engine.timelines.commit_transaction()
+        return result
 
     def _map_application(
         self, allocated: AllocatedPTG, release_time: float
